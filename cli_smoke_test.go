@@ -1,0 +1,72 @@
+package xmlsql_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// CLI smoke tests: run each command through `go run` and check the output
+// wiring. They are skipped with -short (they compile the binaries).
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIXml2sql(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	out := runCLI(t, "./cmd/xml2sql", "-workload", "xmark", "-query", "//Item/InCategory/Category", "-classes")
+	for _, want := range []string{
+		"baseline translation [9] (6 branches, 12 joins)",
+		"select IC.category\nfrom   InCat IC",
+		"linear class, 6 members",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("xml2sql output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIXml2sqlSchemaFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	out := runCLI(t, "./cmd/xml2sql", "-schema", "testdata/parts.dsl", "-query", "//Part/Name", "-cross-product")
+	if !strings.Contains(out, "cross-product schema") || !strings.Contains(out, "recursive") {
+		t.Errorf("xml2sql DSL-file output unexpected:\n%s", out)
+	}
+}
+
+func TestCLIShredder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	out := runCLI(t, "./cmd/shredder", "-schema", "testdata/library.dsl", "-in", "testdata/library.xml", "-verify", "-dump")
+	for _, want := range []string{
+		"lossless round trip verified",
+		"TABLE Book",
+		"'Solaris'",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shredder output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIShredderEdgeWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	out := runCLI(t, "./cmd/shredder", "-workload", "s1-edge", "-generate", "-verify")
+	if !strings.Contains(out, "lossless round trip verified") {
+		t.Errorf("shredder edge output unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,81 @@
+// Command benchrunner runs the full experiment suite (E1–E8 of DESIGN.md):
+// for every worked example and claim in the paper it compares the baseline
+// translation of [9] against the lossless-constraint-aware translation —
+// generated SQL shape, verified result equality, and measured execution
+// time — and prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchrunner [-scale N] [-details] [-ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmlsql/internal/bench"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "document size multiplier")
+	details := flag.Bool("details", false, "print per-query SQL details")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	scaling := flag.Bool("scaling", false, "also run the Q1 speedup-vs-size scaling series")
+	flag.Parse()
+
+	sc := bench.DefaultScale()
+	sc.ItemsPerContinent *= *scale
+	sc.AdsPerSection *= *scale
+	sc.S1Groups *= *scale
+	sc.S2Groups *= *scale
+
+	cmps, err := bench.RunSuite(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Experiment suite: baseline [9] vs lossless-from-XML translation")
+	fmt.Printf("(scale %d: %d items/continent, %d ads/section)\n\n", *scale, sc.ItemsPerContinent, sc.AdsPerSection)
+	fmt.Print(bench.FormatTable(cmps))
+	fmt.Println()
+	fmt.Print(bench.Summary(cmps))
+
+	var e8 []*bench.Comparison
+	for _, c := range cmps {
+		if c.Experiment == "E8" {
+			e8 = append(e8, c)
+		}
+	}
+	fmt.Printf("E8 subset (stands in for the [10] XMark+ADEX evaluation): %s", bench.Summary(e8))
+
+	if *details {
+		fmt.Println()
+		fmt.Print(bench.FormatDetails(cmps))
+	}
+	if *ablations {
+		fmt.Println()
+		abl, err := bench.RunAblations(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: ablations: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(abl)
+	}
+	if *scaling {
+		fmt.Println()
+		pts, err := bench.ScalingSeries("//Item/InCategory/Category", []int{1, 2, 4, 8, 16})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: scaling: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatScaling("//Item/InCategory/Category", pts))
+	}
+
+	for _, c := range cmps {
+		if !c.Verified {
+			fmt.Fprintf(os.Stderr, "benchrunner: VERIFICATION FAILED for %s %s\n", c.Experiment, c.Query)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package xmlsql_test
+
+import (
+	"fmt"
+	"log"
+
+	"xmlsql"
+)
+
+// The §2 scenario in miniature: a mapping whose naive translation is a
+// union of joins collapses to a scan under the "lossless from XML"
+// constraint.
+func Example() {
+	s := xmlsql.MustParseSchema(`
+schema shop
+root shop
+node shop  label=Shop  rel=Shop
+node toys  label=Toys
+node books label=Books
+node titem label=Item  rel=Item
+node bitem label=Item  rel=Item
+node tname label=Name  col=name
+node bname label=Name  col=name
+edge shop -> toys
+edge shop -> books
+edge toys -> titem [pc=1]
+edge books -> bitem [pc=2]
+edge titem -> tname
+edge bitem -> bname
+`)
+	q := xmlsql.MustParseQuery("//Item/Name")
+
+	naive, err := xmlsql.TranslateNaive(s, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pruned, err := xmlsql.Translate(s, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive:  %s\n", naive.Shape())
+	fmt.Printf("pruned: %s\n", pruned.Query.Shape())
+	fmt.Println(pruned.Query.SQL())
+	// Output:
+	// naive:  2 branches, 2 joins
+	// pruned: 1 branch, 0 joins
+	// select I.name
+	// from   Item I
+}
+
+// Shredding and querying end to end.
+func ExampleEval() {
+	s := xmlsql.MustParseSchema(`
+schema zoo
+root zoo
+node zoo    label=Zoo    rel=Zoo
+node animal label=Animal rel=Animal
+node name   label=Name   col=name
+edge zoo -> animal
+edge animal -> name
+`)
+	doc, err := xmlsql.ParseDocumentString(
+		`<Zoo><Animal><Name>otter</Name></Animal><Animal><Name>heron</Name></Animal></Zoo>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := xmlsql.NewStore()
+	if _, err := xmlsql.Shred(s, store, doc); err != nil {
+		log.Fatal(err)
+	}
+	res, err := xmlsql.Eval(s, store, "//Animal/Name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Strings())
+	// Output: [heron otter]
+}
+
+// The lossless constraint is checkable: reconstruction inverts shredding.
+func ExampleReconstruct() {
+	s := xmlsql.MustParseSchema(`
+schema notes
+root pad
+node pad  label=Pad  rel=Pad
+node note label=Note rel=Note
+node text label=Text col=text
+edge pad -> note
+edge note -> text
+`)
+	doc, _ := xmlsql.ParseDocumentString(`<Pad><Note><Text>hello</Text></Note></Pad>`)
+	store := xmlsql.NewStore()
+	if _, err := xmlsql.Shred(s, store, doc); err != nil {
+		log.Fatal(err)
+	}
+	docs, err := xmlsql.Reconstruct(s, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(docs[0].Canonicalize().Equal(doc.Canonicalize()))
+	fmt.Println(xmlsql.CheckLossless(s, store))
+	// Output:
+	// true
+	// <nil>
+}
+
+// Schema inference derives the mapping from documents alone (§5.3).
+func ExampleInferSchema() {
+	doc, _ := xmlsql.ParseDocumentString(
+		`<Log><Entry><Level>info</Level><Msg>started</Msg></Entry></Log>`)
+	s, err := xmlsql.InferSchema(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := xmlsql.NewStore()
+	if _, err := xmlsql.Shred(s, store, doc); err != nil {
+		log.Fatal(err)
+	}
+	res, err := xmlsql.Eval(s, store, "//Entry/Msg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Strings())
+	// Output: [started]
+}

@@ -1,0 +1,40 @@
+package xmlsql_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Example smoke tests: every example program must run to completion and
+// print its key output. Skipped with -short (they compile via `go run`).
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the example binaries")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{"lossless-from-XML constraint verified", "titles:"}},
+		{"./examples/xmark", []string{"== //Item/InCategory/Category", "rows; baseline"}},
+		{"./examples/recursive", []string{"== Q4", "== Q7", "pruned SQL:"}},
+		{"./examples/edge", []string{"Edge relation:", "item categories returned by both translations"}},
+		{"./examples/adex", []string{"speedup", "//Ad/Contact/Phone"}},
+		{"./examples/inference", []string{"inferred mapping:", "byte-exact reconstruction of 2 documents: true"}},
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, w := range c.want {
+				if w != "" && !strings.Contains(string(out), w) {
+					t.Errorf("%s output missing %q", c.dir, w)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module xmlsql
+
+go 1.22

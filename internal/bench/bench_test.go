@@ -1,0 +1,100 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsql/internal/bench"
+	"xmlsql/internal/workloads"
+)
+
+// tinyScale keeps the harness test fast; shapes are scale-independent.
+func tinyScale() bench.Scale {
+	return bench.Scale{ItemsPerContinent: 10, AdsPerSection: 10, S1Groups: 10, S2Groups: 10, S3Fanout: 2, S3Depth: 3}
+}
+
+func TestSuiteCoversAllExperiments(t *testing.T) {
+	cases := bench.Suite(tinyScale())
+	seen := map[string]bool{}
+	for _, c := range cases {
+		seen[c.Experiment] = true
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+		if !seen[id] {
+			t.Errorf("experiment %s missing from suite", id)
+		}
+	}
+}
+
+func TestRunVerifiesAndMeasures(t *testing.T) {
+	c := bench.Case{
+		Experiment: "E1",
+		Workload:   "xmark",
+		Query:      workloads.QueryQ1,
+		Schema:     workloads.XMark(),
+		Doc:        workloads.GenerateXMark(workloads.XMarkConfig{ItemsPerContinent: 5, CategoriesPerItem: 1, NumCategories: 5, Seed: 1}),
+	}
+	cmp, err := bench.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Verified {
+		t.Error("verification failed")
+	}
+	if cmp.Rows != 5*6 {
+		t.Errorf("rows = %d, want 30", cmp.Rows)
+	}
+	if cmp.NaiveShape.Branches != 6 || cmp.PrunedShape.Joins != 0 {
+		t.Errorf("shapes: naive %v, pruned %v", cmp.NaiveShape, cmp.PrunedShape)
+	}
+	if cmp.NaiveNs <= 0 || cmp.PrunedNs <= 0 || cmp.Speedup <= 0 {
+		t.Errorf("timings not measured: %v / %v", cmp.NaiveNs, cmp.PrunedNs)
+	}
+}
+
+func TestRunSuiteSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	cmps, err := bench.RunSuite(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmps) < 20 {
+		t.Fatalf("suite ran %d cases", len(cmps))
+	}
+	for _, c := range cmps {
+		if !c.Verified {
+			t.Errorf("%s %s: verification failed", c.Experiment, c.Query)
+		}
+		if c.PrunedShape.Joins > c.NaiveShape.Joins {
+			t.Errorf("%s %s: pruned has more joins (%v) than naive (%v)",
+				c.Experiment, c.Query, c.PrunedShape, c.NaiveShape)
+		}
+	}
+	table := bench.FormatTable(cmps)
+	if !strings.Contains(table, "E1") || !strings.Contains(table, "speedup") {
+		t.Error("table formatting broken")
+	}
+	if sum := bench.Summary(cmps); !strings.Contains(sum, "speedup range") {
+		t.Errorf("summary = %q", sum)
+	}
+	if det := bench.FormatDetails(cmps[:1]); !strings.Contains(det, "baseline [9]") {
+		t.Error("details formatting broken")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	out, err := bench.RunAblations(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"edge-annotation", "combinability", "nested loops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}

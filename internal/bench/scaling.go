@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlsql/internal/workloads"
+)
+
+// ScalingPoint is one measurement of the scaling series: the speedup of the
+// pruned translation over the baseline at a given document size.
+type ScalingPoint struct {
+	Scale    int
+	Tuples   int
+	NaiveNs  float64
+	PrunedNs float64
+	Speedup  float64
+	Verified bool
+}
+
+// ScalingSeries measures the Q1 speedup across document sizes — the
+// figure-style companion to the E1 row. Under this engine's hash joins both
+// translations scale linearly, so the ratio is roughly constant (~30×,
+// fixed by the number of union branches and joins the pruning removed); on
+// join algorithms whose cost is superlinear in input size the gap widens
+// with data, which the nested-loop ablation demonstrates.
+func ScalingSeries(query string, scales []int) ([]ScalingPoint, error) {
+	s := workloads.XMark()
+	var out []ScalingPoint
+	for _, sc := range scales {
+		doc := workloads.GenerateXMark(workloads.XMarkConfig{
+			ItemsPerContinent: 50 * sc,
+			CategoriesPerItem: 2,
+			NumCategories:     50,
+			Seed:              1,
+		})
+		cmp, err := Run(Case{
+			Experiment: "S",
+			Workload:   fmt.Sprintf("xmark-x%d", sc),
+			Query:      query,
+			Schema:     s,
+			Doc:        doc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingPoint{
+			Scale:    sc,
+			Tuples:   cmp.TotalRows,
+			NaiveNs:  cmp.NaiveNs,
+			PrunedNs: cmp.PrunedNs,
+			Speedup:  cmp.Speedup,
+			Verified: cmp.Verified,
+		})
+	}
+	return out, nil
+}
+
+// FormatScaling renders the series as a table.
+func FormatScaling(query string, pts []ScalingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scaling series for %s (speedup vs document size):\n", query)
+	fmt.Fprintf(&b, "%8s %10s %12s %12s %9s %4s\n", "scale", "tuples", "naive/op", "pruned/op", "speedup", "ok")
+	for _, p := range pts {
+		ok := "yes"
+		if !p.Verified {
+			ok = "NO"
+		}
+		fmt.Fprintf(&b, "%7dx %10d %12s %12s %8.2fx %4s\n",
+			p.Scale, p.Tuples, fmtNs(p.NaiveNs), fmtNs(p.PrunedNs), p.Speedup, ok)
+	}
+	return b.String()
+}

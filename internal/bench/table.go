@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable renders comparisons as the fixed-width table printed by
+// cmd/benchrunner and recorded in EXPERIMENTS.md.
+func FormatTable(cmps []*Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-15s %-45s %-26s %-26s %10s %10s %8s %3s\n",
+		"id", "workload", "query", "naive shape", "pruned shape", "naive/op", "pruned/op", "speedup", "ok")
+	b.WriteString(strings.Repeat("-", 154))
+	b.WriteString("\n")
+	for _, c := range cmps {
+		ok := "yes"
+		if !c.Verified {
+			ok = "NO"
+		}
+		fmt.Fprintf(&b, "%-3s %-15s %-45s %-26s %-26s %10s %10s %7.2fx %3s\n",
+			c.Experiment, c.Workload, truncate(c.Query, 45),
+			c.NaiveShape.String(), c.PrunedShape.String(),
+			fmtNs(c.NaiveNs), fmtNs(c.PrunedNs), c.Speedup, ok)
+	}
+	return b.String()
+}
+
+// FormatDetails renders the per-case SQL for the experiment log.
+func FormatDetails(cmps []*Comparison) string {
+	var b strings.Builder
+	for _, c := range cmps {
+		fmt.Fprintf(&b, "=== %s [%s] %s\n", c.Experiment, c.Workload, c.Query)
+		fmt.Fprintf(&b, "    %s\n", c.Description)
+		fmt.Fprintf(&b, "    store: %d tuples; result: %d rows; verified: %v\n", c.TotalRows, c.Rows, c.Verified)
+		fmt.Fprintf(&b, "--- baseline [9] (%s):\n%s\n", c.NaiveShape, indent(c.NaiveSQL))
+		fmt.Fprintf(&b, "--- lossless-from-XML (%s):\n%s\n\n", c.PrunedShape, indent(c.PrunedSQL))
+	}
+	return b.String()
+}
+
+// Summary aggregates the speedup distribution, the statistic the paper
+// quotes from [10] (1.15x–93x, many queries >= 10x).
+func Summary(cmps []*Comparison) string {
+	if len(cmps) == 0 {
+		return "no results\n"
+	}
+	minS, maxS := cmps[0].Speedup, cmps[0].Speedup
+	over10 := 0
+	slower := 0
+	allVerified := true
+	for _, c := range cmps {
+		if c.Speedup < minS {
+			minS = c.Speedup
+		}
+		if c.Speedup > maxS {
+			maxS = c.Speedup
+		}
+		if c.Speedup >= 10 {
+			over10++
+		}
+		if c.Speedup < 1 {
+			slower++
+		}
+		if !c.Verified {
+			allVerified = false
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "speedup range %.2fx – %.2fx over %d queries; %d at >= 10x; %d regressions; all results verified: %v\n",
+		minS, maxS, len(cmps), over10, slower, allVerified)
+	return b.String()
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "    " + l
+	}
+	return strings.Join(lines, "\n")
+}

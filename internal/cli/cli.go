@@ -1,0 +1,106 @@
+// Package cli holds the shared plumbing of the command-line tools: schema
+// loading (DSL files or built-in workloads, with the -edge suffix for
+// schema-oblivious storage) and workload document generation.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/workloads"
+	"xmlsql/internal/xmltree"
+)
+
+// Workloads lists the built-in workload names.
+var Workloads = []string{"xmark", "xmarkfull", "xmarkauctions", "s1", "s2", "s3", "adex"}
+
+// LoadSchema resolves the -schema / -workload flag pair: exactly one must be
+// set; -workload accepts a built-in name with an optional "-edge" suffix.
+func LoadSchema(file, workload string) (*schema.Schema, error) {
+	switch {
+	case file != "" && workload != "":
+		return nil, fmt.Errorf("use either -schema or -workload, not both")
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return schema.Parse(string(data))
+	case workload != "":
+		return BuiltinSchema(workload)
+	default:
+		return nil, fmt.Errorf("one of -schema or -workload is required")
+	}
+}
+
+// BuiltinSchema returns a built-in workload schema by name; a "-edge" suffix
+// derives the schema-oblivious Edge mapping (§5.3).
+func BuiltinSchema(name string) (*schema.Schema, error) {
+	base, edge := strings.CutSuffix(name, "-edge")
+	var s *schema.Schema
+	switch base {
+	case "xmark":
+		s = workloads.XMark()
+	case "xmarkfull":
+		s = workloads.XMarkFull()
+	case "xmarkauctions":
+		s = workloads.XMarkAuctions()
+	case "s1":
+		s = workloads.S1()
+	case "s2":
+		s = workloads.S2()
+	case "s3":
+		s = workloads.S3()
+	case "adex":
+		s = workloads.ADEX()
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want %s)", name, strings.Join(Workloads, ", "))
+	}
+	if edge {
+		return shred.EdgeSchemaFor(s)
+	}
+	return s, nil
+}
+
+// GenerateDoc produces a default-sized document for a built-in workload
+// (the "-edge" suffix is ignored: Edge storage shreds the same documents).
+func GenerateDoc(workload string) (*xmltree.Document, error) {
+	base, _ := strings.CutSuffix(workload, "-edge")
+	switch base {
+	case "xmark":
+		return workloads.GenerateXMark(workloads.DefaultXMarkConfig()), nil
+	case "xmarkfull":
+		return workloads.GenerateXMarkFull(workloads.DefaultXMarkConfig()), nil
+	case "xmarkauctions":
+		return workloads.GenerateXMarkAuctions(workloads.DefaultXMarkAuctionsConfig()), nil
+	case "s1":
+		return workloads.GenerateS1(10, 1), nil
+	case "s2":
+		return workloads.GenerateS2(10, 1), nil
+	case "s3":
+		return workloads.GenerateS3(workloads.DefaultS3Config()), nil
+	case "adex":
+		return workloads.GenerateADEX(workloads.DefaultADEXConfig()), nil
+	default:
+		return nil, fmt.Errorf("cannot generate a document for workload %q", workload)
+	}
+}
+
+// LoadDoc resolves the -in / -generate flag pair for document input.
+func LoadDoc(in, workload string, generate bool) (*xmltree.Document, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return xmltree.Parse(f)
+	}
+	if !generate {
+		return nil, fmt.Errorf("provide -in doc.xml or -generate")
+	}
+	return GenerateDoc(workload)
+}

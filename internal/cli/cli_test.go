@@ -1,0 +1,91 @@
+package cli_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xmlsql/internal/cli"
+	"xmlsql/internal/shred"
+)
+
+func TestBuiltinSchemas(t *testing.T) {
+	for _, name := range cli.Workloads {
+		s, err := cli.BuiltinSchema(name)
+		if err != nil {
+			t.Errorf("BuiltinSchema(%s): %v", name, err)
+			continue
+		}
+		if s == nil || s.NumNodes() == 0 {
+			t.Errorf("BuiltinSchema(%s): empty", name)
+		}
+		es, err := cli.BuiltinSchema(name + "-edge")
+		if err != nil {
+			t.Errorf("BuiltinSchema(%s-edge): %v", name, err)
+			continue
+		}
+		if es.RootNode().Relation != shred.EdgeRelation {
+			t.Errorf("%s-edge root relation = %q", name, es.RootNode().Relation)
+		}
+	}
+	if _, err := cli.BuiltinSchema("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestLoadSchemaFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.dsl")
+	dsl := "schema m\nroot r\nnode r label=r rel=R\nnode v label=v col=val\nedge r -> v\n"
+	if err := os.WriteFile(path, []byte(dsl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := cli.LoadSchema(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "m" {
+		t.Errorf("schema name = %q", s.Name)
+	}
+	if _, err := cli.LoadSchema(path, "xmark"); err == nil {
+		t.Error("both flags accepted")
+	}
+	if _, err := cli.LoadSchema("", ""); err == nil {
+		t.Error("neither flag accepted")
+	}
+	if _, err := cli.LoadSchema(filepath.Join(dir, "missing.dsl"), ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGenerateAndLoadDoc(t *testing.T) {
+	for _, name := range cli.Workloads {
+		d, err := cli.GenerateDoc(name)
+		if err != nil || d.CountNodes() == 0 {
+			t.Errorf("GenerateDoc(%s): %v", name, err)
+		}
+		s, _ := cli.BuiltinSchema(name)
+		if !shred.Conforms(s, d) {
+			t.Errorf("GenerateDoc(%s) does not conform", name)
+		}
+	}
+	if _, err := cli.GenerateDoc("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.xml")
+	if err := os.WriteFile(path, []byte("<a><b>1</b></a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := cli.LoadDoc(path, "", false)
+	if err != nil || d.Root.Label != "a" {
+		t.Errorf("LoadDoc from file: %v", err)
+	}
+	if _, err := cli.LoadDoc("", "xmark", false); err == nil {
+		t.Error("no input accepted")
+	}
+	if d, err := cli.LoadDoc("", "xmark-edge", true); err != nil || d == nil {
+		t.Errorf("LoadDoc generate: %v", err)
+	}
+}

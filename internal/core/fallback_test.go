@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"testing"
+
+	"xmlsql/internal/core"
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/xmltree"
+)
+
+// ambiguousSchema stores two differently-labelled children in the SAME
+// relation with no distinguishing conditions. Such a mapping violates the
+// preconditions of the "lossless from XML" constraint — the relational data
+// cannot be unambiguously mapped back to elements — and is exactly the kind
+// of input the pruning loops cannot make safe.
+func ambiguousSchema() *schema.Schema {
+	return schema.NewBuilder("ambiguous").
+		Node("r", "r", schema.Rel("R0")).
+		Node("a", "a", schema.Rel("R1"), schema.Col("val")).
+		Node("b", "b", schema.Rel("R1"), schema.Col("val2")).
+		Root("r").
+		Edge("r", "a").
+		Edge("r", "b").
+		MustBuild()
+}
+
+func TestAmbiguousMappingFallsBack(t *testing.T) {
+	s := ambiguousSchema()
+	g, err := pathid.Build(s, pathexpr.MustParse("//a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With NoFallback the pruner reports that no safe suffix exists: the
+	// //a suffixes conflict with the b paths all the way to the root.
+	if _, err := core.TranslateOpts(g, core.Options{NoFallback: true}); err == nil {
+		t.Error("pruning accepted an ambiguous mapping")
+	}
+	// The default behaviour retains the baseline and flags it.
+	res, err := core.Translate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fallback {
+		t.Error("fallback flag not set")
+	}
+	if res.Query == nil || len(res.Query.Selects) == 0 {
+		t.Error("fallback produced no query")
+	}
+}
+
+func TestAmbiguousMappingFailsLosslessCheck(t *testing.T) {
+	// The same mapping is rejected by the constraint checker: the shredded
+	// instance cannot be unambiguously reconstructed — which is why the
+	// translator was right to refuse pruning.
+	s := ambiguousSchema()
+	doc, err := xmltree.ParseString(`<r><a>1</a><b>2</b></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := relational.NewStore()
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		t.Fatalf("shred: %v", err)
+	}
+	if err := shred.CheckLossless(s, store); err == nil {
+		t.Error("lossless check accepted an ambiguous mapping's instance")
+	}
+}

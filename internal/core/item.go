@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/translate"
+)
+
+// item is one PathSet member: the current suffix region of the cross-product
+// schema kept for one accepting node. For tree-shaped regions it is a simple
+// path; for DAG/recursive regions it is a graph path (§5.2) — a subgraph
+// with entry nodes. Growing "one level" follows the paper: first try the
+// incoming edge annotation alone (the §4.3 optimization), then include the
+// parent node; recursive components are absorbed whole.
+type item struct {
+	g      *pathid.Graph
+	nodes  map[int]bool
+	entry  map[int]*entryState
+	result int // the accepting cross-product node
+
+	resultRel string
+	resultCol string
+}
+
+type entryState struct {
+	lead      []schema.EdgeCond
+	leadTried bool
+}
+
+func newItem(g *pathid.Graph, accept int) (*item, error) {
+	rel, col, err := g.Schema.Annot(g.Node(accept).Schema)
+	if err != nil {
+		return nil, err
+	}
+	return &item{
+		g:         g,
+		nodes:     map[int]bool{accept: true},
+		entry:     map[int]*entryState{accept: {}},
+		result:    accept,
+		resultRel: rel,
+		resultCol: col,
+	}, nil
+}
+
+// grow advances the item one level (Fig. 4 step 6 / Fig. 8 steps 6 and 13).
+// Each entry first tries the incoming edge annotation alone (the §4.3
+// optimization, when useLeadOpt is set), then includes every cross-product
+// parent. Recursive components are absorbed over successive rounds: adding a
+// component member makes its in-component parents entries, which the
+// boundary recomputation then folds inward until the whole component is
+// interior — converging to §5.2's "include the entire recursive component".
+// It returns false when the item cannot grow further (every entry is the
+// cross-product start).
+func (it *item) grow(useLeadOpt bool) bool {
+	grew := false
+	entries := make([]int, 0, len(it.entry))
+	for e := range it.entry {
+		entries = append(entries, e)
+	}
+	sort.Ints(entries)
+
+	for _, e := range entries {
+		es := it.entry[e]
+		parents := it.g.Parents(e)
+		if len(parents) == 0 {
+			continue // at the cross-product start; nothing above
+		}
+		// Stage a: the edge-annotation optimization — when the entry is
+		// reached by exactly one edge and that edge carries a condition, the
+		// condition alone may make the suffix safe, saving the parent join.
+		if !es.leadTried {
+			es.leadTried = true
+			if useLeadOpt && len(parents) == 1 && parents[0].Cond != nil && len(es.lead) == 0 {
+				es.lead = []schema.EdgeCond{*parents[0].Cond}
+				grew = true
+				continue
+			}
+		}
+		// Stage b: include every cross-product parent (result elements can
+		// reach the entry through any of them).
+		delete(it.entry, e)
+		for _, pe := range parents {
+			if !it.nodes[pe.From] {
+				it.nodes[pe.From] = true
+				if _, ok := it.entry[pe.From]; !ok {
+					it.entry[pe.From] = &entryState{}
+				}
+			}
+		}
+		grew = true
+	}
+
+	// Recompute entries: a node is an entry iff some cross-product parent
+	// lies outside the region, or it is the start node. Nodes absorbed into
+	// the interior lose entry status.
+	for e := range it.entry {
+		if !it.isBoundary(e) {
+			delete(it.entry, e)
+		}
+	}
+	if len(it.entry) == 0 {
+		// Everything reachable is included; the start node is the entry.
+		if _, ok := it.nodes[it.g.Start()]; !ok {
+			it.nodes[it.g.Start()] = true
+		}
+		it.entry[it.g.Start()] = &entryState{leadTried: true}
+	}
+	return grew
+}
+
+func (it *item) isBoundary(id int) bool {
+	if id == it.g.Start() {
+		return true
+	}
+	for _, pe := range it.g.Parents(id) {
+		if !it.nodes[pe.From] {
+			return true
+		}
+	}
+	return false
+}
+
+// leadOf returns the lead conditions of the given entry node.
+func (it *item) leadOf(entry int) []schema.EdgeCond {
+	if es, ok := it.entry[entry]; ok {
+		return es.lead
+	}
+	return nil
+}
+
+// linear reports whether the region is a simple path: one entry, every node
+// with at most one child inside the region, no node revisits. Linear items
+// are the tree case of §4 and are merged with BuildCombinedSelect.
+func (it *item) linear() ([]int, bool) {
+	if len(it.entry) != 1 {
+		return nil, false
+	}
+	var start int
+	for e := range it.entry {
+		start = e
+	}
+	var seq []int
+	cur := start
+	seen := map[int]bool{}
+	for {
+		if seen[cur] {
+			return nil, false // cycle
+		}
+		seen[cur] = true
+		seq = append(seq, cur)
+		var next []int
+		for _, e := range it.g.Children(cur) {
+			if it.nodes[e.To] {
+				next = append(next, e.To)
+			}
+		}
+		switch len(next) {
+		case 0:
+			if cur != it.result {
+				return nil, false
+			}
+			if len(seq) != len(it.nodes) {
+				return nil, false
+			}
+			return seq, true
+		case 1:
+			cur = next[0]
+		default:
+			return nil, false
+		}
+	}
+}
+
+// patterns enumerates the retrieval patterns of the item's entry-to-result
+// paths, with cycles unrolled at most `unroll` times per node.
+func (it *item) patterns(unroll int) []*Pattern {
+	var out []*Pattern
+	visits := map[int]int{}
+	var cur []int
+
+	entries := make([]int, 0, len(it.entry))
+	for e := range it.entry {
+		entries = append(entries, e)
+	}
+	sort.Ints(entries)
+
+	var rec func(id int)
+	var lead []schema.EdgeCond
+	var rootComplete bool
+	rec = func(id int) {
+		if visits[id] >= unroll {
+			return
+		}
+		visits[id]++
+		cur = append(cur, id)
+		defer func() {
+			visits[id]--
+			cur = cur[:len(cur)-1]
+		}()
+		if id == it.result {
+			if pat := it.cpPathPattern(lead, cur, rootComplete); pat != nil {
+				out = append(out, pat)
+			}
+		}
+		for _, e := range it.g.Children(id) {
+			if it.nodes[e.To] {
+				rec(e.To)
+			}
+		}
+	}
+	for _, e := range entries {
+		lead = it.entry[e].lead
+		rootComplete = e == it.g.Start()
+		rec(e)
+	}
+	return out
+}
+
+// cpPathPattern builds the pattern of one cross-product path (with entry
+// lead conditions). Returns nil for degenerate paths without annotation.
+func (it *item) cpPathPattern(lead []schema.EdgeCond, nodes []int, rootComplete bool) *Pattern {
+	s := it.g.Schema
+	pat := &Pattern{RootComplete: rootComplete}
+	pending := append([]schema.EdgeCond(nil), lead...)
+	for i, cpID := range nodes {
+		if i > 0 {
+			if e := cpEdgeBetween(it.g, nodes[i-1], cpID); e != nil && e.Cond != nil {
+				pending = append(pending, *e.Cond)
+			}
+		}
+		sn := it.g.SchemaNode(cpID)
+		if !sn.HasRelation() {
+			continue
+		}
+		occ := append(append([]schema.EdgeCond(nil), pending...), translate.NodeConds(it.g, cpID)...)
+		pat.appendOcc(sn.Relation, occ)
+		pending = nil
+	}
+	if len(pat.RelSeq) == 0 {
+		// Bare column-only leaf: a scan of the owning relation.
+		rel, _, err := s.Annot(it.g.Node(nodes[len(nodes)-1]).Schema)
+		if err != nil {
+			return nil
+		}
+		pat.appendOcc(rel, pending)
+	}
+	return pat
+}
+
+func cpEdgeBetween(g *pathid.Graph, from, to int) *pathid.Edge {
+	for _, e := range g.Children(from) {
+		if e.To == to {
+			return &e
+		}
+	}
+	return nil
+}
+
+// templateKey canonically describes the item's query template: the sorted
+// multiset of its (bounded) path patterns plus its result annotation. Items
+// with equal keys produce identical SQL and are emitted once — the §5.1
+// notion of combinability restricted to exactly-matching templates.
+func (it *item) templateKey(unroll int) string {
+	pats := it.patterns(unroll)
+	strs := make([]string, len(pats))
+	for i, p := range pats {
+		strs[i] = p.String()
+	}
+	sort.Strings(strs)
+	return fmt.Sprintf("%s.%s|%d|%s", it.resultRel, it.resultCol, len(it.nodes), strings.Join(strs, ";"))
+}
+
+// pathSpec converts a linear item into the PathSpec consumed by the shared
+// SQL generator.
+func (it *item) pathSpec(seq []int, anchored bool) translate.PathSpec {
+	var lead []schema.EdgeCond
+	for _, es := range it.entry {
+		lead = es.lead
+	}
+	return translate.PathSpec{Nodes: seq, LeadConds: lead, Anchored: anchored}
+}

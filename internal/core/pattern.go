@@ -1,0 +1,198 @@
+// Package core implements the paper's contribution: XML-to-SQL query
+// translation that exploits the "lossless from XML" integrity constraint.
+// The translator prunes the cross-product schema produced by the PathId
+// stage — replacing root-to-leaf join chains by the shortest suffixes whose
+// SQL cannot return tuples of paths outside the query result (§4, §5) — and
+// then generates SQL that merges combinable suffixes into single SELECT
+// blocks with disjunctive conditions (§4.4).
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+)
+
+// Pattern abstracts the tuple-retrieval behaviour of SQL(p) for a (suffix)
+// path p: the sequence of relations joined top-down and, per occurrence,
+// the selection conditions known to hold. Two SQL queries can return the
+// value of a common element only if their patterns conflict (§4.2); the
+// pruning loops reason entirely in terms of patterns.
+type Pattern struct {
+	// RelSeq is the paper's RelSeq(p), top-down.
+	RelSeq []string
+	// Sels[i] are the selection conditions on occurrence i, as column ->
+	// value. Columns absent from the map are unconstrained ("any value in
+	// the corresponding domain, including null, is allowed" — §4.4's
+	// discussion of Figure 5).
+	Sels []map[string]relational.Value
+	// Neqs[i] are negative conditions on occurrence i (column -> excluded
+	// values), contributed by unsatisfied predicate branches of the §6
+	// extension. nil when the pattern has no negative knowledge.
+	Neqs []map[string][]relational.Value
+	// RootComplete marks patterns whose first occurrence is the document
+	// root (a full root-to-node path, or a pruned suffix that grew all the
+	// way up). Root tuples have no parent, so a root-complete pattern never
+	// overlaps a longer one.
+	RootComplete bool
+}
+
+// Len returns the number of relation occurrences.
+func (p *Pattern) Len() int { return len(p.RelSeq) }
+
+// LastRel returns the relation whose tuples the query returns.
+func (p *Pattern) LastRel() string { return p.RelSeq[len(p.RelSeq)-1] }
+
+// String renders the pattern for debugging and template keys.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	if p.RootComplete {
+		b.WriteString("^")
+	}
+	for i, r := range p.RelSeq {
+		if i > 0 {
+			b.WriteString("->")
+		}
+		b.WriteString(r)
+		if len(p.Sels[i]) > 0 || len(p.neqAt(i)) > 0 {
+			cols := make([]string, 0, len(p.Sels[i]))
+			for c := range p.Sels[i] {
+				cols = append(cols, c)
+			}
+			sort.Strings(cols)
+			b.WriteString("{")
+			for j, c := range cols {
+				if j > 0 {
+					b.WriteString(",")
+				}
+				b.WriteString(c)
+				b.WriteString("=")
+				b.WriteString(p.Sels[i][c].String())
+			}
+			neq := p.neqAt(i)
+			ncols := make([]string, 0, len(neq))
+			for c := range neq {
+				ncols = append(ncols, c)
+			}
+			sort.Strings(ncols)
+			for _, c := range ncols {
+				for _, v := range neq[c] {
+					if b.String()[b.Len()-1] != '{' {
+						b.WriteString(",")
+					}
+					b.WriteString(c)
+					b.WriteString("!=")
+					b.WriteString(v.String())
+				}
+			}
+			b.WriteString("}")
+		}
+	}
+	return b.String()
+}
+
+// Conflicts reports whether the SQL queries of two patterns can return a
+// common tuple — the paper's conflict relation (§4.2), aligned at the last
+// occurrence:
+//
+//   - one RelSeq must be a suffix of the other ("if each sequence has a join
+//     not present in the other, they will not generate common results");
+//   - no aligned occurrence may carry contradictory selections on the same
+//     column (an unspecified column is compatible with anything);
+//   - a root-complete pattern shorter than the other cannot conflict: its
+//     result tuples' ancestor chains end at the document root, so the longer
+//     pattern's extra joins can never be satisfied.
+func Conflicts(p, q *Pattern) bool {
+	shorter, longer := p, q
+	if shorter.Len() > longer.Len() {
+		shorter, longer = longer, shorter
+	}
+	off := longer.Len() - shorter.Len()
+	for i := 0; i < shorter.Len(); i++ {
+		if shorter.RelSeq[i] != longer.RelSeq[off+i] {
+			return false
+		}
+	}
+	if shorter.RootComplete && off != 0 {
+		return false
+	}
+	for i := 0; i < shorter.Len(); i++ {
+		a, b := shorter.Sels[i], longer.Sels[off+i]
+		for col, va := range a {
+			if vb, ok := b[col]; ok && !va.Equal(vb) {
+				return false
+			}
+		}
+		// An equality on one side excluded by the other side's negative
+		// knowledge rules the overlap out.
+		if excludedBy(a, longer.neqAt(off+i)) || excludedBy(b, shorter.neqAt(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pattern) neqAt(i int) map[string][]relational.Value {
+	if p.Neqs == nil || i >= len(p.Neqs) {
+		return nil
+	}
+	return p.Neqs[i]
+}
+
+func excludedBy(sels map[string]relational.Value, neqs map[string][]relational.Value) bool {
+	if len(neqs) == 0 {
+		return false
+	}
+	for col, v := range sels {
+		for _, ex := range neqs[col] {
+			if v.Equal(ex) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condsToMap folds a condition list into a column -> value map of the
+// positive conditions. Conflicting duplicates cannot arise for patterns
+// produced from valid schemas (the shredder rejects them), so later values
+// simply win.
+func condsToMap(conds []schema.EdgeCond) map[string]relational.Value {
+	m := map[string]relational.Value{}
+	for _, c := range conds {
+		if !c.Neq {
+			m[c.Column] = c.Value
+		}
+	}
+	return m
+}
+
+// condsToNeqMap collects the negative conditions, or nil when there are
+// none.
+func condsToNeqMap(conds []schema.EdgeCond) map[string][]relational.Value {
+	var m map[string][]relational.Value
+	for _, c := range conds {
+		if !c.Neq {
+			continue
+		}
+		if m == nil {
+			m = map[string][]relational.Value{}
+		}
+		m[c.Column] = append(m[c.Column], c.Value)
+	}
+	return m
+}
+
+// appendOcc pushes one occurrence's conditions onto the pattern.
+func (p *Pattern) appendOcc(rel string, conds []schema.EdgeCond) {
+	p.RelSeq = append(p.RelSeq, rel)
+	p.Sels = append(p.Sels, condsToMap(conds))
+	if neq := condsToNeqMap(conds); neq != nil || p.Neqs != nil {
+		for len(p.Neqs) < len(p.RelSeq)-1 {
+			p.Neqs = append(p.Neqs, nil)
+		}
+		p.Neqs = append(p.Neqs, neq)
+	}
+}

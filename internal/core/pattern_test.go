@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmlsql/internal/relational"
+)
+
+func mk(rootComplete bool, rels []string, sels []map[string]relational.Value) *Pattern {
+	if sels == nil {
+		sels = make([]map[string]relational.Value, len(rels))
+		for i := range sels {
+			sels[i] = map[string]relational.Value{}
+		}
+	}
+	return &Pattern{RelSeq: rels, Sels: sels, RootComplete: rootComplete}
+}
+
+func TestConflictsSuffixRule(t *testing.T) {
+	a := mk(false, []string{"InCat"}, nil)
+	b := mk(true, []string{"Site", "Item", "InCat"}, nil)
+	if !Conflicts(a, b) {
+		t.Error("scan pattern must conflict with a longer path ending in the same relation")
+	}
+	c := mk(true, []string{"Site", "Item", "Other"}, nil)
+	if Conflicts(a, c) {
+		t.Error("different last relations cannot conflict")
+	}
+	d := mk(false, []string{"Item", "InCat"}, nil)
+	e := mk(true, []string{"Site", "InCat"}, nil)
+	if Conflicts(d, e) {
+		t.Error("mismatched relation at aligned position must not conflict")
+	}
+}
+
+func TestConflictsSelectionCompatibility(t *testing.T) {
+	pc1 := map[string]relational.Value{"parentcode": relational.Int(1)}
+	pc2 := map[string]relational.Value{"parentcode": relational.Int(2)}
+	empty := map[string]relational.Value{}
+
+	a := mk(false, []string{"Item", "InCat"}, []map[string]relational.Value{pc1, empty})
+	b := mk(true, []string{"Site", "Item", "InCat"}, []map[string]relational.Value{empty, pc2, empty})
+	if Conflicts(a, b) {
+		t.Error("contradictory parentcode selections must not conflict")
+	}
+	c := mk(true, []string{"Site", "Item", "InCat"}, []map[string]relational.Value{empty, pc1, empty})
+	if !Conflicts(a, c) {
+		t.Error("matching parentcode selections must conflict")
+	}
+	// Unspecified vs specified is compatible — the Figure 5 trap.
+	d := mk(false, []string{"Item", "InCat"}, []map[string]relational.Value{empty, empty})
+	if !Conflicts(d, b) {
+		t.Error("unspecified selection must be compatible with any value")
+	}
+}
+
+func TestConflictsRootCompleteRule(t *testing.T) {
+	// A root-complete pattern shorter than the other cannot conflict: its
+	// tuples' ancestor chains end at the document root.
+	short := mk(true, []string{"Edge", "Edge"}, nil)
+	long := mk(true, []string{"Edge", "Edge", "Edge"}, nil)
+	if Conflicts(short, long) {
+		t.Error("shorter root-complete pattern must not conflict with a longer one")
+	}
+	// But equal-length root-complete patterns can.
+	other := mk(true, []string{"Edge", "Edge"}, nil)
+	if !Conflicts(short, other) {
+		t.Error("equal-length root-complete patterns with compatible selections must conflict")
+	}
+	// And a non-root-complete short pattern does conflict.
+	suffix := mk(false, []string{"Edge", "Edge"}, nil)
+	if !Conflicts(suffix, long) {
+		t.Error("suffix pattern must conflict with a longer path")
+	}
+}
+
+func TestConflictsSymmetric(t *testing.T) {
+	rels := []string{"A", "B", "C"}
+	rng := rand.New(rand.NewSource(3))
+	randomPattern := func() *Pattern {
+		n := 1 + rng.Intn(3)
+		seq := make([]string, n)
+		sels := make([]map[string]relational.Value, n)
+		for i := range seq {
+			seq[i] = rels[rng.Intn(len(rels))]
+			sels[i] = map[string]relational.Value{}
+			if rng.Intn(2) == 0 {
+				sels[i]["pc"] = relational.Int(int64(rng.Intn(3)))
+			}
+		}
+		return &Pattern{RelSeq: seq, Sels: sels, RootComplete: rng.Intn(2) == 0}
+	}
+	for i := 0; i < 2000; i++ {
+		p, q := randomPattern(), randomPattern()
+		if Conflicts(p, q) != Conflicts(q, p) {
+			t.Fatalf("Conflicts not symmetric for %s vs %s", p, q)
+		}
+	}
+}
+
+func TestConflictsReflexive(t *testing.T) {
+	p := mk(false, []string{"A", "B"}, nil)
+	if !Conflicts(p, p) {
+		t.Error("a pattern must conflict with itself")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := mk(true, []string{"Item", "InCat"}, []map[string]relational.Value{
+		{"parentcode": relational.Int(1)}, {},
+	})
+	want := "^Item{parentcode=1}->InCat"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

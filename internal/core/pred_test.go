@@ -1,0 +1,147 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/workloads"
+)
+
+// The predicate-query extension (§6 "more general class of XML queries"):
+// steps may filter on a child value stored as a column of the matched
+// element's tuple. These tests check end-to-end equivalence (naive ≡ pruned
+// ≡ reference over the document) and that predicates become plain column
+// selections which sharpen — rather than defeat — pruning.
+
+func TestPredicateEquivalenceXMark(t *testing.T) {
+	s := workloads.XMark()
+	doc := workloads.GenerateXMark(workloads.XMarkConfig{
+		ItemsPerContinent: 15, CategoriesPerItem: 2, NumCategories: 10, Seed: 5,
+	})
+	// Find a real item name so the predicate selects something.
+	name := "item-Af-0"
+	for _, q := range []string{
+		"//Item[name='" + name + "']/InCategory/Category",
+		"//Item[name='" + name + "']",
+		"//Item[name='no-such-item']/InCategory/Category",
+		"/Site/Regions/Africa/Item[name='" + name + "']/InCategory/Category",
+	} {
+		t.Run(q, func(t *testing.T) { checkEquivalence(t, s, doc, q) })
+	}
+}
+
+func TestPredicateSelectsExactRows(t *testing.T) {
+	s := workloads.XMark()
+	doc := workloads.GenerateXMark(workloads.XMarkConfig{
+		ItemsPerContinent: 15, CategoriesPerItem: 2, NumCategories: 10, Seed: 5,
+	})
+	// Each item has a unique name and two categories: the predicate query
+	// must return exactly those two.
+	_, pruned := checkEquivalence(t, s, doc, "//Item[name='item-As-20']/InCategory/Category")
+	// (row count is asserted against the reference inside checkEquivalence;
+	// here we check the query shape.)
+	sql := pruned.SQL()
+	if !strings.Contains(sql, "name = 'item-As-20'") {
+		t.Errorf("predicate selection missing:\n%s", sql)
+	}
+}
+
+func TestPredicateSharpensPruning(t *testing.T) {
+	// //Item[name=x]/InCategory/Category: the pruned query should be
+	// Item ⋈ InCat with the name selection — the predicate keeps the suffix
+	// at two relations (the Item must be joined to apply the filter) but no
+	// Site join.
+	s := workloads.XMark()
+	doc := workloads.GenerateXMark(workloads.DefaultXMarkConfig())
+	naive, pruned := checkEquivalence(t, s, doc, "//Item[name='item-Af-1']/InCategory/Category")
+	psh := pruned.Shape()
+	if psh.Branches != 1 || psh.Joins != 1 {
+		t.Errorf("pruned predicate query shape = %v, want 1 branch / 1 join:\n%s", psh, pruned.SQL())
+	}
+	if strings.Contains(pruned.SQL(), "Site") {
+		t.Errorf("pruned predicate query must not join Site:\n%s", pruned.SQL())
+	}
+	if nsh := naive.Shape(); nsh.Branches != 6 {
+		t.Errorf("naive predicate query = %v, want 6 branches", nsh)
+	}
+}
+
+func TestPredicateOnADEX(t *testing.T) {
+	s := workloads.ADEX()
+	doc := workloads.GenerateADEX(workloads.DefaultADEXConfig())
+	for _, q := range []string{
+		"//Ad[Title='Vehicles ad 3']/Contact/Phone",
+		"//Ad[Price='555']/Title",
+		"//Contact[Email='seller7@example.com']/Phone",
+	} {
+		t.Run(q, func(t *testing.T) { checkEquivalence(t, s, doc, q) })
+	}
+}
+
+func TestPredicateOnRecursiveSchemaRejectedOrCorrect(t *testing.T) {
+	// S3 has no value columns, so predicates cannot bind; the pipeline must
+	// reject them cleanly rather than mistranslate.
+	s := workloads.S3()
+	_, err := pathid.Build(s, pathexpr.MustParse("/E0/E2[E3='x']/E8//E10/elemid"))
+	if err == nil {
+		t.Error("predicate on child stored in its own relation must be rejected")
+	}
+}
+
+func TestPredicateUnsupportedCases(t *testing.T) {
+	s := workloads.XMark()
+	// InCategory is stored in its own relation InCat, not as a value column
+	// of Item.
+	if _, err := pathid.Build(s, pathexpr.MustParse("//Item[InCategory='x']/name")); err == nil {
+		t.Error("predicate on relation-stored child accepted")
+	}
+	// Predicate on the root step.
+	if _, err := pathid.Build(s, pathexpr.MustParse("/Site[Regions='x']//Category")); err == nil {
+		t.Error("predicate on the root step accepted")
+	}
+}
+
+func TestPredicateNeverSatisfiable(t *testing.T) {
+	// Category has no child at all; a predicate child absent from the schema
+	// makes the branch unsatisfiable and the result empty.
+	s := workloads.XMark()
+	doc := workloads.GenerateXMark(workloads.DefaultXMarkConfig())
+	naive, _ := checkEquivalence(t, s, doc, "//InCategory[nosuch='x']/Category")
+	if len(naive.Selects) != 0 {
+		t.Errorf("unsatisfiable predicate should produce an empty query, got:\n%s", naive.SQL())
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	p := pathexpr.MustParse("//Item[name='a b c']/InCategory/Category")
+	if p.Steps[0].Pred == nil || p.Steps[0].Pred.Child != "name" || p.Steps[0].Pred.Value != "a b c" {
+		t.Errorf("predicate parsed wrongly: %+v", p.Steps[0].Pred)
+	}
+	if !p.HasPreds() {
+		t.Error("HasPreds false")
+	}
+	if pred := p.PredForLabel("Item"); pred == nil {
+		t.Error("PredForLabel(Item) nil")
+	}
+	if pred := p.PredForLabel("Category"); pred != nil {
+		t.Error("PredForLabel(Category) non-nil")
+	}
+	for _, bad := range []string{
+		"//Item[name]",          // no comparison
+		"//Item[name='x]",       // unterminated quote
+		"//Item[name='x'",       // unterminated bracket
+		"//*[x='1']",            // wildcard predicate
+		"//a[x='1']//a[x='2']",  // two predicates on one label
+		"//Item[bad label='x']", // invalid child label
+	} {
+		if _, err := pathexpr.Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	// The same predicate repeated on a label is fine.
+	if _, err := pathexpr.Parse("//a[x='1']//a[x='1']"); err != nil {
+		t.Errorf("identical repeated predicate rejected: %v", err)
+	}
+}

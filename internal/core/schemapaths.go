@@ -1,0 +1,172 @@
+package core
+
+import (
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+)
+
+// schemaPath is one root-to-tuple-node path of the mapping schema, with its
+// retrieval pattern and the query-DFA state reached at its endpoint. The
+// pruning loops test candidate suffixes for conflicts against these paths
+// and ask, per result column, whether each path's tuples belong to the query
+// result. For predicate queries (§6 extension) each predicated node on a
+// path contributes a satisfied branch (col='v' in the pattern) and an
+// unsatisfied branch (col!='v'); both are enumerated.
+type schemaPath struct {
+	nodes    []schema.NodeID
+	pat      *Pattern
+	end      schema.NodeID
+	endState int
+}
+
+// DefaultUnroll bounds cycle traversal when enumerating paths of recursive
+// schemas: each node may appear at most this many times on one path. Longer
+// unrollings only repeat relation-sequence segments that the bounded set
+// already exhibits; the equivalence test-suite backs this engineering bound
+// empirically.
+const DefaultUnroll = 3
+
+// enumerateSchemaPaths lists every root-to-tuple-node path (up to the unroll
+// bound), running the query DFA alongside and branching on predicate
+// satisfaction where applicable.
+func enumerateSchemaPaths(s *schema.Schema, q *pathexpr.Path, dfa *pathexpr.PredDFA, unroll int) []schemaPath {
+	var out []schemaPath
+	visits := make(map[schema.NodeID]int)
+	var cur []schema.NodeID
+
+	type occ struct {
+		rel   string
+		conds []schema.EdgeCond
+	}
+	var occs []occ
+
+	record := func(id schema.NodeID, state int) {
+		pat := &Pattern{RootComplete: true}
+		for _, o := range occs {
+			pat.appendOcc(o.rel, o.conds)
+		}
+		out = append(out, schemaPath{
+			nodes:    append([]schema.NodeID(nil), cur...),
+			pat:      pat,
+			end:      id,
+			endState: state,
+		})
+	}
+
+	// rec visits node id with the DFA state reached by consuming it, the
+	// edge conditions accumulated since the last tuple occurrence, and any
+	// predicate condition contributed by this node's own consumption.
+	var rec func(id schema.NodeID, state int, pending, extraConds []schema.EdgeCond)
+	rec = func(id schema.NodeID, state int, pending, extraConds []schema.EdgeCond) {
+		if visits[id] >= unroll {
+			return
+		}
+		visits[id]++
+		cur = append(cur, id)
+		n := s.Node(id)
+		pushedOcc := false
+		if n.HasRelation() {
+			conds := append(append([]schema.EdgeCond(nil), pending...), n.Conds...)
+			conds = append(conds, extraConds...)
+			occs = append(occs, occ{rel: n.Relation, conds: conds})
+			pending = nil
+			pushedOcc = true
+			record(id, state)
+		}
+
+		for _, e := range n.Children() {
+			m := s.Node(e.To)
+			edgePending := pending
+			if e.Cond != nil {
+				edgePending = append(append([]schema.EdgeCond(nil), pending...), *e.Cond)
+			}
+			pred := q.PredForLabel(m.Label)
+			var col string
+			if pred != nil && m.HasRelation() {
+				col, _ = predColumnCore(s, m, pred.Child)
+			}
+			if pred == nil || col == "" {
+				rec(e.To, dfa.Step(state, m.Label, false), edgePending, nil)
+				continue
+			}
+			val := relational.String(pred.Value)
+			rec(e.To, dfa.Step(state, m.Label, true), edgePending,
+				[]schema.EdgeCond{{Column: col, Value: val}})
+			rec(e.To, dfa.Step(state, m.Label, false), edgePending,
+				[]schema.EdgeCond{{Column: col, Value: val, Neq: true}})
+		}
+
+		if pushedOcc {
+			occs = occs[:len(occs)-1]
+		}
+		cur = cur[:len(cur)-1]
+		visits[id]--
+	}
+	root := s.Root()
+	rec(root, dfa.Step(dfa.Start(), s.Node(root).Label, false), nil, nil)
+	return out
+}
+
+// predColumnCore mirrors pathid's predicate-column resolution for the
+// pruning side: the value column of n's own tuple storing the predicate
+// child's text, or "" when the schema gives n no such *direct* child
+// ("[a='v']" is a child-axis test; structural grandchildren do not count).
+func predColumnCore(s *schema.Schema, n *schema.Node, childLabel string) (string, error) {
+	var found string
+	for _, e := range n.Children() {
+		m := s.Node(e.To)
+		if m.Label != childLabel || m.HasRelation() {
+			continue
+		}
+		if m.Column != "" && m.Column != schema.IDColumn {
+			found = m.Column
+		}
+	}
+	return found, nil
+}
+
+// inResult reports whether the tuples of this schema path belong to the
+// query result *with respect to result column col*: the query must accept an
+// element whose value is drawn from column col of the path's endpoint
+// tuples. That is either the endpoint element itself (its own annotation
+// column matches and its DFA state accepts) or a column-only value leaf
+// below it (owner = this endpoint) whose label step reaches an accepting
+// state.
+func (sp *schemaPath) inResult(s *schema.Schema, dfa *pathexpr.PredDFA, col string) bool {
+	n := s.Node(sp.end)
+	ownCol := n.Column
+	if ownCol == "" {
+		ownCol = schema.IDColumn
+	}
+	if ownCol == col && dfa.Accepting(sp.endState) {
+		return true
+	}
+	// Column-only leaves owned by this node, possibly through unannotated
+	// structural children.
+	var walk func(id schema.NodeID, state int, seen map[schema.NodeID]bool) bool
+	walk = func(id schema.NodeID, state int, seen map[schema.NodeID]bool) bool {
+		for _, e := range s.Node(id).Children() {
+			m := s.Node(e.To)
+			st := dfa.Step(state, m.Label, false)
+			switch {
+			case m.HasRelation():
+				continue // its values belong to a different tuple
+			case m.Column != "":
+				if m.Column == col && dfa.Accepting(st) {
+					return true
+				}
+			default:
+				if seen[e.To] {
+					continue
+				}
+				seen[e.To] = true
+				if walk(e.To, st, seen) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(sp.end, sp.endState, map[schema.NodeID]bool{})
+}

@@ -1,0 +1,463 @@
+// Package docgen generates random — but valid — XML-to-Relational mappings,
+// conforming documents, and path expression queries for property-based
+// testing. Generated mappings are always losslessly shreddable: sibling
+// chains that target the same relation receive distinguishing edge
+// conditions, value leaves occur exactly once, and structural (unannotated)
+// nodes occur exactly once per parent.
+package docgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/xmltree"
+)
+
+// Config bounds random schema generation.
+type Config struct {
+	// MaxDepth bounds the schema tree depth.
+	MaxDepth int
+	// MaxChildren bounds the fan-out per node.
+	MaxChildren int
+	// Labels is the pool of element tags for annotated nodes; reuse across
+	// nodes is what makes // queries interesting.
+	Labels []string
+	// RelationReuse is the probability that a new annotated node reuses an
+	// existing relation.
+	RelationReuse float64
+	// StructuralProb is the probability that an internal node is
+	// unannotated (structural).
+	StructuralProb float64
+	// BackEdges is the number of recursive back-edges to attempt to add
+	// (from an annotated node to an annotated non-root node elsewhere in the
+	// tree), turning the schema into a DAG or recursive graph. Attempts that
+	// would make alignment or reconstruction ambiguous are skipped.
+	BackEdges int
+	// MaxRecursionDepth bounds document recursion through back-edges.
+	MaxRecursionDepth int
+}
+
+// DefaultConfig returns moderate generation bounds.
+func DefaultConfig() Config {
+	return Config{
+		MaxDepth:       4,
+		MaxChildren:    3,
+		Labels:         []string{"a", "b", "c", "d", "e"},
+		RelationReuse:  0.5,
+		StructuralProb: 0.25,
+	}
+}
+
+// Generator produces random schemas, documents, and queries from one seed.
+type Generator struct {
+	rng *rand.Rand
+	cfg Config
+}
+
+// New creates a generator.
+func New(seed int64, cfg Config) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+type genNode struct {
+	name       string
+	label      string
+	relation   string // "" for structural
+	column     string
+	children   []*genNode
+	backEdges  []*genNode       // recursive edges added post hoc
+	edgeCond   *schema.EdgeCond // condition on the edge into this node
+	structural bool
+}
+
+// Schema generates a random valid tree mapping.
+func (g *Generator) Schema() *schema.Schema {
+	counter := 0
+	var relations []string
+	newName := func() string {
+		counter++
+		return fmt.Sprintf("n%d", counter)
+	}
+	pickRelation := func() string {
+		if len(relations) > 0 && g.rng.Float64() < g.cfg.RelationReuse {
+			return relations[g.rng.Intn(len(relations))]
+		}
+		r := fmt.Sprintf("R%d", len(relations)+1)
+		relations = append(relations, r)
+		return r
+	}
+	// pickLabel draws a label the parent has not used yet: document
+	// alignment is label-driven, so sibling elements with equal labels would
+	// be indistinguishable (and the shredding ambiguous).
+	pickLabel := func(used map[string]bool, structural bool) (string, bool) {
+		var pool []string
+		for _, l := range g.cfg.Labels {
+			if structural {
+				l = "s" + l // disjoint label space for unannotated nodes
+			}
+			if !used[l] {
+				pool = append(pool, l)
+			}
+		}
+		if len(pool) == 0 {
+			return "", false
+		}
+		l := pool[g.rng.Intn(len(pool))]
+		used[l] = true
+		return l, true
+	}
+
+	var build func(depth int, mustAnnotate bool, siblingLabels map[string]bool) *genNode
+	build = func(depth int, mustAnnotate bool, siblingLabels map[string]bool) *genNode {
+		n := &genNode{name: newName()}
+		leaf := depth >= g.cfg.MaxDepth || (depth > 0 && g.rng.Float64() < 0.3)
+		structural := !leaf && !mustAnnotate && g.rng.Float64() < g.cfg.StructuralProb
+		label, ok := pickLabel(siblingLabels, structural)
+		if !ok {
+			return nil // label pool for this parent exhausted
+		}
+		n.label = label
+		switch {
+		case leaf && !mustAnnotate && g.rng.Float64() < 0.6:
+			// Column-only value leaf.
+			n.column = "val"
+		case leaf:
+			// Annotated leaf with its own tuple and value column.
+			n.relation = pickRelation()
+			n.column = "val"
+		default:
+			if structural {
+				n.structural = true
+			} else {
+				n.relation = pickRelation()
+			}
+			kids := 1 + g.rng.Intn(g.cfg.MaxChildren)
+			childLabels := map[string]bool{}
+			for i := 0; i < kids; i++ {
+				// A structural node must not chain to another structural
+				// node forever; force annotation below depth.
+				child := build(depth+1, structural && i == 0, childLabels)
+				if child != nil {
+					n.children = append(n.children, child)
+				}
+			}
+			if len(n.children) == 0 {
+				// Degenerate: make it a value leaf instead.
+				n.structural = false
+				if n.relation == "" {
+					n.relation = pickRelation()
+				}
+				n.column = "val"
+			}
+		}
+		return n
+	}
+	root := build(0, true, map[string]bool{})
+	root.column = "" // keep the root a pure container
+
+	assignValueColumns(root)
+	g.disambiguate(root)
+
+	b := schema.NewBuilder(fmt.Sprintf("rand%d", g.rng.Int31()))
+	var declare func(n *genNode)
+	declare = func(n *genNode) {
+		var opts []schema.NodeOpt
+		if n.relation != "" {
+			opts = append(opts, schema.Rel(n.relation))
+		}
+		if n.column != "" {
+			opts = append(opts, schema.Col(n.column))
+		}
+		b.Node(n.name, n.label, opts...)
+		for _, c := range n.children {
+			declare(c)
+		}
+	}
+	declare(root)
+	b.Root(root.name)
+	var connect func(n *genNode)
+	connect = func(n *genNode) {
+		for _, c := range n.children {
+			if c.edgeCond != nil {
+				b.EdgeCondInt(n.name, c.name, c.edgeCond.Column, c.edgeCond.Value.AsInt())
+			} else {
+				b.Edge(n.name, c.name)
+			}
+			connect(c)
+		}
+	}
+	connect(root)
+	g.addBackEdges(b, root)
+	return b.MustBuild()
+}
+
+// addBackEdges attempts cfg.BackEdges recursive edges from annotated nodes
+// to annotated non-root nodes, skipping any that would break alignment
+// determinism (a source child with the target's label) or reconstruction
+// unambiguity (a source chain already targeting the target's relation).
+func (g *Generator) addBackEdges(b *schema.Builder, root *genNode) {
+	var all []*genNode
+	var collect func(n *genNode)
+	collect = func(n *genNode) {
+		all = append(all, n)
+		for _, c := range n.children {
+			collect(c)
+		}
+	}
+	collect(root)
+
+	childLabels := func(n *genNode) map[string]bool {
+		out := map[string]bool{}
+		var walk func(m *genNode)
+		walk = func(m *genNode) {
+			for _, c := range m.children {
+				out[c.label] = true
+				if c.structural {
+					walk(c)
+				}
+			}
+		}
+		walk(n)
+		for _, t := range n.backEdges {
+			out[t.label] = true
+		}
+		return out
+	}
+	chainRelations := func(n *genNode) map[string]bool {
+		out := map[string]bool{}
+		var walk func(m *genNode)
+		walk = func(m *genNode) {
+			for _, c := range m.children {
+				if c.relation != "" {
+					out[c.relation] = true
+				} else if c.structural {
+					walk(c)
+				}
+			}
+		}
+		walk(n)
+		for _, t := range n.backEdges {
+			out[t.relation] = true
+		}
+		return out
+	}
+
+	added := map[[2]string]bool{}
+	for attempt := 0; attempt < g.cfg.BackEdges; attempt++ {
+		src := all[g.rng.Intn(len(all))]
+		dst := all[g.rng.Intn(len(all))]
+		if src.relation == "" || dst.relation == "" || dst == root || src == dst {
+			continue
+		}
+		if added[[2]string{src.name, dst.name}] {
+			continue
+		}
+		// A direct child of src with dst's label would make alignment
+		// ambiguous; a chain of src targeting dst's relation would make
+		// reconstruction ambiguous (no distinguishing condition).
+		if childLabels(src)[dst.label] || chainRelations(src)[dst.relation] {
+			continue
+		}
+		b.Edge(src.name, dst.name)
+		src.backEdges = append(src.backEdges, dst)
+		added[[2]string{src.name, dst.name}] = true
+	}
+}
+
+// assignValueColumns renames column-only value leaves so no owner tuple
+// receives two values into the same column (the shredder rejects that):
+// the first leaf of each owner keeps "val" — preserving cross-owner sharing,
+// the interesting case for pruning — and later ones get "val2", "val3", ….
+func assignValueColumns(owner *genNode) {
+	count := 0
+	var walk func(n *genNode)
+	walk = func(n *genNode) {
+		for _, c := range n.children {
+			if c.relation == "" && c.column != "" {
+				count++
+				if count > 1 {
+					c.column = fmt.Sprintf("val%d", count)
+				}
+				continue
+			}
+			if c.relation != "" {
+				assignValueColumns(c)
+				continue
+			}
+			walk(c) // structural: same owner
+		}
+	}
+	walk(owner)
+}
+
+// disambiguate assigns distinguishing pc conditions to sibling chains of one
+// owner that target the same relation, keeping the mapping losslessly
+// reconstructible.
+func (g *Generator) disambiguate(owner *genNode) {
+	// Collect chains: next annotated descendants through structural nodes.
+	var targets []*genNode
+	var collect func(n *genNode)
+	collect = func(n *genNode) {
+		for _, c := range n.children {
+			if c.relation != "" {
+				targets = append(targets, c)
+			} else if c.structural {
+				collect(c)
+			}
+		}
+	}
+	collect(owner)
+	byRel := map[string][]*genNode{}
+	for _, t := range targets {
+		byRel[t.relation] = append(byRel[t.relation], t)
+	}
+	for _, group := range byRel {
+		if len(group) < 2 {
+			continue
+		}
+		for i, t := range group {
+			t.edgeCond = &schema.EdgeCond{Column: "pc", Value: relational.Int(int64(i + 1))}
+		}
+	}
+	// Recurse into every annotated descendant (they own the next level).
+	var recurse func(n *genNode)
+	recurse = func(n *genNode) {
+		for _, c := range n.children {
+			if c.relation != "" && len(c.children) > 0 {
+				g.disambiguate(c)
+			}
+			recurse(c)
+		}
+	}
+	recurse(owner)
+}
+
+// Document generates a random document conforming to the schema: structural
+// nodes and value leaves exactly once, annotated children 0..3 times, and
+// recursion through back-edges bounded by MaxRecursionDepth.
+func (g *Generator) Document(s *schema.Schema) *xmltree.Document {
+	valCounter := 0
+	maxDepth := g.cfg.MaxRecursionDepth
+	if maxDepth <= 0 {
+		maxDepth = 3 * (g.cfg.MaxDepth + 1)
+	}
+	var emit func(id schema.NodeID, depth int) *xmltree.Node
+	emit = func(id schema.NodeID, depth int) *xmltree.Node {
+		n := s.Node(id)
+		elem := &xmltree.Node{Label: n.Label}
+		if n.Column != "" && n.Column != schema.IDColumn {
+			valCounter++
+			elem.Text = fmt.Sprintf("v%d", valCounter)
+		}
+		for _, e := range n.Children() {
+			child := s.Node(e.To)
+			reps := 1
+			if child.HasRelation() {
+				reps = g.rng.Intn(4) // 0..3 occurrences
+			}
+			if depth >= maxDepth && child.HasRelation() {
+				reps = 0 // cut recursion
+			}
+			for i := 0; i < reps; i++ {
+				elem.Children = append(elem.Children, emit(e.To, depth+1))
+			}
+		}
+		return elem
+	}
+	return &xmltree.Document{Root: emit(s.Root(), 0)}
+}
+
+// PredQuery generates a random path expression like Query but attaches, when
+// possible, a step predicate "[child='value']" to one step whose schema node
+// is relation-annotated with a column-only child of that label. The value is
+// drawn from the generator's document value space, so predicates sometimes
+// select rows and sometimes select nothing — both interesting. Queries the
+// translator rejects (predicate children stored in their own relations,
+// root-step predicates) can still be produced; callers skip those.
+func (g *Generator) PredQuery(s *schema.Schema) string {
+	q := g.Query(s)
+	// Collect candidate (label, childLabel) pairs.
+	type cand struct{ label, child string }
+	var cands []cand
+	for _, n := range s.Nodes() {
+		if !n.HasRelation() || n.ID == s.Root() {
+			continue
+		}
+		for _, e := range n.Children() {
+			c := s.Node(e.To)
+			if !c.HasRelation() && c.Column != "" && c.Column != schema.IDColumn {
+				cands = append(cands, cand{label: n.Label, child: c.Label})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return q
+	}
+	pick := cands[g.rng.Intn(len(cands))]
+	// Attach the predicate to the first occurrence of the label in the
+	// query text, if any.
+	needle := "/" + pick.label
+	idx := strings.Index(q, needle)
+	if idx < 0 {
+		return q
+	}
+	end := idx + len(needle)
+	// Only attach at a step boundary (end of string or before '/').
+	if end != len(q) && q[end] != '/' {
+		return q
+	}
+	val := fmt.Sprintf("v%d", 1+g.rng.Intn(40))
+	return q[:end] + "[" + pick.child + "='" + val + "']" + q[end:]
+}
+
+// Query generates a random path expression ending at a value-bearing node
+// of the schema (annotated or column-only), mixing / and // steps.
+func (g *Generator) Query(s *schema.Schema) string {
+	// Candidate targets: nodes with a retrievable value whose label is not
+	// structural.
+	var candidates []schema.NodeID
+	for _, n := range s.Nodes() {
+		if _, _, err := s.Annot(n.ID); err == nil && !strings.HasPrefix(n.Label, "s") {
+			candidates = append(candidates, n.ID)
+		}
+	}
+	if len(candidates) == 0 {
+		return "/" + s.RootNode().Label
+	}
+	target := candidates[g.rng.Intn(len(candidates))]
+
+	// The unique root path in a tree schema.
+	var path []schema.NodeID
+	cur := target
+	for {
+		path = append([]schema.NodeID{cur}, path...)
+		parents := s.Node(cur).Parents()
+		if len(parents) == 0 {
+			break
+		}
+		cur = parents[0].From
+	}
+
+	// Keep a random subsequence of steps (always the last), collapsing
+	// dropped steps into //. Structural labels are skippable only.
+	var sb strings.Builder
+	prevKept := -1
+	for i, id := range path {
+		last := i == len(path)-1
+		keep := last || (g.rng.Float64() < 0.6 && !strings.HasPrefix(s.Node(id).Label, "s"))
+		if !keep {
+			continue
+		}
+		if prevKept == i-1 {
+			sb.WriteString("/")
+		} else {
+			sb.WriteString("//")
+		}
+		sb.WriteString(s.Node(id).Label)
+		prevKept = i
+	}
+	return sb.String()
+}

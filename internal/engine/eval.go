@@ -1,0 +1,760 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlsql/internal/relational"
+	"xmlsql/internal/sqlast"
+)
+
+// MaxRecursionRounds bounds recursive CTE evaluation; shredded XML data is
+// acyclic so any real query converges far earlier. Exceeding the bound is
+// reported as an error rather than looping forever.
+const MaxRecursionRounds = 100000
+
+// Options configure execution.
+type Options struct {
+	// ForceNestedLoop disables hash joins (used by the substrate ablation
+	// bench to show the relative orderings do not depend on the join
+	// algorithm).
+	ForceNestedLoop bool
+	// DisableIndexes skips persistent table indexes even when present,
+	// always building per-query hash tables.
+	DisableIndexes bool
+}
+
+// Execute evaluates q against the store with default options.
+func Execute(store *relational.Store, q *sqlast.Query) (*Result, error) {
+	return ExecuteOpts(store, q, Options{})
+}
+
+// ExecuteOpts evaluates q against the store.
+func ExecuteOpts(store *relational.Store, q *sqlast.Query, opts Options) (*Result, error) {
+	ex := &executor{store: store, ctes: map[string]*Result{}, opts: opts}
+	return ex.query(q)
+}
+
+type executor struct {
+	store *relational.Store
+	ctes  map[string]*Result
+	opts  Options
+}
+
+// relation is a uniform row source: a base table or a materialized CTE.
+type relation struct {
+	cols []string
+	rows []relational.Row
+	// table is set for base tables, enabling index probes.
+	table *relational.Table
+}
+
+func (ex *executor) resolve(name string) (*relation, error) {
+	if r, ok := ex.ctes[name]; ok {
+		return &relation{cols: r.Cols, rows: r.Rows}, nil
+	}
+	t := ex.store.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("engine: unknown table or cte %q", name)
+	}
+	cols := make([]string, len(t.Schema().Columns))
+	for i, c := range t.Schema().Columns {
+		cols[i] = c.Name
+	}
+	return &relation{cols: cols, rows: t.Rows(), table: t}, nil
+}
+
+func (ex *executor) query(q *sqlast.Query) (*Result, error) {
+	// Materialize CTEs in order; later CTEs and the main body may reference
+	// earlier ones.
+	defined := make([]string, 0, len(q.With))
+	defer func() {
+		for _, name := range defined {
+			delete(ex.ctes, name)
+		}
+	}()
+	for _, cte := range q.With {
+		if _, dup := ex.ctes[cte.Name]; dup {
+			return nil, fmt.Errorf("engine: duplicate cte %q", cte.Name)
+		}
+		var res *Result
+		var err error
+		if cte.Recursive {
+			res, err = ex.recursiveCTE(cte)
+		} else {
+			res, err = ex.query(cte.Body)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ex.ctes[cte.Name] = res
+		defined = append(defined, cte.Name)
+	}
+
+	var out *Result
+	for _, sel := range q.Selects {
+		r, err := ex.selectBlock(sel)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = r
+			continue
+		}
+		if len(out.Cols) != len(r.Cols) {
+			return nil, fmt.Errorf("engine: union all arity mismatch: %d vs %d", len(out.Cols), len(r.Cols))
+		}
+		out.Rows = append(out.Rows, r.Rows...)
+	}
+	if out == nil {
+		return &Result{}, nil
+	}
+	return out, nil
+}
+
+// recursiveCTE evaluates a linear-recursive UNION ALL CTE with standard
+// SQL:1999 semantics: base branches seed the working table; recursive
+// branches are re-evaluated against only the rows produced in the previous
+// round, until a round produces nothing.
+func (ex *executor) recursiveCTE(cte sqlast.CTE) (*Result, error) {
+	var base, rec []*sqlast.Select
+	for _, s := range cte.Body.Selects {
+		if selectReferences(s, cte.Name) {
+			rec = append(rec, s)
+		} else {
+			base = append(base, s)
+		}
+	}
+	if len(cte.Body.With) > 0 {
+		return nil, fmt.Errorf("engine: nested WITH inside recursive cte %q is not supported", cte.Name)
+	}
+	if len(rec) == 0 {
+		// Not actually recursive; evaluate as a plain CTE.
+		return ex.query(cte.Body)
+	}
+
+	acc := &Result{}
+	for _, s := range base {
+		r, err := ex.selectBlock(s)
+		if err != nil {
+			return nil, err
+		}
+		if acc.Cols == nil {
+			acc.Cols = r.Cols
+		} else if len(acc.Cols) != len(r.Cols) {
+			return nil, fmt.Errorf("engine: recursive cte %q: arity mismatch among base branches", cte.Name)
+		}
+		acc.Rows = append(acc.Rows, r.Rows...)
+	}
+	if acc.Cols == nil {
+		return nil, fmt.Errorf("engine: recursive cte %q has no base branch", cte.Name)
+	}
+
+	delta := acc.Rows
+	for round := 0; len(delta) > 0; round++ {
+		if round >= MaxRecursionRounds {
+			return nil, fmt.Errorf("engine: recursive cte %q exceeded %d rounds", cte.Name, MaxRecursionRounds)
+		}
+		// Bind the CTE name to the previous delta only.
+		ex.ctes[cte.Name] = &Result{Cols: acc.Cols, Rows: delta}
+		var next []relational.Row
+		for _, s := range rec {
+			r, err := ex.selectBlock(s)
+			if err != nil {
+				delete(ex.ctes, cte.Name)
+				return nil, err
+			}
+			if len(r.Cols) != len(acc.Cols) {
+				delete(ex.ctes, cte.Name)
+				return nil, fmt.Errorf("engine: recursive cte %q: arity mismatch in recursive branch", cte.Name)
+			}
+			next = append(next, r.Rows...)
+		}
+		acc.Rows = append(acc.Rows, next...)
+		delta = next
+	}
+	delete(ex.ctes, cte.Name)
+	return acc, nil
+}
+
+func selectReferences(s *sqlast.Select, name string) bool {
+	for _, f := range s.From {
+		if f.Source == name {
+			return true
+		}
+	}
+	return false
+}
+
+// binding maps an alias to its column layout inside the composite row built
+// during join processing.
+type binding struct {
+	alias  string
+	cols   []string
+	offset int
+}
+
+type frame struct {
+	bindings []binding
+	rows     []relational.Row
+	width    int
+}
+
+func (f *frame) find(table, column string) (int, error) {
+	if table != "" {
+		for _, b := range f.bindings {
+			if b.alias != table {
+				continue
+			}
+			for i, c := range b.cols {
+				if c == column {
+					return b.offset + i, nil
+				}
+			}
+			return -1, fmt.Errorf("engine: alias %s has no column %s", table, column)
+		}
+		return -1, fmt.Errorf("engine: unknown alias %s", table)
+	}
+	found := -1
+	for _, b := range f.bindings {
+		for i, c := range b.cols {
+			if c == column {
+				if found >= 0 {
+					return -1, fmt.Errorf("engine: ambiguous column %s", column)
+				}
+				found = b.offset + i
+			}
+		}
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("engine: unknown column %s", column)
+	}
+	return found, nil
+}
+
+func (f *frame) hasAlias(alias string) bool {
+	for _, b := range f.bindings {
+		if b.alias == alias {
+			return true
+		}
+	}
+	return false
+}
+
+func (ex *executor) selectBlock(s *sqlast.Select) (*Result, error) {
+	if len(s.From) == 0 {
+		return nil, fmt.Errorf("engine: select with empty FROM")
+	}
+	seen := map[string]bool{}
+	for _, f := range s.From {
+		a := aliasOf(f)
+		if seen[a] {
+			return nil, fmt.Errorf("engine: duplicate alias %s", a)
+		}
+		seen[a] = true
+	}
+
+	conjuncts := splitConjuncts(s.Where)
+
+	// Build left-deep join in FROM order.
+	var cur *frame
+	remaining := conjuncts
+	for _, f := range s.From {
+		rel, err := ex.resolve(f.Source)
+		if err != nil {
+			return nil, err
+		}
+		alias := aliasOf(f)
+		next, rest, err := ex.joinStep(cur, rel, alias, remaining)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		remaining = rest
+	}
+
+	// Residual predicates (e.g. ORs across aliases).
+	if len(remaining) > 0 {
+		pred := sqlast.Conj(remaining...)
+		filtered := cur.rows[:0:0]
+		for _, row := range cur.rows {
+			ok, err := evalPred(pred, cur, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				filtered = append(filtered, row)
+			}
+		}
+		cur = &frame{bindings: cur.bindings, rows: filtered, width: cur.width}
+	}
+
+	// Projection.
+	type proj struct {
+		idx  int
+		lit  relational.Value
+		name string
+	}
+	var projs []proj
+	for _, item := range s.Cols {
+		if item.Star {
+			found := false
+			for _, b := range cur.bindings {
+				if b.alias != item.StarTable {
+					continue
+				}
+				for i, c := range b.cols {
+					projs = append(projs, proj{idx: b.offset + i, name: c})
+				}
+				found = true
+				break
+			}
+			if !found {
+				return nil, fmt.Errorf("engine: star over unknown alias %s", item.StarTable)
+			}
+			continue
+		}
+		switch e := item.Expr.(type) {
+		case sqlast.ColRef:
+			idx, err := cur.find(e.Table, e.Column)
+			if err != nil {
+				return nil, err
+			}
+			name := item.As
+			if name == "" {
+				name = e.Column
+			}
+			projs = append(projs, proj{idx: idx, name: name})
+		case sqlast.Lit:
+			projs = append(projs, proj{idx: -1, lit: e.Value, name: item.As})
+		default:
+			return nil, fmt.Errorf("engine: only column and literal projections are supported, got %T", item.Expr)
+		}
+	}
+	res := &Result{Cols: make([]string, len(projs))}
+	for i, p := range projs {
+		res.Cols[i] = p.name
+	}
+	res.Rows = make([]relational.Row, 0, len(cur.rows))
+	for _, row := range cur.rows {
+		out := make(relational.Row, len(projs))
+		for i, p := range projs {
+			if p.idx < 0 {
+				out[i] = p.lit
+				continue
+			}
+			out[i] = row[p.idx]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func aliasOf(f sqlast.FromItem) string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Source
+}
+
+// joinStep joins the current frame with a new relation bound to alias,
+// consuming from `conjuncts` every predicate that becomes fully evaluable.
+// It returns the new frame and the still-pending conjuncts.
+func (ex *executor) joinStep(cur *frame, rel *relation, alias string, conjuncts []sqlast.Expr) (*frame, []sqlast.Expr, error) {
+	// Local predicates on the new relation alone.
+	solo := &frame{bindings: []binding{{alias: alias, cols: rel.cols}}, width: len(rel.cols)}
+	var local, pending []sqlast.Expr
+	var joinConds []sqlast.Cmp
+	for _, c := range conjuncts {
+		aliases := exprAliases(c, map[string]bool{})
+		switch {
+		case onlyAlias(aliases, alias):
+			local = append(local, c)
+		case cur != nil && isJoinEq(c, cur, alias):
+			joinConds = append(joinConds, c.(sqlast.Cmp))
+		case cur != nil && coveredBy(aliases, cur, alias):
+			// Fully evaluable after this join but not a plain equality:
+			// apply as a post-join filter below by treating it as local to
+			// the joined frame.
+			pending = append(pending, c)
+		default:
+			pending = append(pending, c)
+		}
+	}
+
+	rows := rel.rows
+	if len(local) > 0 {
+		pred := sqlast.Conj(local...)
+		filtered := make([]relational.Row, 0, len(rows))
+		for _, r := range rows {
+			ok, err := evalPred(pred, solo, r)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+
+	if cur == nil {
+		return &frame{bindings: solo.bindings, rows: rows, width: solo.width}, pending, nil
+	}
+
+	next := &frame{
+		bindings: append(append([]binding(nil), cur.bindings...), binding{alias: alias, cols: rel.cols, offset: cur.width}),
+		width:    cur.width + len(rel.cols),
+	}
+
+	if len(joinConds) > 0 && !ex.opts.ForceNestedLoop {
+		// Index probe: a single equality join against an unfiltered base
+		// table with a persistent index on the join column avoids building
+		// the per-query hash table.
+		if !ex.opts.DisableIndexes && len(joinConds) == 1 && len(local) == 0 && rel.table != nil {
+			if joined, ok, err := indexJoin(cur, rel, alias, joinConds[0], next.width); err != nil {
+				return nil, nil, err
+			} else if ok {
+				next.rows = joined
+				return ex.applyCovered(next, pending)
+			}
+		}
+		joined, err := hashJoin(cur, rows, rel.cols, alias, joinConds)
+		if err != nil {
+			return nil, nil, err
+		}
+		next.rows = joined
+		return ex.applyCovered(next, pending)
+	}
+
+	// Nested loop (cartesian) with join conditions as filter.
+	pred := sqlast.Expr(nil)
+	if len(joinConds) > 0 {
+		kids := make([]sqlast.Expr, len(joinConds))
+		for i, c := range joinConds {
+			kids[i] = c
+		}
+		pred = sqlast.Conj(kids...)
+	}
+	for _, lrow := range cur.rows {
+		for _, rrow := range rows {
+			combined := make(relational.Row, 0, next.width)
+			combined = append(combined, lrow...)
+			combined = append(combined, rrow...)
+			if pred != nil {
+				ok, err := evalPred(pred, next, combined)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			next.rows = append(next.rows, combined)
+		}
+	}
+	return ex.applyCovered(next, pending)
+}
+
+// applyCovered filters the frame by every pending conjunct that is now fully
+// evaluable, returning the frame unchanged on error and the rest pending.
+func (ex *executor) applyCovered(f *frame, pending []sqlast.Expr) (*frame, []sqlast.Expr, error) {
+	var apply, rest []sqlast.Expr
+	for _, c := range pending {
+		aliases := exprAliases(c, map[string]bool{})
+		all := true
+		for a := range aliases {
+			if !f.hasAlias(a) {
+				all = false
+				break
+			}
+		}
+		if all {
+			apply = append(apply, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	if len(apply) == 0 {
+		return f, rest, nil
+	}
+	pred := sqlast.Conj(apply...)
+	filtered := make([]relational.Row, 0, len(f.rows))
+	for _, row := range f.rows {
+		ok, err := evalPred(pred, f, row)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			filtered = append(filtered, row)
+		}
+	}
+	return &frame{bindings: f.bindings, rows: filtered, width: f.width}, rest, nil
+}
+
+// indexJoin probes a persistent table index for a single equi-join. The
+// second result reports whether an index on the join column exists; when it
+// does not, the caller falls back to the per-query hash join.
+func indexJoin(cur *frame, rel *relation, alias string, cond sqlast.Cmp, width int) ([]relational.Row, bool, error) {
+	l := cond.Left.(sqlast.ColRef)
+	r := cond.Right.(sqlast.ColRef)
+	if l.Table == alias { // normalize: l on current frame, r on new alias
+		l, r = r, l
+	}
+	if _, hit := rel.table.Lookup(r.Column, relational.Int(0)); !hit {
+		return nil, false, nil
+	}
+	li, err := cur.find(l.Table, l.Column)
+	if err != nil {
+		return nil, false, err
+	}
+	var out []relational.Row
+	for _, lrow := range cur.rows {
+		v := lrow[li]
+		if v.IsNull() {
+			continue // NULL never joins
+		}
+		matches, _ := rel.table.Lookup(r.Column, v)
+		for _, rrow := range matches {
+			combined := make(relational.Row, 0, width)
+			combined = append(combined, lrow...)
+			combined = append(combined, rrow...)
+			out = append(out, combined)
+		}
+	}
+	return out, true, nil
+}
+
+// hashJoin builds a hash table over the (usually smaller, pre-filtered)
+// right rows keyed by the equi-join columns and probes it with the current
+// frame's rows.
+func hashJoin(cur *frame, rightRows []relational.Row, rightCols []string, alias string, conds []sqlast.Cmp) ([]relational.Row, error) {
+	type keyPart struct {
+		leftIdx  int
+		rightIdx int
+	}
+	rightFrame := &frame{bindings: []binding{{alias: alias, cols: rightCols}}}
+	parts := make([]keyPart, 0, len(conds))
+	for _, c := range conds {
+		l := c.Left.(sqlast.ColRef)
+		r := c.Right.(sqlast.ColRef)
+		if l.Table == alias { // normalize: l on current frame, r on new alias
+			l, r = r, l
+		}
+		li, err := cur.find(l.Table, l.Column)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := rightFrame.find(r.Table, r.Column)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, keyPart{leftIdx: li, rightIdx: ri})
+	}
+
+	buildKey := func(row relational.Row, right bool) (string, bool) {
+		var b strings.Builder
+		for _, p := range parts {
+			var v relational.Value
+			if right {
+				v = row[p.rightIdx]
+			} else {
+				v = row[p.leftIdx]
+			}
+			if v.IsNull() {
+				return "", false // NULL never joins
+			}
+			b.WriteString(v.Key())
+			b.WriteByte('|')
+		}
+		return b.String(), true
+	}
+
+	buckets := make(map[string][]relational.Row, len(rightRows))
+	for _, rrow := range rightRows {
+		k, ok := buildKey(rrow, true)
+		if !ok {
+			continue
+		}
+		buckets[k] = append(buckets[k], rrow)
+	}
+
+	width := cur.width + len(rightCols)
+	var out []relational.Row
+	for _, lrow := range cur.rows {
+		k, ok := buildKey(lrow, false)
+		if !ok {
+			continue
+		}
+		for _, rrow := range buckets[k] {
+			combined := make(relational.Row, 0, width)
+			combined = append(combined, lrow...)
+			combined = append(combined, rrow...)
+			out = append(out, combined)
+		}
+	}
+	return out, nil
+}
+
+// splitConjuncts flattens a WHERE expression into top-level conjuncts.
+func splitConjuncts(e sqlast.Expr) []sqlast.Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(sqlast.And); ok {
+		var out []sqlast.Expr
+		for _, k := range a.Kids {
+			out = append(out, splitConjuncts(k)...)
+		}
+		return out
+	}
+	return []sqlast.Expr{e}
+}
+
+// exprAliases collects the table aliases an expression references.
+func exprAliases(e sqlast.Expr, acc map[string]bool) map[string]bool {
+	switch e := e.(type) {
+	case sqlast.ColRef:
+		acc[e.Table] = true
+	case sqlast.Cmp:
+		exprAliases(e.Left, acc)
+		exprAliases(e.Right, acc)
+	case sqlast.In:
+		exprAliases(e.Left, acc)
+	case sqlast.IsNull:
+		exprAliases(e.Left, acc)
+	case sqlast.And:
+		for _, k := range e.Kids {
+			exprAliases(k, acc)
+		}
+	case sqlast.Or:
+		for _, k := range e.Kids {
+			exprAliases(k, acc)
+		}
+	case sqlast.Lit:
+	}
+	return acc
+}
+
+func onlyAlias(aliases map[string]bool, alias string) bool {
+	for a := range aliases {
+		if a != alias {
+			return false
+		}
+	}
+	return len(aliases) > 0
+}
+
+func coveredBy(aliases map[string]bool, cur *frame, alias string) bool {
+	for a := range aliases {
+		if a == alias {
+			continue
+		}
+		if !cur.hasAlias(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// isJoinEq reports whether c is `left.col = right.col` connecting the current
+// frame to the new alias.
+func isJoinEq(e sqlast.Expr, cur *frame, alias string) bool {
+	c, ok := e.(sqlast.Cmp)
+	if !ok || c.Op != sqlast.OpEq {
+		return false
+	}
+	l, lok := c.Left.(sqlast.ColRef)
+	r, rok := c.Right.(sqlast.ColRef)
+	if !lok || !rok {
+		return false
+	}
+	if l.Table == alias && cur.hasAlias(r.Table) {
+		return true
+	}
+	if r.Table == alias && cur.hasAlias(l.Table) {
+		return true
+	}
+	return false
+}
+
+// evalPred evaluates a boolean expression over a composite row.
+func evalPred(e sqlast.Expr, f *frame, row relational.Row) (bool, error) {
+	switch e := e.(type) {
+	case sqlast.Cmp:
+		l, err := evalScalar(e.Left, f, row)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalScalar(e.Right, f, row)
+		if err != nil {
+			return false, err
+		}
+		switch e.Op {
+		case sqlast.OpEq:
+			return l.Equal(r), nil
+		case sqlast.OpNe:
+			if l.IsNull() || r.IsNull() {
+				return false, nil
+			}
+			return !l.Equal(r), nil
+		}
+		return false, fmt.Errorf("engine: unknown comparison op %v", e.Op)
+	case sqlast.In:
+		l, err := evalScalar(e.Left, f, row)
+		if err != nil {
+			return false, err
+		}
+		for _, lit := range e.List {
+			if l.Equal(lit.Value) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case sqlast.IsNull:
+		l, err := evalScalar(e.Left, f, row)
+		if err != nil {
+			return false, err
+		}
+		return l.IsNull(), nil
+	case sqlast.And:
+		for _, k := range e.Kids {
+			ok, err := evalPred(k, f, row)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	case sqlast.Or:
+		for _, k := range e.Kids {
+			ok, err := evalPred(k, f, row)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("engine: expression %T is not a predicate", e)
+	}
+}
+
+func evalScalar(e sqlast.Expr, f *frame, row relational.Row) (relational.Value, error) {
+	switch e := e.(type) {
+	case sqlast.ColRef:
+		idx, err := f.find(e.Table, e.Column)
+		if err != nil {
+			return relational.Null, err
+		}
+		return row[idx], nil
+	case sqlast.Lit:
+		return e.Value, nil
+	default:
+		return relational.Null, fmt.Errorf("engine: expression %T is not scalar", e)
+	}
+}

@@ -1,0 +1,163 @@
+// Package infer derives an annotated XML-to-Relational mapping from sample
+// documents. §5.3 of the paper assumes that at query-translation time "an
+// XML schema is either given or has been inferred from the XML documents
+// loaded into the system" — this package is that inference step, enabling
+// the full translation pipeline (including the schema-oblivious Edge
+// scenario) when only documents are available.
+//
+// The inferred schema is the label-path trie of the documents: one node per
+// distinct root-to-element label path. Elements that never have children
+// become value leaves; everything else receives its own relation. Because
+// sibling labels are distinct by construction, the resulting mapping is
+// deterministic for alignment and losslessly reconstructible without edge
+// conditions.
+package infer
+
+import (
+	"fmt"
+
+	"xmlsql/internal/schema"
+	"xmlsql/internal/xmltree"
+)
+
+type trieNode struct {
+	label    string
+	children map[string]*trieNode
+	order    []string
+	// hasChildren records whether any element at this path ever had
+	// element children; such nodes cannot be value leaves.
+	hasChildren bool
+	// hasText records whether any element at this path carried text.
+	hasText bool
+	// repeated records whether some parent instance held two or more
+	// children at this path; repeated elements need their own tuples, as a
+	// value column can hold only one occurrence.
+	repeated bool
+}
+
+// FromDocuments infers a mapping from one or more sample documents. All
+// documents must share the same root label.
+func FromDocuments(docs ...*xmltree.Document) (*schema.Schema, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("infer: no documents")
+	}
+	root := &trieNode{label: docs[0].Root.Label, children: map[string]*trieNode{}}
+	for _, d := range docs {
+		if d.Root.Label != root.label {
+			return nil, fmt.Errorf("infer: documents have different root labels %q and %q", root.label, d.Root.Label)
+		}
+		absorb(root, d.Root)
+	}
+
+	b := schema.NewBuilder("inferred")
+	counter := 0
+	nextName := func() string {
+		counter++
+		return fmt.Sprintf("n%d", counter)
+	}
+	usedRels := map[string]bool{}
+	relFor := func(label string) string {
+		base := sanitize(label)
+		name := base
+		for i := 2; usedRels[name]; i++ {
+			name = fmt.Sprintf("%s%d", base, i)
+		}
+		usedRels[name] = true
+		return name
+	}
+
+	type decl struct {
+		node   *trieNode
+		name   string
+		parent string
+	}
+	rootName := nextName()
+	stack := []decl{{node: root, name: rootName}}
+	for len(stack) > 0 {
+		d := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := d.node
+		if n.hasChildren || n.repeated || d.parent == "" {
+			// Internal node, repeated element, or the root: its own
+			// relation — plus a value column if instances carry text (a
+			// repeated text leaf such as XMark's InCategory-less variants).
+			opts := []schema.NodeOpt{schema.Rel(relFor(n.label))}
+			if n.hasText {
+				opts = append(opts, schema.Col(colName(n.label)))
+			}
+			b.Node(d.name, n.label, opts...)
+		} else {
+			// Pure leaf: a value column in the owning relation. The column
+			// is named after the label; sibling labels are distinct, so no
+			// owner column clashes are possible.
+			b.Node(d.name, n.label, schema.Col(colName(n.label)))
+		}
+		if d.parent != "" {
+			b.Edge(d.parent, d.name)
+		}
+		for i := len(n.order) - 1; i >= 0; i-- {
+			stack = append(stack, decl{node: n.children[n.order[i]], name: nextName(), parent: d.name})
+		}
+	}
+	b.Root(rootName)
+	return b.Build()
+}
+
+func absorb(t *trieNode, n *xmltree.Node) {
+	if n.Text != "" {
+		t.hasText = true
+	}
+	if len(n.Children) > 0 {
+		t.hasChildren = true
+	}
+	counts := map[string]int{}
+	for _, c := range n.Children {
+		child, ok := t.children[c.Label]
+		if !ok {
+			child = &trieNode{label: c.Label, children: map[string]*trieNode{}}
+			t.children[c.Label] = child
+			t.order = append(t.order, c.Label)
+		}
+		counts[c.Label]++
+		if counts[c.Label] > 1 {
+			child.repeated = true
+		}
+		absorb(child, c)
+	}
+}
+
+func sanitize(label string) string {
+	out := make([]byte, 0, len(label))
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return "Rel"
+	}
+	if out[0] >= 'a' && out[0] <= 'z' {
+		out[0] -= 'a' - 'A'
+	}
+	return string(out)
+}
+
+func colName(label string) string {
+	s := sanitize(label)
+	if s == "Rel" {
+		return "val"
+	}
+	// Lowercase leading letter for a column-ish name; avoid the reserved
+	// names.
+	b := []byte(s)
+	if b[0] >= 'A' && b[0] <= 'Z' {
+		b[0] += 'a' - 'A'
+	}
+	name := string(b)
+	if name == schema.IDColumn || name == schema.ParentIDColumn {
+		name = name + "_v"
+	}
+	return name
+}

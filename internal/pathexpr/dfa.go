@@ -1,0 +1,175 @@
+package pathexpr
+
+import (
+	"sort"
+	"strings"
+)
+
+// DFA is the deterministic query automaton obtained from the SPE's NFA by
+// subset construction. Its input alphabet is the set of labels mentioned in
+// the query plus a catch-all "other" symbol; any label not in the query maps
+// to "other". The PathId stage runs this DFA along schema paths, and the
+// pruning stage relies on determinism to enumerate non-matching paths (§5.2).
+type DFA struct {
+	start  int
+	accept []bool
+	// trans[state][symbol] -> state; symbol len(symbols) entries plus the
+	// trailing "other" column.
+	trans   [][]int
+	symbols map[string]int
+	nSyms   int // including "other"
+	// hasWildcard records whether the query used *, in which case "other"
+	// labels can still advance steps.
+	states []string // canonical subset keys, for debugging
+}
+
+// BuildDFA compiles the path expression into a DFA.
+func BuildDFA(p *Path) *DFA {
+	labels := p.Labels()
+	sort.Strings(labels)
+	symbols := make(map[string]int, len(labels))
+	for i, l := range labels {
+		symbols[l] = i
+	}
+	nSyms := len(labels) + 1 // + "other"
+	other := len(labels)
+
+	d := &DFA{symbols: symbols, nSyms: nSyms}
+
+	// NFA states are 0..len(Steps); subsets encoded as sorted int lists.
+	type subset = string
+	encode := func(states []int) subset {
+		sort.Ints(states)
+		var b strings.Builder
+		for i, s := range states {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(itoa(s))
+		}
+		return b.String()
+	}
+	// nfaStep computes the successor subset on a symbol; sym == other means
+	// a label not mentioned in the query, wildcard steps still fire.
+	nfaStep := func(states []int, sym int) []int {
+		nextSet := map[int]bool{}
+		for _, st := range states {
+			if st >= len(p.Steps) {
+				continue
+			}
+			step := p.Steps[st]
+			if step.Descendant {
+				nextSet[st] = true
+			}
+			switch {
+			case step.Label == Wildcard:
+				nextSet[st+1] = true
+			case sym != other && symbols[step.Label] == sym:
+				nextSet[st+1] = true
+			}
+		}
+		out := make([]int, 0, len(nextSet))
+		for s := range nextSet {
+			out = append(out, s)
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	index := map[subset]int{}
+	var subsets [][]int
+	add := func(states []int) int {
+		k := encode(states)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(subsets)
+		index[k] = id
+		subsets = append(subsets, states)
+		d.trans = append(d.trans, make([]int, nSyms))
+		acc := false
+		for _, s := range states {
+			if s == len(p.Steps) {
+				acc = true
+			}
+		}
+		d.accept = append(d.accept, acc)
+		d.states = append(d.states, k)
+		return id
+	}
+
+	startID := add([]int{0})
+	d.start = startID
+	for work := 0; work < len(subsets); work++ {
+		for sym := 0; sym < nSyms; sym++ {
+			succ := nfaStep(subsets[work], sym)
+			d.trans[work][sym] = add(succ)
+		}
+	}
+	return d
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Start returns the start state.
+func (d *DFA) Start() int { return d.start }
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.trans) }
+
+// Accepting reports whether the state is accepting.
+func (d *DFA) Accepting(state int) bool { return d.accept[state] }
+
+// Step advances the DFA on an element label.
+func (d *DFA) Step(state int, label string) int {
+	sym, ok := d.symbols[label]
+	if !ok {
+		sym = d.nSyms - 1 // "other"
+	}
+	return d.trans[state][sym]
+}
+
+// Run runs the DFA over a label sequence from the start state and reports
+// acceptance.
+func (d *DFA) Run(labels []string) bool {
+	st := d.start
+	for _, l := range labels {
+		st = d.Step(st, l)
+	}
+	return d.accept[st]
+}
+
+// Dead reports whether the state can never reach an accepting state.
+func (d *DFA) Dead(state int) bool {
+	seen := make([]bool, len(d.trans))
+	stack := []int{state}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if d.accept[s] {
+			return false
+		}
+		for _, t := range d.trans[s] {
+			if !seen[t] {
+				stack = append(stack, t)
+			}
+		}
+	}
+	return true
+}

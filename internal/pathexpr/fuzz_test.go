@@ -1,0 +1,46 @@
+package pathexpr
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that accepted queries
+// round-trip through String and drive the automata without crashing.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"/a",
+		"//Item/InCategory/Category",
+		"/a//b/c",
+		"/a/*",
+		"//Item[name='x']/Category",
+		"//a[x='1']//a[x='1']",
+		"/a[b=''']",
+		"///",
+		"/a[",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Accepted queries must re-parse to the same steps.
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (%q) failed: %v", input, p.String(), err)
+		}
+		if len(p2.Steps) != len(p.Steps) {
+			t.Fatalf("reparse step count differs for %q", input)
+		}
+		// And drive both automata without panicking.
+		dfa := BuildDFA(p)
+		pdfa := BuildPredDFA(p)
+		st, pst := dfa.Start(), pdfa.Start()
+		for _, l := range []string{"a", "b", "zz"} {
+			st = dfa.Step(st, l)
+			pst = pdfa.Step(pst, l, true)
+			pst = pdfa.Step(pst, l, false)
+		}
+		_ = dfa.Accepting(st)
+		_ = pdfa.Accepting(pst)
+	})
+}

@@ -1,0 +1,166 @@
+package pathexpr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in    string
+		steps []Step
+	}{
+		{"/a", []Step{{Label: "a"}}},
+		{"//a", []Step{{Descendant: true, Label: "a"}}},
+		{"/a/b", []Step{{Label: "a"}, {Label: "b"}}},
+		{"/a//b/c", []Step{{Label: "a"}, {Descendant: true, Label: "b"}, {Label: "c"}}},
+		{"//Item/InCategory/Category", []Step{{Descendant: true, Label: "Item"}, {Label: "InCategory"}, {Label: "Category"}}},
+		{"/a/*//b", []Step{{Label: "a"}, {Label: "*"}, {Descendant: true, Label: "b"}}},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(p.Steps, c.steps) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, p.Steps, c.steps)
+		}
+		if p.String() != c.in {
+			t.Errorf("String() = %q, want %q", p.String(), c.in)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "a", "/", "//", "/a//", "/a b", "///a", "/a/"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestMatchesBasics(t *testing.T) {
+	cases := []struct {
+		q      string
+		labels []string
+		want   bool
+	}{
+		{"/a", []string{"a"}, true},
+		{"/a", []string{"b"}, false},
+		{"/a", []string{"a", "b"}, false},
+		{"/a/b", []string{"a", "b"}, true},
+		{"//b", []string{"a", "b"}, true},
+		{"//b", []string{"a", "x", "b"}, true},
+		{"//b", []string{"a"}, false},
+		{"/a//c", []string{"a", "b", "c"}, true},
+		{"/a//c", []string{"a", "c"}, true},
+		{"/a//c", []string{"x", "b", "c"}, false},
+		{"/a/*", []string{"a", "anything"}, true},
+		{"//a//a", []string{"a", "a"}, true},
+		{"//a//a", []string{"a"}, false},
+		{"/Site/Regions/Africa", []string{"Site", "Regions", "Africa"}, true},
+	}
+	for _, c := range cases {
+		p := MustParse(c.q)
+		if got := p.Matches(c.labels); got != c.want {
+			t.Errorf("%q.Matches(%v) = %v, want %v", c.q, c.labels, got, c.want)
+		}
+	}
+}
+
+// TestDFAEquivalentToNFA is the automaton property test: on random queries
+// and random label sequences, the subset-construction DFA must accept
+// exactly when the NFA simulation does.
+func TestDFAEquivalentToNFA(t *testing.T) {
+	labels := []string{"a", "b", "c", "d"}
+	gen := func(rng *rand.Rand) (*Path, []string) {
+		n := 1 + rng.Intn(4)
+		q := ""
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				q += "/"
+			} else {
+				q += "//"
+			}
+			if rng.Intn(8) == 0 {
+				q += "*"
+			} else {
+				q += labels[rng.Intn(len(labels))]
+			}
+		}
+		m := rng.Intn(7)
+		seq := make([]string, m)
+		for i := range seq {
+			// Include labels outside the query's alphabet.
+			pool := append([]string{}, labels...)
+			pool = append(pool, "z", "w")
+			seq[i] = pool[rng.Intn(len(pool))]
+		}
+		return MustParse(q), seq
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		p, seq := gen(rng)
+		dfa := BuildDFA(p)
+		if got, want := dfa.Run(seq), p.Matches(seq); got != want {
+			t.Fatalf("DFA.Run(%v) = %v, NFA = %v for query %s", seq, got, want, p)
+		}
+	}
+}
+
+// TestDFARunPrefixIndependence: running the DFA stepwise must equal Run.
+func TestDFARunStepwise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := MustParse("//a/b//c")
+		dfa := BuildDFA(p)
+		labels := []string{"a", "b", "c", "x"}
+		n := rng.Intn(8)
+		st := dfa.Start()
+		var seq []string
+		for i := 0; i < n; i++ {
+			l := labels[rng.Intn(len(labels))]
+			seq = append(seq, l)
+			st = dfa.Step(st, l)
+		}
+		return dfa.Accepting(st) == p.Matches(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDFADeadStates(t *testing.T) {
+	p := MustParse("/a/b")
+	dfa := BuildDFA(p)
+	// After consuming "x" at the root, no continuation can match.
+	st := dfa.Step(dfa.Start(), "x")
+	if !dfa.Dead(st) {
+		t.Error("state after wrong root label must be dead")
+	}
+	st = dfa.Step(dfa.Start(), "a")
+	if dfa.Dead(st) {
+		t.Error("state after correct prefix must be live")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	p := MustParse("/a//b/a/*")
+	got := p.Labels()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Labels() = %v", got)
+	}
+}
+
+func TestDFAStateCountReasonable(t *testing.T) {
+	// Subset construction on SPE NFAs stays small (states are subsets of a
+	// chain); guard against blowup regressions.
+	p := MustParse("//a//b//c//d//e")
+	dfa := BuildDFA(p)
+	if dfa.NumStates() > 64 {
+		t.Errorf("DFA has %d states for a 5-step query", dfa.NumStates())
+	}
+}

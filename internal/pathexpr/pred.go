@@ -1,0 +1,232 @@
+package pathexpr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pred is a step predicate "[child='value']": the element matches the step
+// only if it has a child element with the given label whose text equals the
+// value. Predicates are the paper's §6 "more general class of XML queries"
+// extension; translation supports them when the predicate child is stored
+// as a value column of the matched element's tuple.
+type Pred struct {
+	Child string
+	Value string
+}
+
+func (p *Pred) String() string { return "[" + p.Child + "='" + p.Value + "']" }
+
+// HasPreds reports whether any step carries a predicate.
+func (p *Path) HasPreds() bool {
+	for _, s := range p.Steps {
+		if s.Pred != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// PredForLabel returns the predicate attached to steps with the given
+// label. Parsing enforces at most one predicate per label, which keeps the
+// automaton's satisfaction alphabet binary per symbol.
+func (p *Path) PredForLabel(label string) *Pred {
+	for _, s := range p.Steps {
+		if s.Label == label && s.Pred != nil {
+			return s.Pred
+		}
+	}
+	return nil
+}
+
+// MatchesPred is the predicate-aware NFA matcher: satFor reports, for each
+// consumed element (indexed by its depth in the label sequence), whether it
+// satisfies the predicate attached to the step it would advance.
+func (p *Path) MatchesPred(labels []string, satFor func(level int) bool) bool {
+	cur := map[int]bool{0: true}
+	for level, l := range labels {
+		next := map[int]bool{}
+		for st := range cur {
+			if st >= len(p.Steps) {
+				continue
+			}
+			step := p.Steps[st]
+			if step.Descendant {
+				next[st] = true
+			}
+			if step.Label == Wildcard || step.Label == l {
+				if step.Pred == nil || satFor(level) {
+					next[st+1] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	return cur[len(p.Steps)]
+}
+
+// PredDFA is the deterministic query automaton over the enriched alphabet
+// (label, predicate-satisfied): elements whose label carries a predicate
+// step transition differently depending on whether they satisfy it.
+type PredDFA struct {
+	start   int
+	accept  []bool
+	trans   [][]int
+	symbols map[string]int // label -> base symbol index (x2 when pred'd)
+	hasPred map[string]bool
+	nSyms   int
+}
+
+// BuildPredDFA compiles a (possibly predicated) path expression.
+func BuildPredDFA(p *Path) *PredDFA {
+	labels := p.Labels()
+	sort.Strings(labels)
+	d := &PredDFA{symbols: map[string]int{}, hasPred: map[string]bool{}}
+	idx := 0
+	for _, l := range labels {
+		d.symbols[l] = idx
+		if p.PredForLabel(l) != nil {
+			d.hasPred[l] = true
+			idx += 2 // (l, sat) and (l, unsat)
+		} else {
+			idx++
+		}
+	}
+	other := idx
+	d.nSyms = idx + 1
+
+	// Decode a symbol back to (labelIdx, sat) during NFA stepping.
+	type symInfo struct {
+		label string
+		sat   bool
+		other bool
+	}
+	infos := make([]symInfo, d.nSyms)
+	for _, l := range labels {
+		base := d.symbols[l]
+		if d.hasPred[l] {
+			infos[base] = symInfo{label: l, sat: true}
+			infos[base+1] = symInfo{label: l, sat: false}
+		} else {
+			infos[base] = symInfo{label: l, sat: false}
+		}
+	}
+	infos[other] = symInfo{other: true}
+
+	nfaStep := func(states []int, sym int) []int {
+		info := infos[sym]
+		set := map[int]bool{}
+		for _, st := range states {
+			if st >= len(p.Steps) {
+				continue
+			}
+			step := p.Steps[st]
+			if step.Descendant {
+				set[st] = true
+			}
+			labelMatches := step.Label == Wildcard || (!info.other && step.Label == info.label)
+			if !labelMatches {
+				continue
+			}
+			if step.Pred != nil && !info.sat {
+				continue
+			}
+			set[st+1] = true
+		}
+		out := make([]int, 0, len(set))
+		for s := range set {
+			out = append(out, s)
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	encode := func(states []int) string {
+		var b strings.Builder
+		for i, s := range states {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+		return b.String()
+	}
+
+	index := map[string]int{}
+	var subsets [][]int
+	add := func(states []int) int {
+		k := encode(states)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(subsets)
+		index[k] = id
+		subsets = append(subsets, states)
+		d.trans = append(d.trans, make([]int, d.nSyms))
+		acc := false
+		for _, s := range states {
+			if s == len(p.Steps) {
+				acc = true
+			}
+		}
+		d.accept = append(d.accept, acc)
+		return id
+	}
+	d.start = add([]int{0})
+	for work := 0; work < len(subsets); work++ {
+		for sym := 0; sym < d.nSyms; sym++ {
+			d.trans[work][sym] = add(nfaStep(subsets[work], sym))
+		}
+	}
+	return d
+}
+
+// Start returns the start state.
+func (d *PredDFA) Start() int { return d.start }
+
+// Accepting reports whether the state accepts.
+func (d *PredDFA) Accepting(state int) bool { return d.accept[state] }
+
+// Step advances on an element with the given label; sat reports whether the
+// element satisfies the predicate attached to that label (ignored for
+// labels without predicates).
+func (d *PredDFA) Step(state int, label string, sat bool) int {
+	base, ok := d.symbols[label]
+	if !ok {
+		return d.trans[state][d.nSyms-1] // other
+	}
+	if d.hasPred[label] && !sat {
+		return d.trans[state][base+1]
+	}
+	return d.trans[state][base]
+}
+
+// HasPred reports whether elements with this label are predicate-sensitive.
+func (d *PredDFA) HasPred(label string) bool { return d.hasPred[label] }
+
+// Dead reports whether no accepting state is reachable from the state.
+func (d *PredDFA) Dead(state int) bool {
+	seen := make([]bool, len(d.trans))
+	stack := []int{state}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if d.accept[s] {
+			return false
+		}
+		for _, t := range d.trans[s] {
+			if !seen[t] {
+				stack = append(stack, t)
+			}
+		}
+	}
+	return true
+}

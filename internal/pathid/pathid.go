@@ -1,0 +1,398 @@
+// Package pathid implements the PathId stage of XML-to-SQL translation
+// (§3.4, from [9]): the cross-product of the schema graph with the query
+// DFA, trimmed to the nodes that lie on some root-to-accepting path. The
+// resulting cross-product schema S_CP compactly represents every schema path
+// matching the query, even when there are exponentially or infinitely many.
+package pathid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+)
+
+// Node is one cross-product node: a (schema node, DFA state) pair. The
+// paper labels these with pairs such as "(12,3)"; Figure 2 shows them.
+type Node struct {
+	ID        int
+	Schema    schema.NodeID
+	State     int
+	Accepting bool
+	// PredConds are the selections contributed by a step predicate on this
+	// node's label (the predicate extension): "col='v'" on the satisfied
+	// branch, "col!='v'" on the surviving unsatisfied branch. They apply to
+	// the node's own relation tuple, like schema node conditions.
+	PredConds []schema.EdgeCond
+}
+
+// Edge is a cross-product edge; Cond is inherited from the schema edge.
+type Edge struct {
+	From int
+	To   int
+	Cond *schema.EdgeCond
+}
+
+// Graph is the cross-product schema S_CP.
+type Graph struct {
+	Schema *schema.Schema
+	Query  *pathexpr.Path
+
+	nodes    []*Node
+	children [][]Edge
+	parents  [][]Edge
+	start    int   // CP node of the schema root, or -1 when nothing matches
+	accepts  []int // accepting node ids, sorted
+}
+
+// Empty reports whether no schema path matches the query.
+func (g *Graph) Empty() bool { return g.start < 0 }
+
+// Start returns the cross-product node of the schema root.
+func (g *Graph) Start() int { return g.start }
+
+// Nodes returns all cross-product nodes in id order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id int) *Node { return g.nodes[id] }
+
+// Children returns the outgoing edges of a node.
+func (g *Graph) Children(id int) []Edge { return g.children[id] }
+
+// Parents returns the incoming edges of a node.
+func (g *Graph) Parents(id int) []Edge { return g.parents[id] }
+
+// Accepting returns the ids of accepting nodes (the query's result nodes).
+func (g *Graph) Accepts() []int { return g.accepts }
+
+// SchemaNode returns the underlying schema node of a cross-product node.
+func (g *Graph) SchemaNode(id int) *schema.Node { return g.Schema.Node(g.nodes[id].Schema) }
+
+// Build runs the PathId stage: it products the schema against the query DFA
+// starting at the schema root and keeps exactly the pairs that are reachable
+// from the root pair and co-reachable to an accepting pair.
+//
+// Step predicates (the §6 extension) enrich the product: a node whose label
+// carries a predicate splits into a satisfied branch (selection col='v' on
+// the node's tuple, where col is the value column storing the predicate
+// child) and an unsatisfied branch (col!='v'); branches that cannot reach an
+// accepting pair are trimmed as usual.
+func Build(s *schema.Schema, q *pathexpr.Path) (*Graph, error) {
+	dfa := pathexpr.BuildPredDFA(q)
+	g := &Graph{Schema: s, Query: q, start: -1}
+
+	if q.PredForLabel(s.Node(s.Root()).Label) != nil {
+		return nil, fmt.Errorf("pathid: predicate on the document root step is not supported")
+	}
+
+	type key struct {
+		sn schema.NodeID
+		st int
+	}
+	index := map[key]int{}
+	var order []key
+	predConds := map[int][]schema.EdgeCond{}
+
+	add := func(k key, conds []schema.EdgeCond) (int, error) {
+		if id, ok := index[k]; ok {
+			if !sameConds(predConds[id], conds) {
+				return 0, fmt.Errorf("pathid: ambiguous predicate query: node %s reached with contradictory predicate branches", s.Node(k.sn).Name)
+			}
+			return id, nil
+		}
+		id := len(order)
+		index[k] = id
+		order = append(order, k)
+		if len(conds) > 0 {
+			predConds[id] = conds
+		}
+		return id, nil
+	}
+
+	// successors computes the (state, conds) variants when stepping into
+	// schema node n from state st.
+	successors := func(st int, n *schema.Node) ([]int, [][]schema.EdgeCond, error) {
+		pred := q.PredForLabel(n.Label)
+		if pred == nil {
+			return []int{dfa.Step(st, n.Label, false)}, [][]schema.EdgeCond{nil}, nil
+		}
+		col, err := predColumn(s, n, pred.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		unsatState := dfa.Step(st, n.Label, false)
+		if col == "" {
+			// The schema gives this node no such child: elements can never
+			// satisfy the predicate, and no selection is needed.
+			return []int{unsatState}, [][]schema.EdgeCond{nil}, nil
+		}
+		satState := dfa.Step(st, n.Label, true)
+		if satState == unsatState {
+			return nil, nil, fmt.Errorf("pathid: ambiguous predicate query: satisfaction of %s does not affect matching at %s", pred, n.Name)
+		}
+		val := relational.String(pred.Value)
+		return []int{satState, unsatState}, [][]schema.EdgeCond{
+			{{Column: col, Value: val}},
+			{{Column: col, Value: val, Neq: true}},
+		}, nil
+	}
+
+	root := s.Root()
+	rootState := dfa.Step(dfa.Start(), s.Node(root).Label, false)
+	startKey := key{sn: root, st: rootState}
+	if _, err := add(startKey, nil); err != nil {
+		return nil, err
+	}
+
+	type rawEdge struct {
+		from, to int
+		cond     *schema.EdgeCond
+	}
+	var rawEdges []rawEdge
+	for work := 0; work < len(order); work++ {
+		k := order[work]
+		if dfa.Dead(k.st) {
+			continue // no accepting pair ever reachable below this state
+		}
+		for _, e := range s.Node(k.sn).Children() {
+			states, condVariants, err := successors(k.st, s.Node(e.To))
+			if err != nil {
+				return nil, err
+			}
+			for vi, childState := range states {
+				ck := key{sn: e.To, st: childState}
+				cid, err := add(ck, condVariants[vi])
+				if err != nil {
+					return nil, err
+				}
+				rawEdges = append(rawEdges, rawEdge{from: work, to: cid, cond: e.Cond})
+			}
+		}
+	}
+
+	// Co-reachability: keep pairs from which an accepting pair is reachable
+	// (accepting pairs keep themselves).
+	adj := make([][]int, len(order))
+	radj := make([][]int, len(order))
+	for _, e := range rawEdges {
+		adj[e.from] = append(adj[e.from], e.to)
+		radj[e.to] = append(radj[e.to], e.from)
+	}
+	keep := make([]bool, len(order))
+	var stack []int
+	for i, k := range order {
+		if dfa.Accepting(k.st) {
+			keep[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range radj[i] {
+			if !keep[p] {
+				keep[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	_ = adj
+
+	if !keep[index[startKey]] {
+		return g, nil // empty result
+	}
+
+	// Renumber kept nodes.
+	newID := make([]int, len(order))
+	for i := range newID {
+		newID[i] = -1
+	}
+	for i, k := range order {
+		if !keep[i] {
+			continue
+		}
+		id := len(g.nodes)
+		newID[i] = id
+		n := &Node{ID: id, Schema: k.sn, State: k.st, Accepting: dfa.Accepting(k.st), PredConds: predConds[i]}
+		g.nodes = append(g.nodes, n)
+		g.children = append(g.children, nil)
+		g.parents = append(g.parents, nil)
+		if n.Accepting {
+			g.accepts = append(g.accepts, id)
+		}
+	}
+	for _, e := range rawEdges {
+		f, t := newID[e.from], newID[e.to]
+		if f < 0 || t < 0 {
+			continue
+		}
+		ce := Edge{From: f, To: t, Cond: e.cond}
+		g.children[f] = append(g.children[f], ce)
+		g.parents[t] = append(g.parents[t], ce)
+	}
+	g.start = newID[index[startKey]]
+	sort.Ints(g.accepts)
+
+	// Every accepting node must have a retrievable value.
+	for _, id := range g.accepts {
+		if _, _, err := s.Annot(g.nodes[id].Schema); err != nil {
+			return nil, fmt.Errorf("pathid: query %s matches node %s which has no value annotation: %v",
+				q, s.Node(g.nodes[id].Schema).Name, err)
+		}
+	}
+	return g, nil
+}
+
+// String renders the cross-product graph for debugging, in the style of the
+// paper's Figure 2 node labels "(schema,state)".
+func (g *Graph) String() string {
+	var b strings.Builder
+	if g.Empty() {
+		return "(empty cross-product)\n"
+	}
+	for _, n := range g.nodes {
+		fmt.Fprintf(&b, "(%s,%d)", g.Schema.Node(n.Schema).Name, n.State)
+		if n.Accepting {
+			b.WriteString("*")
+		}
+		if n.ID == g.start {
+			b.WriteString(" <root>")
+		}
+		b.WriteString(" ->")
+		for _, e := range g.children[n.ID] {
+			c := g.nodes[e.To]
+			fmt.Fprintf(&b, " (%s,%d)", g.Schema.Node(c.Schema).Name, c.State)
+			if e.Cond != nil {
+				fmt.Fprintf(&b, "[%s]", e.Cond)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// EnumeratePaths lists every root-to-accepting path of the cross-product
+// graph as sequences of cross-product node ids, up to the given limit. For
+// recursive schemas the path set is infinite; cycles are unrolled at most
+// maxCycleVisits times per node. Used by the tree translator and by tests;
+// the DAG/recursive translators work on the graph directly.
+func (g *Graph) EnumeratePaths(limit, maxCycleVisits int) ([][]int, bool) {
+	if g.Empty() {
+		return nil, true
+	}
+	var out [][]int
+	complete := true
+	visits := make([]int, len(g.nodes))
+	var cur []int
+	var rec func(id int) bool // returns false when the limit was hit
+	rec = func(id int) bool {
+		if visits[id] >= maxCycleVisits {
+			complete = false
+			return true
+		}
+		visits[id]++
+		defer func() { visits[id]-- }()
+		cur = append(cur, id)
+		defer func() { cur = cur[:len(cur)-1] }()
+		if g.nodes[id].Accepting {
+			if len(out) >= limit {
+				complete = false
+				return false
+			}
+			out = append(out, append([]int(nil), cur...))
+		}
+		for _, e := range g.children[id] {
+			if !rec(e.To) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(g.start)
+	return out, complete
+}
+
+func sameConds(a, b []schema.EdgeCond) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Column != b[i].Column || a[i].Neq != b[i].Neq || !a[i].Value.Identical(b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// predColumn resolves a step predicate's child label at schema node n: the
+// value column (of n's own tuple) storing that child's text. It returns ""
+// when the schema gives n no such child (the predicate is unsatisfiable
+// there), and an error when the child exists but owns its own relation —
+// such predicates would require a semijoin, which the translation fragment
+// deliberately excludes.
+//
+// Only *direct* children qualify: "[a='v']" is a child-axis test, and a
+// value leaf nested under an unannotated structural node is a grandchild
+// even though its text lands in the same tuple. (The randomized stress suite
+// caught exactly that confusion.)
+func predColumn(s *schema.Schema, n *schema.Node, childLabel string) (string, error) {
+	if !n.HasRelation() {
+		return "", fmt.Errorf("pathid: predicate on %q requires it to be relation-annotated", n.Label)
+	}
+	var found string
+	for _, e := range n.Children() {
+		m := s.Node(e.To)
+		if m.Label != childLabel {
+			continue
+		}
+		switch {
+		case m.HasRelation():
+			return "", fmt.Errorf("pathid: predicate child %q of %q is stored in its own relation %s, not as a value column",
+				childLabel, n.Label, m.Relation)
+		case m.Column != "":
+			if m.Column == schema.IDColumn {
+				return "", fmt.Errorf("pathid: predicate child %q of %q is an elemid, not a text value", childLabel, n.Label)
+			}
+			found = m.Column
+		}
+	}
+	if found == "" {
+		return "", nil
+	}
+	// Soundness: the resolved column must be populated *only* by direct
+	// childLabel children of nodes in n's relation. If any other source
+	// feeds the same (relation, column) pair — a self-storing node, a leaf
+	// under a structural intermediary, or a differently-labelled leaf — a
+	// column selection cannot distinguish predicate satisfaction from those
+	// foreign values, and the query must be rejected rather than
+	// mistranslated.
+	rel := n.Relation
+	for _, m := range s.Nodes() {
+		if m.Column != found {
+			continue
+		}
+		owner, err := s.OwnerRelation(m.ID)
+		if err != nil || owner != rel {
+			continue
+		}
+		if m.HasRelation() {
+			return "", fmt.Errorf("pathid: predicate column %s.%s is also stored as %s's own text; the predicate cannot be expressed as a column selection",
+				rel, found, m.Name)
+		}
+		if m.Label != childLabel {
+			return "", fmt.Errorf("pathid: predicate column %s.%s is also populated by %q children; the predicate cannot be expressed as a column selection",
+				rel, found, m.Label)
+		}
+		for _, pe := range m.Parents() {
+			if s.Node(pe.From).Relation != rel {
+				return "", fmt.Errorf("pathid: predicate column %s.%s is populated through a structural intermediary at %s; the predicate cannot be expressed as a column selection",
+					rel, found, m.Name)
+			}
+		}
+	}
+	return found, nil
+}

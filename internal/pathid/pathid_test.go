@@ -1,0 +1,158 @@
+package pathid_test
+
+import (
+	"testing"
+
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/workloads"
+)
+
+func TestQ1CrossProduct(t *testing.T) {
+	s := workloads.XMark()
+	g, err := pathid.Build(s, pathexpr.MustParse(workloads.QueryQ1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Empty() {
+		t.Fatal("Q1 cross-product empty")
+	}
+	// Figure 2: six matching paths (one per continent), each ending in a
+	// Category leaf.
+	if got := len(g.Accepts()); got != 6 {
+		t.Errorf("Q1 has %d accepting nodes, want 6", got)
+	}
+	paths, complete := g.EnumeratePaths(100, 1)
+	if !complete || len(paths) != 6 {
+		t.Errorf("Q1 has %d paths (complete=%v), want 6", len(paths), complete)
+	}
+	// Every path is root-to-leaf of length 6: Site,Regions,cont,Item,InCat,Category.
+	for _, p := range paths {
+		if len(p) != 6 {
+			t.Errorf("path length %d, want 6", len(p))
+		}
+		if g.SchemaNode(p[0]).Label != "Site" || g.SchemaNode(p[5]).Label != "Category" {
+			t.Errorf("path endpoints wrong")
+		}
+	}
+}
+
+func TestQ2CrossProductSinglePath(t *testing.T) {
+	s := workloads.XMark()
+	g, err := pathid.Build(s, pathexpr.MustParse(workloads.QueryQ2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, complete := g.EnumeratePaths(100, 1)
+	if !complete || len(paths) != 1 {
+		t.Fatalf("Q2 has %d paths, want 1", len(paths))
+	}
+	// The single path passes through Africa (schema node 3).
+	found := false
+	for _, id := range paths[0] {
+		if g.SchemaNode(id).Name == "3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Q2 path does not pass through the Africa node")
+	}
+}
+
+func TestEmptyCrossProduct(t *testing.T) {
+	s := workloads.XMark()
+	g, err := pathid.Build(s, pathexpr.MustParse("/Site/Nonexistent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Empty() {
+		t.Error("expected empty cross-product")
+	}
+	if paths, _ := g.EnumeratePaths(10, 1); len(paths) != 0 {
+		t.Error("empty graph enumerated paths")
+	}
+}
+
+func TestWrongRootLabelIsEmpty(t *testing.T) {
+	s := workloads.XMark()
+	g, err := pathid.Build(s, pathexpr.MustParse("/NotSite//Category"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Empty() {
+		t.Error("expected empty cross-product for wrong root label")
+	}
+}
+
+func TestRecursiveCrossProductInfinitePaths(t *testing.T) {
+	s := workloads.S3()
+	g, err := pathid.Build(s, pathexpr.MustParse("//E9/E10/elemid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Empty() {
+		t.Fatal("empty cross-product")
+	}
+	_, complete := g.EnumeratePaths(1000000, 1)
+	// With unroll 1 the enumeration is cut at cycles, so it must report
+	// incompleteness for the recursive region.
+	if complete {
+		t.Error("recursive cross-product reported complete enumeration at unroll 1")
+	}
+	// Raising the unroll strictly increases the number of paths.
+	p2, _ := g.EnumeratePaths(1000000, 2)
+	p3, _ := g.EnumeratePaths(1000000, 3)
+	if len(p3) <= len(p2) {
+		t.Errorf("unroll 3 found %d paths, unroll 2 found %d", len(p3), len(p2))
+	}
+}
+
+func TestStateSplittingOnSelfLoop(t *testing.T) {
+	// A self-recursive node queried with fixed-depth child steps must appear
+	// once per relevant DFA state: for /a/b/b over a -> b -> b (self-loop),
+	// node b occurs both at "one b consumed" and "two bs consumed".
+	s := schema.NewBuilder("loop").
+		Node("a", "a", schema.Rel("RA")).
+		Node("b", "b", schema.Rel("RB")).
+		Root("a").
+		Edge("a", "b").
+		Edge("b", "b").
+		MustBuild()
+	g, err := pathid.Build(s, pathexpr.MustParse("/a/b/b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bCount := 0
+	for _, n := range g.Nodes() {
+		if g.Schema.Node(n.Schema).Name == "b" {
+			bCount++
+		}
+	}
+	if bCount != 2 {
+		t.Errorf("b appears %d times in the cross-product, want 2 (one per DFA state):\n%s", bCount, g)
+	}
+	if len(g.Accepts()) != 1 {
+		t.Errorf("accepting nodes = %d, want 1", len(g.Accepts()))
+	}
+}
+
+func TestAcceptingNodesHaveAnnotations(t *testing.T) {
+	// A query that matches an unannotated (structural) node must be
+	// rejected: its result value is not retrievable.
+	s := workloads.XMark()
+	if _, err := pathid.Build(s, pathexpr.MustParse("/Site/Regions")); err == nil {
+		t.Error("query ending at unannotated Regions node accepted")
+	}
+}
+
+func TestCrossProductString(t *testing.T) {
+	s := workloads.XMark()
+	g, err := pathid.Build(s, pathexpr.MustParse(workloads.QueryQ2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := g.String(); len(out) == 0 {
+		t.Error("empty dump")
+	}
+}

@@ -1,0 +1,118 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Store is a catalog of named tables — the relational database instance into
+// which XML documents are shredded.
+type Store struct {
+	tables map[string]*Table
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{tables: map[string]*Table{}}
+}
+
+// CreateTable creates a table from the given schema. It fails if a table of
+// that name already exists.
+func (s *Store) CreateTable(schema *TableSchema) (*Table, error) {
+	if schema.Name == "" {
+		return nil, fmt.Errorf("relational: empty table name")
+	}
+	if _, exists := s.tables[schema.Name]; exists {
+		return nil, fmt.Errorf("relational: table %s already exists", schema.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range schema.Columns {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relational: table %s: empty column name", schema.Name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("relational: table %s: duplicate column %s", schema.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if schema.PrimaryKey != "" && !schema.HasColumn(schema.PrimaryKey) {
+		return nil, fmt.Errorf("relational: table %s: primary key %s is not a column", schema.Name, schema.PrimaryKey)
+	}
+	t := NewTable(schema)
+	s.tables[schema.Name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (s *Store) Table(name string) *Table { return s.tables[name] }
+
+// TableNames returns all table names in sorted order.
+func (s *Store) TableNames() []string {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DropAllRows clears the contents of every table but keeps the catalog.
+func (s *Store) DropAllRows() {
+	for name, t := range s.tables {
+		s.tables[name] = NewTable(t.schema)
+	}
+}
+
+// Dump renders the whole store as text (deterministic ordering), for CLI
+// output and golden tests.
+func (s *Store) Dump() string {
+	var b strings.Builder
+	for _, name := range s.TableNames() {
+		t := s.tables[name]
+		fmt.Fprintf(&b, "TABLE %s (", name)
+		for i, c := range t.schema.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+		}
+		fmt.Fprintf(&b, ") [%d rows]\n", t.Len())
+		for _, r := range t.SortedRows() {
+			b.WriteString("  (")
+			for i, v := range r {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(v.String())
+			}
+			b.WriteString(")\n")
+		}
+	}
+	return b.String()
+}
+
+// BuildJoinIndexes creates hash indexes on the named column of every table
+// that has it — typically "parentid", the join column of every translated
+// query. The engine's index-probe path uses them automatically.
+func (s *Store) BuildJoinIndexes(column string) error {
+	for _, name := range s.TableNames() {
+		t := s.tables[name]
+		if !t.Schema().HasColumn(column) {
+			continue
+		}
+		if err := t.BuildIndex(column); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalRows returns the number of rows across all tables.
+func (s *Store) TotalRows() int {
+	n := 0
+	for _, t := range s.tables {
+		n += t.Len()
+	}
+	return n
+}

@@ -1,0 +1,186 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// TableSchema is the definition of a table: its name, ordered columns, and
+// the (single-column) primary key used by the shredded relations ("id").
+type TableSchema struct {
+	Name    string
+	Columns []Column
+	// PrimaryKey is the name of the primary key column, or "" if none.
+	PrimaryKey string
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (s *TableSchema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasColumn reports whether the schema contains the named column.
+func (s *TableSchema) HasColumn(name string) bool { return s.ColumnIndex(name) >= 0 }
+
+// Clone returns a deep copy of the schema.
+func (s *TableSchema) Clone() *TableSchema {
+	c := &TableSchema{Name: s.Name, PrimaryKey: s.PrimaryKey}
+	c.Columns = append([]Column(nil), s.Columns...)
+	return c
+}
+
+// Row is a tuple; Row[i] corresponds to TableSchema.Columns[i].
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Key returns a hash key identifying the full tuple (used for multiset
+// comparison of query results).
+func (r Row) Key() string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(v.Key())
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// Table is an in-memory heap of rows plus optional hash indexes.
+type Table struct {
+	schema  *TableSchema
+	rows    []Row
+	pkIndex map[string]int      // primary key value -> row ordinal
+	indexes map[string]*hashIdx // column name -> index
+}
+
+type hashIdx struct {
+	col     int
+	buckets map[string][]int
+}
+
+// NewTable creates an empty table with the given schema. If the schema names
+// a primary key a uniqueness-enforcing index is maintained on it.
+func NewTable(schema *TableSchema) *Table {
+	t := &Table{schema: schema.Clone(), indexes: map[string]*hashIdx{}}
+	if schema.PrimaryKey != "" {
+		t.pkIndex = map[string]int{}
+	}
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *TableSchema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Insert appends a row. It validates arity, column kinds (NULL is allowed in
+// any column except the primary key) and primary key uniqueness.
+func (t *Table) Insert(r Row) error {
+	if len(r) != len(t.schema.Columns) {
+		return fmt.Errorf("relational: table %s: insert arity %d, want %d", t.schema.Name, len(r), len(t.schema.Columns))
+	}
+	for i, v := range r {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != t.schema.Columns[i].Kind {
+			return fmt.Errorf("relational: table %s: column %s: inserted %v, want %v",
+				t.schema.Name, t.schema.Columns[i].Name, v.Kind(), t.schema.Columns[i].Kind)
+		}
+	}
+	if t.pkIndex != nil {
+		pi := t.schema.ColumnIndex(t.schema.PrimaryKey)
+		v := r[pi]
+		if v.IsNull() {
+			return fmt.Errorf("relational: table %s: NULL primary key", t.schema.Name)
+		}
+		k := v.Key()
+		if _, dup := t.pkIndex[k]; dup {
+			return fmt.Errorf("relational: table %s: duplicate primary key %v", t.schema.Name, v)
+		}
+		t.pkIndex[k] = len(t.rows)
+	}
+	row := r.Clone()
+	for _, idx := range t.indexes {
+		idx.buckets[row[idx.col].Key()] = append(idx.buckets[row[idx.col].Key()], len(t.rows))
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustInsert inserts and panics on error; for tests and generators whose
+// inputs are constructed correct.
+func (t *Table) MustInsert(r Row) {
+	if err := t.Insert(r); err != nil {
+		panic(err)
+	}
+}
+
+// Rows returns the table's rows. The slice and rows must not be mutated.
+func (t *Table) Rows() []Row { return t.rows }
+
+// BuildIndex builds (or rebuilds) a hash index on the named column.
+func (t *Table) BuildIndex(column string) error {
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("relational: table %s: no column %s", t.schema.Name, column)
+	}
+	idx := &hashIdx{col: ci, buckets: map[string][]int{}}
+	for i, r := range t.rows {
+		k := r[ci].Key()
+		idx.buckets[k] = append(idx.buckets[k], i)
+	}
+	t.indexes[column] = idx
+	return nil
+}
+
+// Lookup returns the rows whose named (indexed) column equals v. The second
+// result reports whether an index on the column exists.
+func (t *Table) Lookup(column string, v Value) ([]Row, bool) {
+	idx, ok := t.indexes[column]
+	if !ok {
+		return nil, false
+	}
+	ords := idx.buckets[v.Key()]
+	out := make([]Row, 0, len(ords))
+	for _, o := range ords {
+		out = append(out, t.rows[o])
+	}
+	return out, true
+}
+
+// SortedRows returns a copy of the rows in deterministic order (for golden
+// tests and dumps).
+func (t *Table) SortedRows() []Row {
+	out := make([]Row, len(t.rows))
+	copy(out, t.rows)
+	sort.Slice(out, func(i, j int) bool { return rowLess(out[i], out[j]) })
+	return out
+}
+
+func rowLess(a, b Row) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,134 @@
+package schema
+
+import (
+	"fmt"
+
+	"xmlsql/internal/relational"
+)
+
+// Builder constructs schemas programmatically. Errors are accumulated and
+// reported by Build, so fluent construction code stays linear.
+type Builder struct {
+	s    *Schema
+	errs []error
+}
+
+// NewBuilder starts a schema with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{s: &Schema{Name: name, byName: map[string]NodeID{}, root: -1}}
+}
+
+// NodeOpt configures a node under construction.
+type NodeOpt func(*Node)
+
+// Rel annotates the node with a relation name.
+func Rel(relation string) NodeOpt {
+	return func(n *Node) { n.Relation = relation }
+}
+
+// Col annotates the node with a value column (stored in the owning
+// relation).
+func Col(column string) NodeOpt {
+	return func(n *Node) { n.Column = column }
+}
+
+// CondInt attaches a node-level condition "column = value" (integer) to a
+// relation-annotated node.
+func CondInt(column string, value int64) NodeOpt {
+	return func(n *Node) {
+		n.Conds = append(n.Conds, EdgeCond{Column: column, Value: relational.Int(value)})
+	}
+}
+
+// CondString attaches a node-level condition "column = 'value'".
+func CondString(column, value string) NodeOpt {
+	return func(n *Node) {
+		n.Conds = append(n.Conds, EdgeCond{Column: column, Value: relational.String(value)})
+	}
+}
+
+// Node adds a node with the given unique name and XML tag label.
+func (b *Builder) Node(name, label string, opts ...NodeOpt) *Builder {
+	if _, dup := b.s.byName[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("schema %s: duplicate node name %s", b.s.Name, name))
+		return b
+	}
+	n := &Node{ID: NodeID(len(b.s.nodes)), Name: name, Label: label}
+	for _, o := range opts {
+		o(n)
+	}
+	b.s.nodes = append(b.s.nodes, n)
+	b.s.byName[name] = n.ID
+	return b
+}
+
+// Root marks the named node as the schema root.
+func (b *Builder) Root(name string) *Builder {
+	id, ok := b.s.byName[name]
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("schema %s: root %s not defined", b.s.Name, name))
+		return b
+	}
+	b.s.root = id
+	return b
+}
+
+// Edge adds an unannotated edge between two named nodes.
+func (b *Builder) Edge(from, to string) *Builder {
+	return b.edge(from, to, nil)
+}
+
+// EdgeCondInt adds an edge annotated with "column = value" (integer).
+func (b *Builder) EdgeCondInt(from, to, column string, value int64) *Builder {
+	return b.edge(from, to, &EdgeCond{Column: column, Value: relational.Int(value)})
+}
+
+// EdgeCondString adds an edge annotated with "column = 'value'".
+func (b *Builder) EdgeCondString(from, to, column, value string) *Builder {
+	return b.edge(from, to, &EdgeCond{Column: column, Value: relational.String(value)})
+}
+
+func (b *Builder) edge(from, to string, cond *EdgeCond) *Builder {
+	fid, ok := b.s.byName[from]
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("schema %s: edge source %s not defined", b.s.Name, from))
+		return b
+	}
+	tid, ok := b.s.byName[to]
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("schema %s: edge target %s not defined", b.s.Name, to))
+		return b
+	}
+	if b.s.EdgeBetween(fid, tid) != nil {
+		b.errs = append(b.errs, fmt.Errorf("schema %s: duplicate edge %s -> %s", b.s.Name, from, to))
+		return b
+	}
+	e := Edge{From: fid, To: tid, Cond: cond}
+	b.s.nodes[fid].children = append(b.s.nodes[fid].children, e)
+	b.s.nodes[tid].parents = append(b.s.nodes[tid].parents, e)
+	return b
+}
+
+// Build validates and returns the schema.
+func (b *Builder) Build() (*Schema, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if b.s.root < 0 {
+		return nil, fmt.Errorf("schema %s: no root declared", b.s.Name)
+	}
+	if err := b.s.Validate(); err != nil {
+		return nil, err
+	}
+	return b.s, nil
+}
+
+// MustBuild builds and panics on error; for statically-known schemas such as
+// the paper's figures.
+func (b *Builder) MustBuild() *Schema {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

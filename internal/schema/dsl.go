@@ -1,0 +1,180 @@
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xmlsql/internal/relational"
+)
+
+// Parse reads a schema from the compact text DSL. The format is line based:
+//
+//	schema <name>
+//	root <nodename>
+//	node <name> label=<tag> [rel=<relation>] [col=<column>]
+//	edge <from> -> <to> [<column>=<int>|<column>='<string>']
+//
+// Lines may appear in any order except that nodes must be declared before
+// edges referencing them; '#' starts a comment. This is the on-disk format
+// used by cmd/xml2sql and cmd/shredder.
+func Parse(input string) (*Schema, error) {
+	var b *Builder
+	var rootName string
+	var pendingEdges []string
+
+	lines := strings.Split(input, "\n")
+	for lineno, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "schema":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("schema dsl line %d: want 'schema <name>'", lineno+1)
+			}
+			if b != nil {
+				return nil, fmt.Errorf("schema dsl line %d: duplicate schema declaration", lineno+1)
+			}
+			b = NewBuilder(fields[1])
+		case "root":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("schema dsl line %d: want 'root <node>'", lineno+1)
+			}
+			rootName = fields[1]
+		case "node":
+			if b == nil {
+				b = NewBuilder("schema")
+			}
+			if err := parseNodeLine(b, fields, lineno+1); err != nil {
+				return nil, err
+			}
+		case "edge":
+			pendingEdges = append(pendingEdges, line)
+		default:
+			return nil, fmt.Errorf("schema dsl line %d: unknown directive %q", lineno+1, fields[0])
+		}
+	}
+	if b == nil {
+		return nil, fmt.Errorf("schema dsl: no schema content")
+	}
+	for _, line := range pendingEdges {
+		if err := parseEdgeLine(b, line); err != nil {
+			return nil, err
+		}
+	}
+	if rootName == "" {
+		return nil, fmt.Errorf("schema dsl: no root declared")
+	}
+	b.Root(rootName)
+	return b.Build()
+}
+
+// MustParse parses and panics on error; for schema literals in tests.
+func MustParse(input string) *Schema {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseNodeLine(b *Builder, fields []string, lineno int) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("schema dsl line %d: want 'node <name> label=<tag> ...'", lineno)
+	}
+	name := fields[1]
+	var label string
+	var opts []NodeOpt
+	for _, f := range fields[2:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("schema dsl line %d: bad attribute %q", lineno, f)
+		}
+		switch k {
+		case "label":
+			label = v
+		case "rel":
+			opts = append(opts, Rel(v))
+		case "col":
+			opts = append(opts, Col(v))
+		case "cond":
+			col, valStr, ok := strings.Cut(v, "=")
+			if !ok {
+				return fmt.Errorf("schema dsl line %d: bad node condition %q (want col=value)", lineno, v)
+			}
+			val, err := parseLiteral(valStr)
+			if err != nil {
+				return fmt.Errorf("schema dsl line %d: bad node condition value %q: %v", lineno, valStr, err)
+			}
+			if val.Kind() == relational.KindInt {
+				opts = append(opts, CondInt(col, val.AsInt()))
+			} else {
+				opts = append(opts, CondString(col, val.AsString()))
+			}
+		default:
+			return fmt.Errorf("schema dsl line %d: unknown attribute %q", lineno, k)
+		}
+	}
+	if label == "" {
+		return fmt.Errorf("schema dsl line %d: node %s missing label", lineno, name)
+	}
+	b.Node(name, label, opts...)
+	return nil
+}
+
+func parseEdgeLine(b *Builder, line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "edge"))
+	var condPart string
+	if i := strings.IndexByte(rest, '['); i >= 0 {
+		j := strings.IndexByte(rest, ']')
+		if j < i {
+			return fmt.Errorf("schema dsl: unterminated condition in %q", line)
+		}
+		condPart = strings.TrimSpace(rest[i+1 : j])
+		rest = strings.TrimSpace(rest[:i])
+	}
+	from, to, ok := strings.Cut(rest, "->")
+	if !ok {
+		return fmt.Errorf("schema dsl: edge line %q missing '->'", line)
+	}
+	from = strings.TrimSpace(from)
+	to = strings.TrimSpace(to)
+	if condPart == "" {
+		b.Edge(from, to)
+		return nil
+	}
+	col, valStr, ok := strings.Cut(condPart, "=")
+	if !ok {
+		return fmt.Errorf("schema dsl: bad edge condition %q", condPart)
+	}
+	col = strings.TrimSpace(col)
+	valStr = strings.TrimSpace(valStr)
+	v, err := parseLiteral(valStr)
+	if err != nil {
+		return fmt.Errorf("schema dsl: bad edge condition value %q: %v", valStr, err)
+	}
+	if v.Kind() == relational.KindInt {
+		b.EdgeCondInt(from, to, col, v.AsInt())
+	} else {
+		b.EdgeCondString(from, to, col, v.AsString())
+	}
+	return nil
+}
+
+func parseLiteral(s string) (relational.Value, error) {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return relational.String(s[1 : len(s)-1]), nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return relational.Null, err
+	}
+	return relational.Int(n), nil
+}

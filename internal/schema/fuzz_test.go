@@ -1,0 +1,31 @@
+package schema
+
+import "testing"
+
+// FuzzParse checks the DSL parser never panics and that accepted schemas
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	f.Add("schema x\nroot a\nnode a label=a rel=R\n")
+	f.Add("schema x\nroot a\nnode a label=a rel=R\nnode b label=b col=v\nedge a -> b\n")
+	f.Add("schema x\nroot a\nnode a label=a rel=R cond=tag='a'\nedge a -> a [pc=1]\n")
+	f.Add("node a\nroot\n# comment\n")
+	f.Add("schema s\nroot r\nnode r label=r rel=R\nedge r -> r\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(input)
+		if err != nil {
+			return
+		}
+		text := s.String()
+		s2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\noriginal input: %q\nrendered:\n%s", err, input, text)
+		}
+		if s2.String() != text {
+			t.Fatalf("round trip not stable for %q", input)
+		}
+		// Accepted schemas must also survive relational derivation or fail
+		// cleanly (no panics).
+		_, _ = s.DeriveRelations()
+		_ = s.Classify()
+	})
+}

@@ -1,0 +1,218 @@
+package schema
+
+// Shape classifies the schema graph; the pruning algorithm differs between
+// the tree case (§4) and the DAG/recursive case (§5).
+type Shape uint8
+
+// Schema graph shapes.
+const (
+	ShapeTree Shape = iota
+	ShapeDAG
+	ShapeRecursive
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ShapeTree:
+		return "tree"
+	case ShapeDAG:
+		return "dag"
+	default:
+		return "recursive"
+	}
+}
+
+// Classify reports whether the schema is a tree, a DAG, or recursive.
+func (s *Schema) Classify() Shape {
+	if s.hasCycle() {
+		return ShapeRecursive
+	}
+	for _, n := range s.nodes {
+		if len(n.parents) > 1 {
+			return ShapeDAG
+		}
+	}
+	return ShapeTree
+}
+
+func (s *Schema) hasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, len(s.nodes))
+	var visit func(NodeID) bool
+	visit = func(id NodeID) bool {
+		color[id] = gray
+		for _, e := range s.nodes[id].children {
+			switch color[e.To] {
+			case gray:
+				return true
+			case white:
+				if visit(e.To) {
+					return true
+				}
+			}
+		}
+		color[id] = black
+		return false
+	}
+	for _, n := range s.nodes {
+		if color[n.ID] == white {
+			if visit(n.ID) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ReachableFromRoot returns the set of nodes reachable from the root.
+func (s *Schema) ReachableFromRoot() map[NodeID]bool {
+	seen := map[NodeID]bool{}
+	stack := []NodeID{s.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		for _, e := range s.nodes[id].children {
+			if !seen[e.To] {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// SCCs computes strongly connected components with Tarjan's algorithm
+// (iterative). Components are returned in reverse topological order; each
+// component lists its member node ids. Trivial (single-node, non-self-loop)
+// components are included.
+func (s *Schema) SCCs() [][]NodeID {
+	n := len(s.nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []NodeID
+	var comps [][]NodeID
+	counter := 0
+
+	type frame struct {
+		id    NodeID
+		child int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{id: NodeID(start)})
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, NodeID(start))
+		onStack[start] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			node := s.nodes[f.id]
+			if f.child < len(node.children) {
+				to := node.children[f.child].To
+				f.child++
+				if index[to] == -1 {
+					index[to] = counter
+					low[to] = counter
+					counter++
+					stack = append(stack, to)
+					onStack[to] = true
+					call = append(call, frame{id: to})
+				} else if onStack[to] {
+					if index[to] < low[f.id] {
+						low[f.id] = index[to]
+					}
+				}
+				continue
+			}
+			// Finished node.
+			if low[f.id] == index[f.id] {
+				var comp []NodeID
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == f.id {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := &call[len(call)-1]
+				if low[f.id] < low[parent.id] {
+					low[parent.id] = low[f.id]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// SCCOf returns, for every node, the id of its strongly connected component
+// (an arbitrary but stable small integer), plus a set of component ids that
+// are recursive (contain a cycle: more than one node, or a self-loop).
+func (s *Schema) SCCOf() (comp []int, recursive map[int]bool) {
+	comps := s.SCCs()
+	comp = make([]int, len(s.nodes))
+	recursive = map[int]bool{}
+	for ci, members := range comps {
+		for _, id := range members {
+			comp[id] = ci
+		}
+	}
+	for ci, members := range comps {
+		if len(members) > 1 {
+			recursive[ci] = true
+			continue
+		}
+		id := members[0]
+		for _, e := range s.nodes[id].children {
+			if e.To == id {
+				recursive[ci] = true
+			}
+		}
+	}
+	return comp, recursive
+}
+
+// RelationAnnotatedOnPathExists reports whether some descendant-or-self of
+// id (following edges downward) has a relation annotation. Used when
+// deciding where a pending edge condition lands.
+func (s *Schema) RelationAnnotatedOnPathExists(id NodeID) bool {
+	return s.hasDownstreamRelation(id, map[NodeID]bool{})
+}
+
+// LeafNodesOfColumn returns all nodes whose value annotation is exactly
+// rel.col — the paper's LeafNodes(R.C). Relation-annotated nodes count for
+// (rel, "id") since their retrievable value is the elemid.
+func (s *Schema) LeafNodesOfColumn(rel, col string) []NodeID {
+	var out []NodeID
+	for _, n := range s.nodes {
+		r, c, err := s.Annot(n.ID)
+		if err != nil {
+			continue
+		}
+		if r == rel && c == col {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}

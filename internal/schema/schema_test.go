@@ -1,0 +1,285 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsql/internal/relational"
+)
+
+func small() *Schema {
+	return NewBuilder("t").
+		Node("r", "root", Rel("R")).
+		Node("a", "a", Rel("A")).
+		Node("s", "s").
+		Node("b", "b", Rel("B")).
+		Node("v", "v", Col("val")).
+		Root("r").
+		Edge("r", "a").
+		Edge("r", "s").
+		EdgeCondInt("s", "b", "pc", 1).
+		Edge("b", "v").
+		MustBuild()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	s := small()
+	if s.NumNodes() != 5 {
+		t.Errorf("NumNodes = %d", s.NumNodes())
+	}
+	if s.RootNode().Name != "r" {
+		t.Errorf("root = %s", s.RootNode().Name)
+	}
+	if s.NodeByName("b") == nil || s.NodeByName("zz") != nil {
+		t.Error("NodeByName broken")
+	}
+	if got := s.Relations(); len(got) != 3 || got[0] != "A" {
+		t.Errorf("Relations = %v", got)
+	}
+	e := s.EdgeBetween(s.NodeByName("s").ID, s.NodeByName("b").ID)
+	if e == nil || e.Cond == nil || e.Cond.Column != "pc" {
+		t.Error("edge condition lost")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []func() (*Schema, error){
+		func() (*Schema, error) { return NewBuilder("x").Build() },
+		func() (*Schema, error) { return NewBuilder("x").Node("a", "a").Build() }, // no root
+		func() (*Schema, error) { return NewBuilder("x").Node("a", "a").Node("a", "a").Root("a").Build() },
+		func() (*Schema, error) { return NewBuilder("x").Node("a", "a").Root("b").Build() },
+		func() (*Schema, error) {
+			return NewBuilder("x").Node("a", "a").Node("b", "b").Root("a").Edge("a", "b").Edge("a", "b").Build()
+		},
+		func() (*Schema, error) { // unreachable node
+			return NewBuilder("x").Node("a", "a").Node("b", "b").Root("a").Build()
+		},
+		func() (*Schema, error) { // value column with no owner
+			return NewBuilder("x").Node("a", "a", Col("v")).Root("a").Build()
+		},
+		func() (*Schema, error) { // node conds on unannotated node
+			return NewBuilder("x").Node("a", "a", CondInt("c", 1)).Root("a").Build()
+		},
+	}
+	for i, f := range cases {
+		if _, err := f(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if got := small().Classify(); got != ShapeTree {
+		t.Errorf("tree classified as %v", got)
+	}
+	dag := NewBuilder("d").
+		Node("r", "r", Rel("R")).
+		Node("a", "a", Rel("A")).
+		Node("b", "b", Rel("B")).
+		Node("c", "c", Rel("C")).
+		Root("r").
+		Edge("r", "a").Edge("r", "b").Edge("a", "c").Edge("b", "c").
+		MustBuild()
+	if got := dag.Classify(); got != ShapeDAG {
+		t.Errorf("dag classified as %v", got)
+	}
+	rec := NewBuilder("rec").
+		Node("r", "r", Rel("R")).
+		Node("a", "a", Rel("A")).
+		Root("r").
+		Edge("r", "a").Edge("a", "r").
+		MustBuild()
+	if got := rec.Classify(); got != ShapeRecursive {
+		t.Errorf("recursive classified as %v", got)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	rec := NewBuilder("rec").
+		Node("r", "r", Rel("R0")).
+		Node("a", "a", Rel("R1")).
+		Node("b", "b", Rel("R2")).
+		Node("c", "c", Rel("R3")).
+		Root("r").
+		Edge("r", "a").Edge("a", "b").Edge("b", "a").Edge("b", "c").
+		MustBuild()
+	comp, recursive := rec.SCCOf()
+	aid := rec.NodeByName("a").ID
+	bid := rec.NodeByName("b").ID
+	cid := rec.NodeByName("c").ID
+	if comp[aid] != comp[bid] {
+		t.Error("a and b must share a component")
+	}
+	if comp[aid] == comp[cid] {
+		t.Error("c must not be in the cycle's component")
+	}
+	if !recursive[comp[aid]] || recursive[comp[cid]] {
+		t.Error("recursive flags wrong")
+	}
+}
+
+func TestOwnerRelationAndAnnot(t *testing.T) {
+	s := small()
+	rel, err := s.OwnerRelation(s.NodeByName("v").ID)
+	if err != nil || rel != "B" {
+		t.Errorf("OwnerRelation(v) = %s, %v", rel, err)
+	}
+	r, c, err := s.Annot(s.NodeByName("v").ID)
+	if err != nil || r != "B" || c != "val" {
+		t.Errorf("Annot(v) = %s.%s, %v", r, c, err)
+	}
+	r, c, err = s.Annot(s.NodeByName("a").ID)
+	if err != nil || r != "A" || c != IDColumn {
+		t.Errorf("Annot(a) = %s.%s, %v", r, c, err)
+	}
+	if _, _, err := s.Annot(s.NodeByName("s").ID); err == nil {
+		t.Error("Annot of structural node must fail")
+	}
+}
+
+func TestDeriveRelations(t *testing.T) {
+	s := small()
+	defs, err := s.DeriveRelations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 3 {
+		t.Fatalf("derived %d relations, want 3", len(defs))
+	}
+	b := defs["B"]
+	if len(b.CondColumns) != 1 || b.CondColumns[0].Name != "pc" || b.CondColumns[0].Kind != relational.KindInt {
+		t.Errorf("B cond columns = %v", b.CondColumns)
+	}
+	if len(b.ValueColumns) != 1 || b.ValueColumns[0].Name != "val" {
+		t.Errorf("B value columns = %v", b.ValueColumns)
+	}
+	ts := b.TableSchema()
+	if ts.PrimaryKey != IDColumn || ts.Columns[0].Name != IDColumn || ts.Columns[1].Name != ParentIDColumn {
+		t.Errorf("table schema layout wrong: %+v", ts)
+	}
+}
+
+func TestDeriveRelationsConflicts(t *testing.T) {
+	// A column used both as condition and value must be rejected.
+	s := NewBuilder("bad").
+		Node("r", "r", Rel("R")).
+		Node("a", "a", Rel("A")).
+		Node("v", "v", Col("pc")).
+		Root("r").
+		EdgeCondInt("r", "a", "pc", 1).
+		Edge("a", "v").
+		MustBuild()
+	if _, err := s.DeriveRelations(); err == nil {
+		t.Error("cond/value column clash accepted")
+	}
+	// Reserved column names are rejected.
+	s2 := NewBuilder("bad2").
+		Node("r", "r", Rel("R")).
+		Node("v", "v", Col("parentid")).
+		Root("r").
+		Edge("r", "v").
+		MustBuild()
+	if _, err := s2.DeriveRelations(); err == nil {
+		t.Error("reserved value column accepted")
+	}
+}
+
+func TestElemidColumnConvention(t *testing.T) {
+	s := NewBuilder("e").
+		Node("r", "r", Rel("R")).
+		Node("eid", "elemid", Col(IDColumn)).
+		Root("r").
+		Edge("r", "eid").
+		MustBuild()
+	defs, err := s.DeriveRelations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs["R"].ValueColumns) != 0 {
+		t.Error("elemid leaf must not add a value column")
+	}
+	rel, col, err := s.Annot(s.NodeByName("eid").ID)
+	if err != nil || rel != "R" || col != IDColumn {
+		t.Errorf("Annot(elemid) = %s.%s, %v", rel, col, err)
+	}
+}
+
+func TestDSLRoundTrip(t *testing.T) {
+	s := small()
+	text := s.String()
+	re, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if re.String() != text {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", text, re.String())
+	}
+}
+
+func TestDSLNodeConds(t *testing.T) {
+	s := MustParse(`
+schema edge
+root r
+node r label=Site rel=Edge cond=tag='Site'
+node c label=Item rel=Edge cond=tag='Item' col=value
+edge r -> c
+`)
+	root := s.RootNode()
+	if len(root.Conds) != 1 || root.Conds[0].Column != "tag" || root.Conds[0].Value.AsString() != "Site" {
+		t.Errorf("root conds = %v", root.Conds)
+	}
+	if !strings.Contains(s.String(), "cond=tag='Site'") {
+		t.Errorf("node cond not rendered:\n%s", s)
+	}
+}
+
+func TestDSLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"schema x\nroot a\nnode a\n", // missing label
+		"schema x\nroot a\nnode a label=a badattr=1\n",            // unknown attr
+		"schema x\nroot a\nnode a label=a\nedge a b\n",            // missing ->
+		"schema x\nroot a\nnode a label=a\nedge a -> a [pc]\n",    // bad cond
+		"schema x\nroot a\nnode a label=a\nedge a -> a [pc=zz]\n", // bad literal
+		"schema x\nnode a label=a\n",                              // no root
+		"schema x\nschema y\nroot a\nnode a label=a\n",            // duplicate schema
+		"schema x\nroot a\nnode a label=a cond=tag\n",             // bad node cond
+		"blah x\n", // unknown directive
+		"schema x\nroot a\nnode a label=a\nedge a -> missing\n",                  // unknown target
+		"schema x\nroot a\nnode a label=a\nnode a label=b\n",                     // duplicate node
+		"schema x\nroot zz\nnode a label=a\n",                                    // unknown root
+		"schema x\nroot a\nnode a label=a\nedge a -> a [pc=1\n",                  // unterminated cond
+		"schema x\nroot a\nnode a label=a col=v\n",                               // col without owner
+		"schema x\nroot a\nnode a label=a\nnode b label=b\nedge a -> b [pc=1]\n", // cond with no owning relation
+	}
+	for i, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("case %d: Parse accepted %q", i, in)
+		}
+	}
+}
+
+func TestLeafNodesOfColumn(t *testing.T) {
+	s := small()
+	nodes := s.LeafNodesOfColumn("B", "val")
+	if len(nodes) != 1 || s.Node(nodes[0]).Name != "v" {
+		t.Errorf("LeafNodesOfColumn = %v", nodes)
+	}
+	ids := s.LeafNodesOfColumn("A", IDColumn)
+	if len(ids) != 1 {
+		t.Errorf("LeafNodesOfColumn(A.id) = %v", ids)
+	}
+}
+
+func TestValidateCatchesUnannotatedCondTarget(t *testing.T) {
+	b := NewBuilder("x").
+		Node("r", "r", Rel("R")).
+		Node("s", "s").
+		Node("v", "v", Col("val")).
+		Root("r").
+		EdgeCondInt("r", "s", "pc", 1).
+		Edge("s", "v")
+	if _, err := b.Build(); err == nil {
+		t.Error("edge condition with no downstream relation accepted")
+	}
+}

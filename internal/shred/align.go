@@ -1,0 +1,105 @@
+// Package shred implements the shredding algorithm "A" of §3.2 — a
+// decomposition of XML documents into relational tuples that *respects* any
+// XML-to-Relational mapping (properties P1–P3) — together with its inverse
+// (reconstruction) and a checker for the "lossless from XML" constraint.
+package shred
+
+import (
+	"fmt"
+
+	"xmlsql/internal/schema"
+	"xmlsql/internal/xmltree"
+)
+
+// Alignment maps every document element to the schema node it conforms to.
+// Shredding, reference query evaluation, and conformance validation all
+// derive from it.
+type Alignment struct {
+	Schema *schema.Schema
+	Doc    *xmltree.Document
+	nodeOf map[*xmltree.Node]schema.NodeID
+}
+
+// SchemaNodeOf returns the schema node a document element was aligned to.
+func (a *Alignment) SchemaNodeOf(n *xmltree.Node) (schema.NodeID, bool) {
+	id, ok := a.nodeOf[n]
+	return id, ok
+}
+
+// Align matches the document against the schema, assigning each element a
+// schema node. When several same-labelled schema children could host an
+// element, the first (in schema declaration order) whose subtree accepts the
+// element is chosen; mappings intended for lossless shredding are
+// deterministic, and the checker reports genuinely ambiguous ones.
+func Align(s *schema.Schema, d *xmltree.Document) (*Alignment, error) {
+	a := &Alignment{Schema: s, Doc: d, nodeOf: map[*xmltree.Node]schema.NodeID{}}
+	memo := map[*xmltree.Node]map[schema.NodeID]bool{}
+
+	var accepts func(n *xmltree.Node, id schema.NodeID) bool
+	accepts = func(n *xmltree.Node, id schema.NodeID) bool {
+		if m, ok := memo[n]; ok {
+			if v, ok := m[id]; ok {
+				return v
+			}
+		} else {
+			memo[n] = map[schema.NodeID]bool{}
+		}
+		memo[n][id] = false // provisional: recursive schemas terminate because doc is finite; cycle hits provisional false
+		sn := s.Node(id)
+		ok := sn.Label == n.Label
+		if ok {
+			for _, c := range n.Children {
+				found := false
+				for _, e := range sn.Children() {
+					if accepts(c, e.To) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+		}
+		memo[n][id] = ok
+		return ok
+	}
+
+	if !accepts(d.Root, s.Root()) {
+		return nil, fmt.Errorf("shred: document root <%s> does not conform to schema %s", d.Root.Label, s.Name)
+	}
+
+	var assign func(n *xmltree.Node, id schema.NodeID) error
+	assign = func(n *xmltree.Node, id schema.NodeID) error {
+		a.nodeOf[n] = id
+		sn := s.Node(id)
+		for _, c := range n.Children {
+			var chosen schema.NodeID = -1
+			for _, e := range sn.Children() {
+				if accepts(c, e.To) {
+					chosen = e.To
+					break
+				}
+			}
+			if chosen < 0 {
+				return fmt.Errorf("shred: element <%s> under <%s> conforms to no child of schema node %s",
+					c.Label, n.Label, sn.Name)
+			}
+			if err := assign(c, chosen); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := assign(d.Root, s.Root()); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Conforms reports whether the document conforms to the schema.
+func Conforms(s *schema.Schema, d *xmltree.Document) bool {
+	_, err := Align(s, d)
+	return err == nil
+}

@@ -1,0 +1,217 @@
+package shred_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/workloads"
+	"xmlsql/internal/xmltree"
+)
+
+func TestAlignRejectsNonConformingDocuments(t *testing.T) {
+	s := workloads.XMark()
+	cases := []string{
+		`<NotSite/>`,            // wrong root
+		`<Site><Bogus/></Site>`, // unknown child
+		`<Site><Regions><Africa><Item><name>x</name><Unknown/></Item></Africa></Regions></Site>`, // unknown grandchild
+	}
+	for _, in := range cases {
+		doc, err := xmltree.ParseString(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shred.Conforms(s, doc) {
+			t.Errorf("document conformed unexpectedly:\n%s", in)
+		}
+		store := relational.NewStore()
+		if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err == nil {
+			t.Errorf("shredding accepted non-conforming document:\n%s", in)
+		}
+	}
+}
+
+func TestAlignAssignsSchemaNodes(t *testing.T) {
+	s := workloads.XMark()
+	doc := workloads.GenerateXMark(workloads.XMarkConfig{ItemsPerContinent: 1, CategoriesPerItem: 1, NumCategories: 1, Seed: 1})
+	a, err := shred.Align(s, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Walk(func(n *xmltree.Node, _ []string) {
+		id, ok := a.SchemaNodeOf(n)
+		if !ok {
+			t.Errorf("element <%s> unaligned", n.Label)
+			return
+		}
+		if s.Node(id).Label != n.Label {
+			t.Errorf("element <%s> aligned to node labelled %s", n.Label, s.Node(id).Label)
+		}
+	})
+}
+
+func TestAlignRecursive(t *testing.T) {
+	s := workloads.S3()
+	doc := workloads.GenerateS3(workloads.S3Config{Fanout: 1, MaxDepth: 6, Seed: 2})
+	if !shred.Conforms(s, doc) {
+		t.Fatal("generated recursive document should conform")
+	}
+}
+
+func TestShredderSequentialIDs(t *testing.T) {
+	s := workloads.XMark()
+	store := relational.NewStore()
+	sh, err := shred.NewShredder(s, store, shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.NextID() != 1 {
+		t.Errorf("NextID = %d before any shredding", sh.NextID())
+	}
+	doc := workloads.GenerateXMark(workloads.XMarkConfig{ItemsPerContinent: 1, CategoriesPerItem: 1, NumCategories: 1, Seed: 1})
+	res, err := sh.Shred(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(sh.NextID()) != res.Tuples+1 {
+		t.Errorf("NextID = %d after %d tuples", sh.NextID(), res.Tuples)
+	}
+	// A second document continues the id sequence (multi-document store).
+	res2, err := sh.Shred(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(sh.NextID()) != res.Tuples+res2.Tuples+1 {
+		t.Errorf("NextID = %d after two documents", sh.NextID())
+	}
+	// Reconstruction returns both documents.
+	docs, err := shred.Reconstruct(s, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Errorf("reconstructed %d documents, want 2", len(docs))
+	}
+}
+
+func TestReconstructMissingRelation(t *testing.T) {
+	s := workloads.XMark()
+	store := relational.NewStore() // tables never created
+	if _, err := shred.Reconstruct(s, store); err == nil {
+		t.Error("reconstruct accepted a store with missing relations")
+	}
+}
+
+func TestReconstructUnannotatedRootRejected(t *testing.T) {
+	b := schema.NewBuilder("noroot").
+		Node("r", "r").
+		Node("a", "a", schema.Rel("A"), schema.Col("val")).
+		Root("r").
+		Edge("r", "a")
+	s := b.MustBuild()
+	store := relational.NewStore()
+	doc, _ := xmltree.ParseString(`<r><a>x</a></r>`)
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		// The shredder handles unannotated roots (the A tuple gets a NULL
+		// parentid); only reconstruction is impossible.
+		t.Fatalf("shred: %v", err)
+	}
+	if _, err := shred.Reconstruct(s, store); err == nil {
+		t.Error("reconstruct accepted an unannotated root")
+	}
+}
+
+func TestEvalReferenceErrorsOnUnannotatedMatch(t *testing.T) {
+	s := workloads.XMark()
+	store := relational.NewStore()
+	doc := workloads.GenerateXMark(workloads.XMarkConfig{ItemsPerContinent: 1, CategoriesPerItem: 1, NumCategories: 1, Seed: 1})
+	results, err := shred.ShredAll(s, store, shred.Options{}, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regions is unannotated: its "value" is not retrievable.
+	q := mustQuery(t, "/Site/Regions")
+	if _, err := shred.EvalReferenceAll(results, q); err == nil {
+		t.Error("reference evaluation accepted an unannotated match")
+	}
+}
+
+func TestStoreDumpMentionsEveryRelation(t *testing.T) {
+	s := workloads.XMark()
+	store := relational.NewStore()
+	doc := workloads.GenerateXMark(workloads.XMarkConfig{ItemsPerContinent: 1, CategoriesPerItem: 1, NumCategories: 1, Seed: 1})
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		t.Fatal(err)
+	}
+	dump := store.Dump()
+	for _, rel := range s.Relations() {
+		if !strings.Contains(dump, "TABLE "+rel) {
+			t.Errorf("dump missing relation %s", rel)
+		}
+	}
+}
+
+func mustQuery(t *testing.T, q string) *pathexpr.Path {
+	t.Helper()
+	p, err := pathexpr.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDeepRecursiveDocument(t *testing.T) {
+	// A parts chain 3000 levels deep: alignment, shredding, reconstruction,
+	// and translation must all handle documents far deeper than the schema.
+	b := schema.NewBuilder("deep").
+		Node("root", "Assembly", schema.Rel("Assembly")).
+		Node("part", "Part", schema.Rel("Part")).
+		Node("name", "Name", schema.Col("name")).
+		Root("root").
+		Edge("root", "part").
+		Edge("part", "part").
+		Edge("part", "name")
+	s := b.MustBuild()
+
+	const depth = 3000
+	leaf := &xmltree.Node{Label: "Part", Children: []*xmltree.Node{xmltree.NewText("Name", "leaf")}}
+	cur := leaf
+	for i := 0; i < depth-1; i++ {
+		cur = &xmltree.Node{Label: "Part", Children: []*xmltree.Node{
+			xmltree.NewText("Name", "mid"),
+			cur,
+		}}
+	}
+	doc := &xmltree.Document{Root: &xmltree.Node{Label: "Assembly", Children: []*xmltree.Node{cur}}}
+
+	store := relational.NewStore()
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		t.Fatalf("shred: %v", err)
+	}
+	if store.Table("Part").Len() != depth {
+		t.Fatalf("Part has %d rows, want %d", store.Table("Part").Len(), depth)
+	}
+	docs, err := shred.Reconstruct(s, store)
+	if err != nil {
+		t.Fatalf("reconstruct: %v", err)
+	}
+	if !docs[0].Canonicalize().Equal(doc.Canonicalize()) {
+		t.Error("deep round trip mismatch")
+	}
+	// Reference evaluation over the deep chain (deep DFA walk).
+	tmp := relational.NewStore()
+	rs, err := shred.ShredAll(s, tmp, shred.Options{}, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := shred.EvalReferenceAll(rs, mustQuery(t, "//Part/Part/Name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != depth-1 {
+		t.Errorf("reference found %d subpart names, want %d", len(vals), depth-1)
+	}
+}

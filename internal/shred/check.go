@@ -1,0 +1,96 @@
+package shred
+
+import (
+	"fmt"
+
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+)
+
+// CheckLossless verifies that the relational instance satisfies the
+// "lossless from XML" constraint for the mapping: every tuple is reachable
+// from a document root via parentid links, is claimed by exactly one schema
+// node position, and the documents it encodes conform to the schema. This is
+// exactly "the data could have been produced by a shredding algorithm that
+// respects the mapping" (§3.2); instances with orphan tuples, duplicated
+// shreds, or schema-violating structure are rejected.
+func CheckLossless(s *schema.Schema, store *relational.Store) error {
+	docs, err := Reconstruct(s, store)
+	if err != nil {
+		return fmt.Errorf("lossless check failed: %w", err)
+	}
+	for _, d := range docs {
+		if !Conforms(s, d) {
+			return fmt.Errorf("lossless check failed: reconstructed document rooted at <%s> does not conform to schema %s",
+				d.Root.Label, s.Name)
+		}
+	}
+	return nil
+}
+
+// InjectOrphan inserts a tuple with a dangling parentid into the named
+// relation — a violation of the lossless constraint used by the failure
+// injection tests and the §4.1 discussion (data not loaded by a respecting
+// shredder).
+func InjectOrphan(s *schema.Schema, store *relational.Store, rel string, fakeParent int64) error {
+	defs, err := s.DeriveRelations()
+	if err != nil {
+		return err
+	}
+	def, ok := defs[rel]
+	if !ok {
+		return fmt.Errorf("shred: relation %s not in mapping", rel)
+	}
+	t := store.Table(rel)
+	if t == nil {
+		return fmt.Errorf("shred: relation %s not in store", rel)
+	}
+	maxID := int64(0)
+	for _, n := range store.TableNames() {
+		tbl := store.Table(n)
+		idx := tbl.Schema().ColumnIndex(schema.IDColumn)
+		if idx < 0 {
+			continue
+		}
+		for _, row := range tbl.Rows() {
+			if !row[idx].IsNull() && row[idx].AsInt() > maxID {
+				maxID = row[idx].AsInt()
+			}
+		}
+	}
+	ts := def.TableSchema()
+	row := make(relational.Row, len(ts.Columns))
+	for i, c := range ts.Columns {
+		switch c.Name {
+		case schema.IDColumn:
+			row[i] = relational.Int(maxID + 1)
+		case schema.ParentIDColumn:
+			row[i] = relational.Int(fakeParent)
+		default:
+			row[i] = relational.Null
+		}
+	}
+	return t.Insert(row)
+}
+
+// DuplicateTuple re-inserts a copy (with a fresh id) of the first tuple of
+// the named relation — the "stored multiple times" violation.
+func DuplicateTuple(s *schema.Schema, store *relational.Store, rel string) error {
+	t := store.Table(rel)
+	if t == nil {
+		return fmt.Errorf("shred: relation %s not in store", rel)
+	}
+	if t.Len() == 0 {
+		return fmt.Errorf("shred: relation %s is empty", rel)
+	}
+	src := t.Rows()[0].Clone()
+	maxID := int64(0)
+	idx := t.Schema().ColumnIndex(schema.IDColumn)
+	for _, row := range t.Rows() {
+		if row[idx].AsInt() > maxID {
+			maxID = row[idx].AsInt()
+		}
+	}
+	src[idx] = relational.Int(maxID + 1000000)
+	return t.Insert(src)
+}

@@ -1,0 +1,54 @@
+package shred
+
+import (
+	"fmt"
+
+	"xmlsql/internal/schema"
+)
+
+// EdgeRelation is the name of the generic relation used by schema-oblivious
+// (Edge) storage [Florescu & Kossmann], §5.3 of the paper.
+const EdgeRelation = "Edge"
+
+// EdgeTagColumn is the condition column distinguishing element tags in the
+// Edge relation.
+const EdgeTagColumn = "tag"
+
+// EdgeValueColumn holds element text values in the Edge relation.
+const EdgeValueColumn = "value"
+
+// EdgeSchemaFor derives the schema-oblivious mapping of Figure 10 from a
+// plain XML schema: the same graph, but every node is annotated with the
+// single Edge relation and the node condition "tag = '<label>'" (the Edge
+// shredder of [7] stores every element's tag, including the root's), and
+// every value-bearing node stores its text in Edge.value. Shredding this
+// mapping with the ordinary shredder produces the classic Edge table
+// (id, parentid, tag, value); the "lossless from XML" constraint holds just
+// as for schema-aware storage, which is what lets the pruning algorithm emit
+// the short self-joins of §5.3.
+func EdgeSchemaFor(s *schema.Schema) (*schema.Schema, error) {
+	b := schema.NewBuilder(s.Name + "_edge")
+	for _, n := range s.Nodes() {
+		opts := []schema.NodeOpt{
+			schema.Rel(EdgeRelation),
+			schema.CondString(EdgeTagColumn, n.Label),
+		}
+		if n.Column != "" || n.IsLeaf() {
+			if n.Column == schema.IDColumn {
+				opts = append(opts, schema.Col(schema.IDColumn))
+			} else {
+				opts = append(opts, schema.Col(EdgeValueColumn))
+			}
+		}
+		b.Node(n.Name, n.Label, opts...)
+	}
+	b.Root(s.RootNode().Name)
+	for _, e := range s.Edges() {
+		b.Edge(s.Node(e.From).Name, s.Node(e.To).Name)
+	}
+	es, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("shred: deriving edge mapping: %w", err)
+	}
+	return es, nil
+}

@@ -1,0 +1,141 @@
+package shred_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/workloads"
+	"xmlsql/internal/xmltree"
+)
+
+// interleavedSchema stores two differently-labelled children in two
+// relations; without an order column their interleaving is unrecoverable.
+func interleavedSchema() *schema.Schema {
+	return schema.NewBuilder("inter").
+		Node("r", "r", schema.Rel("R")).
+		Node("a", "a", schema.Rel("A"), schema.Col("val")).
+		Node("b", "b", schema.Rel("B"), schema.Col("val")).
+		Root("r").
+		Edge("r", "a").
+		Edge("r", "b").
+		MustBuild()
+}
+
+func interleavedDoc() *xmltree.Document {
+	return &xmltree.Document{Root: xmltree.NewElem("r",
+		xmltree.NewText("b", "1"),
+		xmltree.NewText("a", "2"),
+		xmltree.NewText("b", "3"),
+		xmltree.NewText("a", "4"),
+	)}
+}
+
+func TestOrderPreservingShredding(t *testing.T) {
+	s := interleavedSchema()
+	doc := interleavedDoc()
+
+	// Without the order column the round trip only holds canonically.
+	plain := relational.NewStore()
+	if _, err := shred.ShredAll(s, plain, shred.Options{}, doc); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := shred.Reconstruct(s, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docs[0].Equal(doc) {
+		t.Log("plain reconstruction happened to preserve interleaving (ids)")
+	}
+	if !docs[0].Canonicalize().Equal(doc.Canonicalize()) {
+		t.Fatal("canonical round trip must hold without ordering")
+	}
+
+	// With the order column the round trip is exact.
+	ordered := relational.NewStore()
+	if _, err := shred.ShredAll(s, ordered, shred.Options{WithOrder: true}, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !ordered.Table("A").Schema().HasColumn(shred.OrderColumn) {
+		t.Fatal("order column missing")
+	}
+	docs, err = shred.Reconstruct(s, ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !docs[0].Equal(doc) {
+		t.Errorf("order-preserving round trip not exact:\noriginal:\n%s\nreconstructed:\n%s", doc, docs[0])
+	}
+}
+
+func TestOrderedEdgeRelationShape(t *testing.T) {
+	// With WithOrder, Edge storage has the classic five columns of [7]:
+	// id, parentid, tag, ord, value.
+	base := workloads.XMark()
+	es, err := shred.EdgeSchemaFor(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := relational.NewStore()
+	doc := workloads.GenerateXMark(workloads.XMarkConfig{ItemsPerContinent: 2, CategoriesPerItem: 1, NumCategories: 2, Seed: 1})
+	if _, err := shred.ShredAll(es, store, shred.Options{WithOrder: true}, doc); err != nil {
+		t.Fatal(err)
+	}
+	cols := store.Table(shred.EdgeRelation).Schema().Columns
+	var names []string
+	for _, c := range cols {
+		names = append(names, c.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"id", "parentid", "tag", "ord", "value"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Edge columns %v missing %s", names, want)
+		}
+	}
+	// Exact (not just canonical) round trip over Edge storage with order.
+	docs, err := shred.Reconstruct(es, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !docs[0].Equal(doc) {
+		t.Error("ordered Edge round trip not exact")
+	}
+}
+
+func TestOrderColumnClashRejected(t *testing.T) {
+	s := schema.NewBuilder("clash").
+		Node("r", "r", schema.Rel("R")).
+		Node("v", "v", schema.Col("ord")).
+		Root("r").
+		Edge("r", "v").
+		MustBuild()
+	store := relational.NewStore()
+	if _, err := shred.NewShredder(s, store, shred.Options{WithOrder: true}); err == nil {
+		t.Error("ord column clash accepted")
+	}
+	// Without WithOrder the mapping is fine.
+	if _, err := shred.NewShredder(s, relational.NewStore(), shred.Options{}); err != nil {
+		t.Errorf("plain shredder rejected: %v", err)
+	}
+}
+
+func TestOrderedXMarkExactRoundTrip(t *testing.T) {
+	s := workloads.XMark()
+	doc := workloads.GenerateXMark(workloads.DefaultXMarkConfig())
+	store := relational.NewStore()
+	if _, err := shred.ShredAll(s, store, shred.Options{WithOrder: true}, doc); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := shred.Reconstruct(s, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XMark's value leaves (name) precede the InCategory children in the
+	// generator, matching the reconstructor's value-leaves-first placement,
+	// so the ordered round trip is exact.
+	if !docs[0].Equal(doc) {
+		t.Error("ordered XMark round trip not exact")
+	}
+}

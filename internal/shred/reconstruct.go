@@ -1,0 +1,372 @@
+package shred
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/xmltree"
+)
+
+// Reconstruct inverts shredding: it rebuilds the XML documents stored in the
+// relational instance, witnessing the "lossless from XML" constraint. Every
+// tuple must be claimed by exactly one document element; unassignable
+// (orphan) or ambiguous tuples are reported as errors — such instances
+// violate the constraint.
+//
+// Reconstruction is exact up to canonical sibling order (see
+// xmltree.Canonicalize): the mapping has no order column, so only the
+// relative order of tuple-producing siblings is recoverable (ids are
+// assigned in document order). Unannotated structural elements are
+// materialized exactly once per parent, the paper's implicit occurrence
+// model for unannotated nodes.
+func Reconstruct(s *schema.Schema, store *relational.Store) ([]*xmltree.Document, error) {
+	r, err := newReconstructor(s, store)
+	if err != nil {
+		return nil, err
+	}
+	docs, err := r.run()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.checkCoverage(); err != nil {
+		return nil, err
+	}
+	return docs, nil
+}
+
+type reconstructor struct {
+	s     *schema.Schema
+	store *relational.Store
+	// byParent indexes each relation's rows by parentid key.
+	byParent map[string]map[string][]rowRef
+	claimed  map[string]map[int64]bool // rel -> id -> claimed
+	total    int
+	nClaimed int
+}
+
+type rowRef struct {
+	row relational.Row
+	tbl *relational.TableSchema
+}
+
+func (rr rowRef) value(col string) relational.Value {
+	i := rr.tbl.ColumnIndex(col)
+	if i < 0 {
+		return relational.Null
+	}
+	return rr.row[i]
+}
+
+func (rr rowRef) id() int64 { return rr.value(schema.IDColumn).AsInt() }
+
+func newReconstructor(s *schema.Schema, store *relational.Store) (*reconstructor, error) {
+	if !s.RootNode().HasRelation() {
+		return nil, fmt.Errorf("shred: cannot reconstruct: root node %s has no relation annotation", s.RootNode().Name)
+	}
+	r := &reconstructor{
+		s:        s,
+		store:    store,
+		byParent: map[string]map[string][]rowRef{},
+		claimed:  map[string]map[int64]bool{},
+	}
+	for _, rel := range s.Relations() {
+		t := store.Table(rel)
+		if t == nil {
+			return nil, fmt.Errorf("shred: relation %s missing from store", rel)
+		}
+		idx := map[string][]rowRef{}
+		for _, row := range t.Rows() {
+			rr := rowRef{row: row, tbl: t.Schema()}
+			key := rr.value(schema.ParentIDColumn).Key()
+			idx[key] = append(idx[key], rr)
+			r.total++
+		}
+		for _, refs := range idx {
+			sort.Slice(refs, func(i, j int) bool { return refs[i].id() < refs[j].id() })
+		}
+		r.byParent[rel] = idx
+		r.claimed[rel] = map[int64]bool{}
+	}
+	return r, nil
+}
+
+func (r *reconstructor) run() ([]*xmltree.Document, error) {
+	rootRel := r.s.RootNode().Relation
+	roots := r.byParent[rootRel][relational.Null.Key()]
+	var docs []*xmltree.Document
+	for _, rr := range roots {
+		r.claim(rootRel, rr.id())
+		elem, err := r.buildElement(r.s.Root(), rr)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, &xmltree.Document{Root: elem})
+	}
+	return docs, nil
+}
+
+func (r *reconstructor) claim(rel string, id int64) {
+	if !r.claimed[rel][id] {
+		r.claimed[rel][id] = true
+		r.nClaimed++
+	}
+}
+
+func (r *reconstructor) checkCoverage() error {
+	if r.nClaimed == r.total {
+		return nil
+	}
+	for rel, idx := range r.byParent {
+		for _, refs := range idx {
+			for _, rr := range refs {
+				if !r.claimed[rel][rr.id()] {
+					return fmt.Errorf("shred: lossless violation: orphan tuple %s.id=%d (parentid=%v) claimed by no element",
+						rel, rr.id(), rr.value(schema.ParentIDColumn))
+				}
+			}
+		}
+	}
+	return fmt.Errorf("shred: internal: claim counting mismatch (%d of %d)", r.nClaimed, r.total)
+}
+
+// chain is a downward route from a schema node through unannotated
+// structural nodes to either a relation-annotated target or a value leaf.
+type chain struct {
+	structPath []string // labels of unannotated intermediates, in order
+	target     schema.NodeID
+	isValue    bool // target is a column-only value leaf
+	conds      []schema.EdgeCond
+}
+
+// chainsFrom enumerates the chains below sid. Unannotated cycles are
+// rejected (they would make occurrence counts unrecoverable).
+func (r *reconstructor) chainsFrom(sid schema.NodeID) ([]chain, error) {
+	var out []chain
+	var visit func(id schema.NodeID, structPath []string, conds []schema.EdgeCond, seen map[schema.NodeID]bool) error
+	visit = func(id schema.NodeID, structPath []string, conds []schema.EdgeCond, seen map[schema.NodeID]bool) error {
+		for _, e := range r.s.Node(id).Children() {
+			m := r.s.Node(e.To)
+			cconds := conds
+			if e.Cond != nil {
+				cconds = append(append([]schema.EdgeCond(nil), conds...), *e.Cond)
+			}
+			switch {
+			case m.HasRelation():
+				tconds := cconds
+				if len(m.Conds) > 0 {
+					tconds = append(append([]schema.EdgeCond(nil), cconds...), m.Conds...)
+				}
+				out = append(out, chain{structPath: structPath, target: e.To, conds: tconds})
+			case m.Column != "":
+				if len(cconds) > 0 {
+					return fmt.Errorf("shred: edge conditions lead to value leaf %s with no owning tuple", m.Name)
+				}
+				out = append(out, chain{structPath: structPath, target: e.To, isValue: true})
+			default:
+				if seen[e.To] {
+					return fmt.Errorf("shred: unannotated cycle through node %s; occurrence counts unrecoverable", m.Name)
+				}
+				seen[e.To] = true
+				sp := append(append([]string(nil), structPath...), m.Label)
+				if err := visit(e.To, sp, cconds, seen); err != nil {
+					return err
+				}
+				delete(seen, e.To)
+			}
+		}
+		return nil
+	}
+	err := visit(sid, nil, nil, map[schema.NodeID]bool{})
+	return out, err
+}
+
+func condsMatch(rr rowRef, conds []schema.EdgeCond) bool {
+	for _, c := range conds {
+		if !rr.value(c.Column).Equal(c.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildElement materializes the element for a tuple aligned to schema node
+// sid.
+func (r *reconstructor) buildElement(sid schema.NodeID, rr rowRef) (*xmltree.Node, error) {
+	sn := r.s.Node(sid)
+	elem := &xmltree.Node{Label: sn.Label}
+	if sn.Column != "" && sn.Column != schema.IDColumn {
+		if v := rr.value(sn.Column); !v.IsNull() {
+			elem.Text = v.AsString()
+		}
+	}
+	children, err := r.buildChildren(sid, rr)
+	if err != nil {
+		return nil, err
+	}
+	elem.Children = children
+	return elem, nil
+}
+
+type placedChild struct {
+	elem *xmltree.Node
+	id   int64 // tuple id for annotated children; -1 for value leaves and structural nodes
+	ord  int64 // sibling position when order-preserving shredding was used; -1 otherwise
+}
+
+// buildChildren assembles the child elements of the element owning tuple rr
+// at schema node sid: value leaves from the tuple's own columns, annotated
+// children from claimed tuples (in id — i.e. document — order), and
+// structural elements wrapping deeper chains.
+func (r *reconstructor) buildChildren(sid schema.NodeID, rr rowRef) ([]*xmltree.Node, error) {
+	chains, err := r.chainsFrom(sid)
+	if err != nil {
+		return nil, err
+	}
+	if len(chains) == 0 {
+		return nil, nil
+	}
+	parentKey := relational.Int(rr.id()).Key()
+
+	// Assign each candidate tuple to exactly one chain.
+	type assignment struct {
+		ch  chain
+		ref rowRef
+	}
+	var assigned []assignment
+	rels := map[string]bool{}
+	for _, ch := range chains {
+		if !ch.isValue {
+			rels[r.s.Node(ch.target).Relation] = true
+		}
+	}
+	for rel := range rels {
+		for _, cand := range r.byParent[rel][parentKey] {
+			var matches []chain
+			for _, ch := range chains {
+				if ch.isValue || r.s.Node(ch.target).Relation != rel {
+					continue
+				}
+				if condsMatch(cand, ch.conds) {
+					matches = append(matches, ch)
+				}
+			}
+			switch len(matches) {
+			case 0:
+				return nil, fmt.Errorf("shred: lossless violation: tuple %s.id=%d under parent %d matches no schema child of %s",
+					rel, cand.id(), rr.id(), r.s.Node(sid).Name)
+			case 1:
+				r.claim(rel, cand.id())
+				assigned = append(assigned, assignment{ch: matches[0], ref: cand})
+			default:
+				return nil, fmt.Errorf("shred: ambiguous mapping: tuple %s.id=%d under parent %d matches %d schema children of %s",
+					rel, cand.id(), rr.id(), len(matches), r.s.Node(sid).Name)
+			}
+		}
+	}
+
+	// Group assignments and value leaves by their structural path.
+	groups := map[string][]placedChild{}
+	pathKey := func(path []string) string {
+		key := ""
+		for _, p := range path {
+			key += p + "\x00"
+		}
+		return key
+	}
+
+	for _, ch := range chains {
+		if !ch.isValue {
+			continue
+		}
+		leaf := r.s.Node(ch.target)
+		var text string
+		if leaf.Column == schema.IDColumn {
+			// elemid leaves expose the owner's id; the element itself is
+			// empty in the document.
+			text = ""
+		} else {
+			v := rr.value(leaf.Column)
+			if v.IsNull() {
+				continue // value never stored; the element is not materialized
+			}
+			if v.Kind() == relational.KindString {
+				text = v.AsString()
+			} else {
+				text = v.String()
+			}
+		}
+		k := pathKey(ch.structPath)
+		groups[k] = append(groups[k], placedChild{elem: &xmltree.Node{Label: leaf.Label, Text: text}, id: -1, ord: -1})
+	}
+	for _, a := range assigned {
+		elem, err := r.buildElement(a.ch.target, a.ref)
+		if err != nil {
+			return nil, err
+		}
+		ord := int64(-1)
+		if a.ref.tbl.HasColumn(OrderColumn) {
+			if v := a.ref.value(OrderColumn); !v.IsNull() {
+				ord = v.AsInt()
+			}
+		}
+		k := pathKey(a.ch.structPath)
+		groups[k] = append(groups[k], placedChild{elem: elem, id: a.ref.id(), ord: ord})
+	}
+
+	// Build the structural skeleton trie in chain (schema edge) order and
+	// materialize: direct children at each level (value leaves first, then
+	// tuple children in id — i.e. document — order), one element per
+	// structural node.
+	trie := newStructTrie()
+	for _, ch := range chains {
+		trie.insert(ch.structPath)
+	}
+	return trie.emit(groups, pathKey, nil), nil
+}
+
+type structTrie struct {
+	order []string
+	sub   map[string]*structTrie
+}
+
+// sortKey orders reconstructed siblings: the materialized sibling position
+// when order-preserving shredding was used, otherwise the document-ordered
+// tuple id; value leaves (no tuple) sort first.
+func (pc placedChild) sortKey() int64 {
+	if pc.ord >= 0 {
+		return pc.ord
+	}
+	return pc.id
+}
+
+func newStructTrie() *structTrie { return &structTrie{sub: map[string]*structTrie{}} }
+
+func (t *structTrie) insert(path []string) {
+	if len(path) == 0 {
+		return
+	}
+	child, ok := t.sub[path[0]]
+	if !ok {
+		child = newStructTrie()
+		t.sub[path[0]] = child
+		t.order = append(t.order, path[0])
+	}
+	child.insert(path[1:])
+}
+
+func (t *structTrie) emit(groups map[string][]placedChild, pathKey func([]string) string, prefix []string) []*xmltree.Node {
+	var out []*xmltree.Node
+	direct := groups[pathKey(prefix)]
+	sort.SliceStable(direct, func(i, j int) bool { return direct[i].sortKey() < direct[j].sortKey() })
+	for _, pc := range direct {
+		out = append(out, pc.elem)
+	}
+	for _, label := range t.order {
+		elem := &xmltree.Node{Label: label}
+		elem.Children = t.sub[label].emit(groups, pathKey, append(prefix, label))
+		out = append(out, elem)
+	}
+	return out
+}

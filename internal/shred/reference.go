@@ -1,0 +1,70 @@
+package shred
+
+import (
+	"fmt"
+
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/xmltree"
+)
+
+// EvalReference evaluates a path expression directly over a shredded
+// document and returns the result values exactly as the SQL translations
+// must produce them: for value-bearing nodes the element text, for
+// relation-annotated nodes without a value column the elemid assigned during
+// shredding. This is the ground truth the translation tests compare both the
+// naive and the pruned SQL against.
+func EvalReference(res *Result, q *pathexpr.Path) ([]relational.Value, error) {
+	// Parent pointers, for resolving elemid leaves to their owning element.
+	parent := map[*xmltree.Node]*xmltree.Node{}
+	res.Alignment.Doc.Walk(func(n *xmltree.Node, _ []string) {
+		for _, c := range n.Children {
+			parent[c] = n
+		}
+	})
+
+	var out []relational.Value
+	for _, n := range xmltree.MatchNodes(res.Alignment.Doc, q) {
+		sid, ok := res.Alignment.SchemaNodeOf(n)
+		if !ok {
+			return nil, fmt.Errorf("shred: matched element <%s> has no schema alignment", n.Label)
+		}
+		_, col, err := res.Alignment.Schema.Annot(sid)
+		if err != nil {
+			return nil, fmt.Errorf("shred: query %s matches unannotated node: %v", q, err)
+		}
+		if col == schema.IDColumn {
+			// The element's own elemid, or — for explicit elemid leaves —
+			// the nearest tuple-producing ancestor's.
+			cur := n
+			for cur != nil {
+				if id, ok := res.IDs[cur]; ok {
+					out = append(out, relational.Int(id))
+					break
+				}
+				cur = parent[cur]
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("shred: element <%s> has no assigned elemid", n.Label)
+			}
+			continue
+		}
+		out = append(out, relational.String(n.Text))
+	}
+	return out, nil
+}
+
+// EvalReferenceAll evaluates the query over several shredded documents and
+// concatenates the results.
+func EvalReferenceAll(results []*Result, q *pathexpr.Path) ([]relational.Value, error) {
+	var out []relational.Value
+	for _, r := range results {
+		vs, err := EvalReference(r, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package sqlast
+
+import "strings"
+
+// SQL renders the query as SQL text in the paper's style: lowercase keywords,
+// one clause per line, UNION ALL between branches.
+func (q *Query) SQL() string {
+	var b strings.Builder
+	q.renderInto(&b, "")
+	return b.String()
+}
+
+func (q *Query) renderInto(b *strings.Builder, indent string) {
+	if len(q.With) > 0 {
+		b.WriteString(indent)
+		b.WriteString("with ")
+		recursive := false
+		for _, c := range q.With {
+			if c.Recursive {
+				recursive = true
+			}
+		}
+		if recursive {
+			b.WriteString("recursive ")
+		}
+		for i, c := range q.With {
+			if i > 0 {
+				b.WriteString(",\n")
+				b.WriteString(indent)
+			}
+			b.WriteString(c.Name)
+			b.WriteString(" as (\n")
+			c.Body.renderInto(b, indent+"  ")
+			b.WriteString("\n")
+			b.WriteString(indent)
+			b.WriteString(")")
+		}
+		b.WriteString("\n")
+	}
+	for i, s := range q.Selects {
+		if i > 0 {
+			b.WriteString("\n")
+			b.WriteString(indent)
+			b.WriteString("union all\n")
+		}
+		s.renderInto(b, indent)
+	}
+}
+
+func (s *Select) renderInto(b *strings.Builder, indent string) {
+	b.WriteString(indent)
+	b.WriteString("select ")
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		c.render(b)
+	}
+	b.WriteString("\n")
+	b.WriteString(indent)
+	b.WriteString("from   ")
+	for i, f := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		f.render(b)
+	}
+	if s.Where != nil {
+		b.WriteString("\n")
+		b.WriteString(indent)
+		b.WriteString("where  ")
+		s.Where.render(b)
+	}
+}
+
+// SQL renders a single select block.
+func (s *Select) SQL() string {
+	var b strings.Builder
+	s.renderInto(&b, "")
+	return b.String()
+}
+
+// ExprString renders an expression alone, e.g. for structural comparison of
+// predicates.
+func ExprString(e Expr) string {
+	if e == nil {
+		return "TRUE"
+	}
+	var b strings.Builder
+	e.render(&b)
+	return b.String()
+}
+
+// Shape summarizes the structural complexity of a query: the number of UNION
+// ALL branches, the total number of joins (FROM items minus one, per branch,
+// including CTE bodies), and whether recursion is used. The paper's argument
+// is entirely about this shape.
+type Shape struct {
+	Branches  int
+	Joins     int
+	CTEs      int
+	Recursive bool
+}
+
+// Shape computes the query's Shape.
+func (q *Query) Shape() Shape {
+	var sh Shape
+	q.addShape(&sh)
+	return sh
+}
+
+func (q *Query) addShape(sh *Shape) {
+	for _, c := range q.With {
+		sh.CTEs++
+		if c.Recursive {
+			sh.Recursive = true
+		}
+		c.Body.addShape(sh)
+	}
+	sh.Branches += len(q.Selects)
+	for _, s := range q.Selects {
+		if n := len(s.From) - 1; n > 0 {
+			sh.Joins += n
+		}
+	}
+}
+
+// String renders the shape compactly, e.g. "6 branches, 12 joins".
+func (sh Shape) String() string {
+	var b strings.Builder
+	writeCount(&b, sh.Branches, "branch", "branches")
+	b.WriteString(", ")
+	writeCount(&b, sh.Joins, "join", "joins")
+	if sh.CTEs > 0 {
+		b.WriteString(", ")
+		writeCount(&b, sh.CTEs, "cte", "ctes")
+	}
+	if sh.Recursive {
+		b.WriteString(", recursive")
+	}
+	return b.String()
+}
+
+func writeCount(b *strings.Builder, n int, singular, plural string) {
+	if n == 1 {
+		b.WriteString("1 ")
+		b.WriteString(singular)
+		return
+	}
+	b.WriteString(itoa(n))
+	b.WriteByte(' ')
+	b.WriteString(plural)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

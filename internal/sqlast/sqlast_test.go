@@ -1,0 +1,147 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+)
+
+func col(t, c string) ColRef { return ColRef{Table: t, Column: c} }
+
+func TestConjFlattening(t *testing.T) {
+	if Conj() != nil {
+		t.Error("empty Conj must be nil (TRUE)")
+	}
+	single := Eq(col("a", "x"), IntLit(1))
+	if got := Conj(single); got != Expr(single) {
+		t.Error("single-child Conj must unwrap")
+	}
+	nested := Conj(Conj(Eq(col("a", "x"), IntLit(1)), Eq(col("a", "y"), IntLit(2))), Eq(col("b", "z"), IntLit(3)))
+	and, ok := nested.(And)
+	if !ok || len(and.Kids) != 3 {
+		t.Errorf("nested Conj not flattened: %#v", nested)
+	}
+	if got := Conj(nil, single, nil); got != Expr(single) {
+		t.Error("nil conjuncts must be dropped")
+	}
+}
+
+func TestDisjFlattening(t *testing.T) {
+	a := Eq(col("a", "x"), IntLit(1))
+	b := Eq(col("a", "x"), IntLit(2))
+	or, ok := Disj(a, Disj(b, a)).(Or)
+	if !ok || len(or.Kids) != 3 {
+		t.Errorf("nested Disj not flattened")
+	}
+	if Disj(a, nil) != nil {
+		t.Error("a TRUE disjunct must collapse the disjunction to TRUE (nil)")
+	}
+	if _, ok := Disj().(Or); !ok {
+		t.Error("empty Disj must be FALSE")
+	}
+}
+
+func TestRenderPrecedence(t *testing.T) {
+	// a AND (b OR c) needs parentheses around the OR.
+	e := Conj(
+		Eq(col("t", "a"), IntLit(1)),
+		Disj(Eq(col("t", "b"), IntLit(2)), Eq(col("t", "c"), IntLit(3))),
+	)
+	got := ExprString(e)
+	want := "t.a = 1 AND (t.b = 2 OR t.c = 3)"
+	if got != want {
+		t.Errorf("render = %q, want %q", got, want)
+	}
+}
+
+func TestRenderSelect(t *testing.T) {
+	q := SingleSelect(&Select{
+		Cols: []SelectItem{Col("C", "category")},
+		From: []FromItem{From("InCat", "C")},
+	})
+	got := q.SQL()
+	if !strings.Contains(got, "select C.category") || !strings.Contains(got, "from   InCat C") {
+		t.Errorf("unexpected SQL:\n%s", got)
+	}
+}
+
+func TestRenderUnionAndWith(t *testing.T) {
+	inner := SingleSelect(&Select{
+		Cols: []SelectItem{Star("S")},
+		From: []FromItem{From("S1", "S")},
+	})
+	q := &Query{
+		With: []CTE{{Name: "temp_21", Body: inner}},
+		Selects: []*Select{
+			{Cols: []SelectItem{Col("T", "C1")}, From: []FromItem{From("temp_21", "T")}},
+			{Cols: []SelectItem{Col("U", "C1")}, From: []FromItem{From("temp_21", "U")}},
+		},
+	}
+	got := q.SQL()
+	for _, want := range []string{"with temp_21 as (", "union all", "select T.C1", "S.*"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("SQL missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRenderRecursiveWith(t *testing.T) {
+	body := &Query{Selects: []*Select{
+		{Cols: []SelectItem{{Expr: IntLit(1), As: "node"}, {Expr: col("R", "id"), As: "id"}}, From: []FromItem{From("R8", "R")}},
+		{Cols: []SelectItem{{Expr: IntLit(2), As: "node"}, {Expr: col("R", "id"), As: "id"}},
+			From:  []FromItem{From("t", "T"), From("R9", "R")},
+			Where: Eq(col("R", "parentid"), col("T", "id"))},
+	}}
+	q := &Query{
+		With:    []CTE{{Name: "t", Recursive: true, Body: body}},
+		Selects: []*Select{{Cols: []SelectItem{Col("T", "id")}, From: []FromItem{From("t", "T")}}},
+	}
+	if !strings.Contains(q.SQL(), "with recursive t as (") {
+		t.Errorf("missing recursive keyword:\n%s", q.SQL())
+	}
+	sh := q.Shape()
+	if !sh.Recursive || sh.CTEs != 1 || sh.Branches != 3 || sh.Joins != 1 {
+		t.Errorf("shape = %v", sh)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	sh := Shape{Branches: 1, Joins: 0}
+	if sh.String() != "1 branch, 0 joins" {
+		t.Errorf("shape string = %q", sh.String())
+	}
+	sh = Shape{Branches: 6, Joins: 12, CTEs: 1, Recursive: true}
+	if got := sh.String(); got != "6 branches, 12 joins, 1 cte, recursive" {
+		t.Errorf("shape string = %q", got)
+	}
+}
+
+func TestInAndIsNullRender(t *testing.T) {
+	e := Conj(
+		In{Left: col("R2", "pc"), List: []Lit{IntLit(2), IntLit(3)}},
+		IsNull{Left: col("E", "parentid")},
+	)
+	got := ExprString(e)
+	want := "R2.pc IN (2, 3) AND E.parentid IS NULL"
+	if got != want {
+		t.Errorf("render = %q, want %q", got, want)
+	}
+}
+
+func TestUnionMergesWith(t *testing.T) {
+	a := &Query{With: []CTE{{Name: "x", Body: SingleSelect(&Select{Cols: []SelectItem{Col("R", "id")}, From: []FromItem{From("R", "R")}})}},
+		Selects: []*Select{{Cols: []SelectItem{Col("x", "id")}, From: []FromItem{From("x", "x")}}}}
+	b := &Query{Selects: []*Select{{Cols: []SelectItem{Col("S", "id")}, From: []FromItem{From("S", "S")}}}}
+	u := Union(a, b)
+	if len(u.With) != 1 || len(u.Selects) != 2 {
+		t.Errorf("union merged wrongly: %d with, %d selects", len(u.With), len(u.Selects))
+	}
+}
+
+func TestStringLitEscapesNothingButRenders(t *testing.T) {
+	if got := ExprString(StringLit("InCategory")); got != "'InCategory'" {
+		t.Errorf("string literal = %q", got)
+	}
+	if got := ExprString(Lit{}); got != "NULL" {
+		t.Errorf("zero literal = %q", got)
+	}
+}

@@ -1,0 +1,111 @@
+package translate
+
+import (
+	"fmt"
+
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/sqlast"
+)
+
+// MaxEnumeratedPaths bounds explicit path enumeration for tree-shaped
+// cross-product graphs; larger graphs use the CTE generator, mirroring [9]'s
+// observation that path enumeration can be exponential for DAG schemas.
+const MaxEnumeratedPaths = 4096
+
+// NeedsAnchor reports whether translations over this mapping must pin the
+// root alias with "parentid IS NULL": required exactly when the root's
+// relation also stores non-root nodes (schema-oblivious Edge storage); a
+// no-op — and therefore omitted, matching the paper's printed SQL — for
+// conventional mappings.
+func NeedsAnchor(s *schema.Schema) bool {
+	root := s.RootNode()
+	if !root.HasRelation() {
+		return false
+	}
+	for _, n := range s.Nodes() {
+		if n.ID != root.ID && n.Relation == root.Relation {
+			return true
+		}
+	}
+	return false
+}
+
+// Naive is the baseline translator of [9], with no use of the "lossless
+// from XML" constraint: every matching path is translated from the schema
+// root down. Tree-shaped cross-product graphs become a UNION ALL of
+// root-to-leaf join queries (the SQ1^1 shape of §2); DAG and recursive
+// graphs use WITH [RECURSIVE] common table expressions.
+func Naive(g *pathid.Graph) (*sqlast.Query, error) {
+	if g.Empty() {
+		return &sqlast.Query{}, nil
+	}
+	anchored := NeedsAnchor(g.Schema)
+
+	if CPIsTree(g) {
+		paths, complete := g.EnumeratePaths(MaxEnumeratedPaths, 1)
+		if complete {
+			q := &sqlast.Query{}
+			for _, p := range paths {
+				sel, err := BuildPathSelect(g, PathSpec{Nodes: p, Anchored: anchored})
+				if err != nil {
+					return nil, err
+				}
+				q.Selects = append(q.Selects, sel)
+			}
+			return q, nil
+		}
+	}
+
+	sg := &Subgraph{
+		G:        g,
+		Nodes:    map[int]bool{},
+		Entries:  map[int][]schema.EdgeCond{g.Start(): nil},
+		Anchored: anchored,
+		Results:  g.Accepts(),
+	}
+	for _, n := range g.Nodes() {
+		sg.Nodes[n.ID] = true
+	}
+	if !g.SchemaNode(g.Start()).HasRelation() {
+		return nil, fmt.Errorf("translate: schema root %s is not relation-annotated", g.SchemaNode(g.Start()).Name)
+	}
+	return sg.Query()
+}
+
+// CPIsTree reports whether the cross-product graph is a tree (single parent
+// everywhere, no cycles), the case where [9] emits plain unions of joins.
+func CPIsTree(g *pathid.Graph) bool {
+	if g.Empty() {
+		return true
+	}
+	for _, n := range g.Nodes() {
+		if len(g.Parents(n.ID)) > 1 {
+			return false
+		}
+	}
+	// Cycle check (a cycle through the root keeps every node at one parent).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, len(g.Nodes()))
+	var visit func(int) bool
+	visit = func(id int) bool {
+		color[id] = gray
+		for _, e := range g.Children(id) {
+			switch color[e.To] {
+			case gray:
+				return true
+			case white:
+				if visit(e.To) {
+					return true
+				}
+			}
+		}
+		color[id] = black
+		return false
+	}
+	return !visit(g.Start())
+}

@@ -1,0 +1,124 @@
+package translate
+
+import (
+	"fmt"
+
+	"xmlsql/internal/schema"
+	"xmlsql/internal/sqlast"
+)
+
+// RtoL builds the paper's root-to-leaf query RtoL(l) (§3.2): the UNION ALL
+// of SQL(p) over every root-to-l path p in the schema. For recursive schemas
+// the path set is infinite; paths are enumerated with each node visited at
+// most unroll times, and the second result reports whether the enumeration
+// was complete.
+//
+// RtoL is the formal core of the "lossless from XML" constraint: property P2
+// states that for every relational column R.C,
+//
+//	select R.C from R  ≡  ⋃ { RtoL(l) : l ∈ LeafNodes(R.C) }
+//
+// under multiset semantics. The shred package's tests check exactly that
+// equivalence on shredded instances.
+func RtoL(s *schema.Schema, leaf schema.NodeID, unroll int) (*sqlast.Query, bool, error) {
+	if unroll <= 0 {
+		unroll = 1
+	}
+	rel, col, err := s.Annot(leaf)
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Enumerate root-to-leaf node paths.
+	var paths [][]schema.NodeID
+	complete := true
+	visits := map[schema.NodeID]int{}
+	var cur []schema.NodeID
+	var rec func(id schema.NodeID)
+	rec = func(id schema.NodeID) {
+		if visits[id] >= unroll {
+			complete = false
+			return
+		}
+		visits[id]++
+		cur = append(cur, id)
+		if id == leaf {
+			paths = append(paths, append([]schema.NodeID(nil), cur...))
+		}
+		for _, e := range s.Node(id).Children() {
+			rec(e.To)
+		}
+		cur = cur[:len(cur)-1]
+		visits[id]--
+	}
+	rec(s.Root())
+	if len(paths) == 0 {
+		return nil, false, fmt.Errorf("translate: leaf %s unreachable from root", s.Node(leaf).Name)
+	}
+
+	anchored := NeedsAnchor(s)
+	q := &sqlast.Query{}
+	for _, p := range paths {
+		sel, err := schemaPathSelect(s, p, rel, col, anchored)
+		if err != nil {
+			return nil, false, err
+		}
+		q.Selects = append(q.Selects, sel)
+	}
+	return q, complete, nil
+}
+
+// schemaPathSelect builds SQL(p) for a root-to-node path of the schema graph
+// itself (the §3.2 definition, independent of any query).
+func schemaPathSelect(s *schema.Schema, path []schema.NodeID, rel, col string, anchored bool) (*sqlast.Select, error) {
+	sel := &sqlast.Select{}
+	al := NewAliases()
+	var conj []sqlast.Expr
+	var pending []schema.EdgeCond
+	prevAlias := ""
+	lastAlias := ""
+
+	for i, id := range path {
+		if i > 0 {
+			if e := s.EdgeBetween(path[i-1], id); e != nil && e.Cond != nil {
+				pending = append(pending, *e.Cond)
+			}
+		}
+		n := s.Node(id)
+		if !n.HasRelation() {
+			continue
+		}
+		alias := al.For(n.Relation)
+		sel.From = append(sel.From, sqlast.From(n.Relation, alias))
+		if prevAlias == "" {
+			if anchored {
+				conj = append(conj, sqlast.IsNull{Left: sqlast.ColRef{Table: alias, Column: schema.ParentIDColumn}})
+			}
+		} else {
+			conj = append(conj, sqlast.Eq(
+				sqlast.ColRef{Table: alias, Column: schema.ParentIDColumn},
+				sqlast.ColRef{Table: prevAlias, Column: schema.IDColumn}))
+		}
+		for _, c := range append(pending, n.Conds...) {
+			conj = append(conj, CondExpr(alias, c))
+		}
+		pending = nil
+		prevAlias = alias
+		lastAlias = alias
+	}
+	if lastAlias == "" || s.Node(path[len(path)-1]).HasRelation() == false {
+		// Column-only leaf: the value lives in the owner alias, which is the
+		// last relation on the path.
+		if lastAlias == "" {
+			alias := al.For(rel)
+			sel.From = append(sel.From, sqlast.From(rel, alias))
+			lastAlias = alias
+		}
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("translate: dangling edge conditions on path to %s", s.Node(path[len(path)-1]).Name)
+	}
+	sel.Cols = []sqlast.SelectItem{sqlast.Col(lastAlias, col)}
+	sel.Where = sqlast.Conj(conj...)
+	return sel, nil
+}

@@ -1,0 +1,206 @@
+package translate_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/translate"
+	"xmlsql/internal/workloads"
+)
+
+func TestAliases(t *testing.T) {
+	al := translate.NewAliases()
+	cases := []struct{ rel, want string }{
+		{"Site", "S"},
+		{"Item", "I"},
+		{"InCat", "IC"},
+		{"Site", "S2"}, // clash
+		{"R3", "R3"},
+		{"lower", "L"},
+	}
+	for _, c := range cases {
+		if got := al.For(c.rel); got != c.want {
+			t.Errorf("For(%s) = %s, want %s", c.rel, got, c.want)
+		}
+	}
+}
+
+func TestNeedsAnchor(t *testing.T) {
+	if translate.NeedsAnchor(workloads.XMark()) {
+		t.Error("XMark does not need anchoring")
+	}
+	edge := schema.NewBuilder("e").
+		Node("r", "a", schema.Rel("Edge")).
+		Node("c", "b", schema.Rel("Edge")).
+		Root("r").
+		Edge("r", "c").
+		MustBuild()
+	if !translate.NeedsAnchor(edge) {
+		t.Error("Edge-style mapping needs anchoring")
+	}
+	noRel := schema.NewBuilder("n").
+		Node("r", "a").
+		Node("v", "v", schema.Col("x")).
+		Root("r")
+	_ = noRel // root without relation cannot be built with a col child; skip
+}
+
+func buildCP(t *testing.T, s *schema.Schema, q string) *pathid.Graph {
+	t.Helper()
+	g, err := pathid.Build(s, pathexpr.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildPathSelect(t *testing.T) {
+	s := workloads.XMark()
+	g := buildCP(t, s, workloads.QueryQ2)
+	paths, _ := g.EnumeratePaths(10, 1)
+	if len(paths) != 1 {
+		t.Fatal("want one path")
+	}
+	sel, err := translate.BuildPathSelect(g, translate.PathSpec{Nodes: paths[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := sel.SQL()
+	for _, want := range []string{"Site S", "Item I", "InCat IC", "parentcode = 1", "select IC.category"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestBuildPathSelectSuffix(t *testing.T) {
+	s := workloads.XMark()
+	g := buildCP(t, s, workloads.QueryQ2)
+	paths, _ := g.EnumeratePaths(10, 1)
+	// Suffix <Item, InCategory, Category> with the parentcode lead condition
+	// — the §4.1 pruned Q2.
+	suffix := paths[0][3:]
+	sel, err := translate.BuildPathSelect(g, translate.PathSpec{
+		Nodes: suffix,
+		LeadConds: []schema.EdgeCond{{
+			Column: "parentcode",
+			Value:  relational.Int(1),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := sel.SQL()
+	if strings.Contains(sql, "Site") {
+		t.Errorf("suffix SQL must not join Site:\n%s", sql)
+	}
+	if !strings.Contains(sql, "I.parentcode = 1") {
+		t.Errorf("lead condition missing:\n%s", sql)
+	}
+}
+
+func TestBuildPathSelectBareLeaf(t *testing.T) {
+	s := workloads.XMark()
+	g := buildCP(t, s, workloads.QueryQ1)
+	paths, _ := g.EnumeratePaths(10, 1)
+	leaf := paths[0][len(paths[0])-1:]
+	sel, err := translate.BuildPathSelect(g, translate.PathSpec{Nodes: leaf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := sel.SQL()
+	if !strings.Contains(sql, "from   InCat") || strings.Contains(sql, "where") {
+		t.Errorf("bare leaf must be a plain scan:\n%s", sql)
+	}
+}
+
+func TestBuildCombinedSelect(t *testing.T) {
+	s := workloads.XMark()
+	g := buildCP(t, s, workloads.QueryQ1)
+	paths, _ := g.EnumeratePaths(10, 1)
+	if len(paths) != 6 {
+		t.Fatal("want six paths")
+	}
+	// Combine the suffixes <continent, Item, InCategory, Category>: common
+	// joins, disjoined parentcodes.
+	specs := make([]translate.PathSpec, len(paths))
+	for i, p := range paths {
+		specs[i] = translate.PathSpec{Nodes: p[2:]} // from the continent down
+	}
+	sel, err := translate.BuildCombinedSelect(g, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := sel.SQL()
+	if !strings.Contains(sql, "OR") {
+		t.Errorf("expected disjoined conditions:\n%s", sql)
+	}
+	for pc := 1; pc <= 6; pc++ {
+		if !strings.Contains(sql, "parentcode = "+string(rune('0'+pc))) {
+			t.Errorf("missing parentcode %d:\n%s", pc, sql)
+		}
+	}
+}
+
+func TestBuildCombinedSelectDropsRedundantDisjunction(t *testing.T) {
+	s := workloads.XMark()
+	g := buildCP(t, s, workloads.QueryQ1)
+	paths, _ := g.EnumeratePaths(10, 1)
+	// Combining the bare Category leaves: no conditions at all -> plain scan.
+	specs := make([]translate.PathSpec, len(paths))
+	for i, p := range paths {
+		specs[i] = translate.PathSpec{Nodes: p[len(p)-1:]}
+	}
+	sel, err := translate.BuildCombinedSelect(g, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Where != nil {
+		t.Errorf("expected no WHERE clause:\n%s", sel.SQL())
+	}
+}
+
+func TestBuildCombinedSelectRejectsMismatch(t *testing.T) {
+	s := workloads.XMark()
+	g := buildCP(t, s, workloads.QueryQ1)
+	paths, _ := g.EnumeratePaths(10, 1)
+	specs := []translate.PathSpec{
+		{Nodes: paths[0][2:]}, // RelSeq [Item, InCat] (continent is unannotated)
+		{Nodes: paths[1][4:]}, // RelSeq [InCat]
+	}
+	if _, err := translate.BuildCombinedSelect(g, specs); err == nil {
+		t.Error("mismatched RelSeqs accepted")
+	}
+}
+
+func TestCPIsTree(t *testing.T) {
+	if !translate.CPIsTree(buildCP(t, workloads.XMark(), workloads.QueryQ1)) {
+		t.Error("XMark Q1 cross-product should be a tree")
+	}
+	if translate.CPIsTree(buildCP(t, workloads.S2(), "//s/t1")) {
+		t.Error("S2 //s/t1 cross-product should not be a tree (shared node)")
+	}
+	if translate.CPIsTree(buildCP(t, workloads.S3(), workloads.QueryQ6)) {
+		t.Error("S3 Q6 cross-product should not be a tree (recursive)")
+	}
+}
+
+func TestPathRelSeq(t *testing.T) {
+	s := workloads.XMark()
+	g := buildCP(t, s, workloads.QueryQ2)
+	paths, _ := g.EnumeratePaths(10, 1)
+	seq := translate.PathRelSeq(g, paths[0])
+	want := []string{"Site", "Item", "InCat"}
+	if len(seq) != 3 || seq[0] != want[0] || seq[1] != want[1] || seq[2] != want[2] {
+		t.Errorf("RelSeq = %v, want %v", seq, want)
+	}
+	// Bare column-only leaf resolves to the owning relation.
+	leafSeq := translate.PathRelSeq(g, paths[0][len(paths[0])-1:])
+	if len(leafSeq) != 1 || leafSeq[0] != "InCat" {
+		t.Errorf("leaf RelSeq = %v", leafSeq)
+	}
+}

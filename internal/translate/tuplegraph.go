@@ -1,0 +1,677 @@
+package translate
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/sqlast"
+)
+
+// Subgraph designates a region of the cross-product schema to translate into
+// SQL: the baseline translator uses the whole graph rooted at the start
+// node; the pruning stage of internal/core uses pruned suffix regions with
+// lead conditions from the edge-annotation optimization. Query generation
+// follows [9]: shared computation and recursive components become WITH
+// [RECURSIVE] CTEs; linear chains are inlined into plain join blocks.
+type Subgraph struct {
+	G *pathid.Graph
+	// Nodes is the set of included cross-product node ids.
+	Nodes map[int]bool
+	// Entries are the top nodes of the region: tuples enter the computation
+	// here by a relation scan filtered by the lead conditions (nil for a
+	// full scan). For root-anchored translation the entry is the root node.
+	Entries map[int][]schema.EdgeCond
+	// Anchored pins entry tuples to the document root (parentid IS NULL).
+	Anchored bool
+	// Results are the accepting nodes to return, each projected through its
+	// annotation.
+	Results []int
+	// NamePrefix makes CTE names unique when several subgraph queries are
+	// unioned.
+	NamePrefix string
+}
+
+// nodeKind classifies how a tuple node's matching rows are computed.
+type nodeKind uint8
+
+const (
+	kindInline nodeKind = iota // single derivation, single consumer: inline joins
+	kindCTE                    // shared: materialize a plain CTE holding R.*
+	kindSCC                    // member of a recursive component CTE (node, id)
+)
+
+type hyperedge struct {
+	from, to int // cross-product tuple node ids
+	conds    []schema.EdgeCond
+}
+
+type sgGen struct {
+	sg     *Subgraph
+	tuples []int // annotated node ids in the region, sorted
+	isTup  map[int]bool
+	hyper  []hyperedge
+	inTo   map[int][]int // tuple node -> indexes into hyper
+	outOf  map[int][]int
+
+	kind       map[int]nodeKind
+	sccOf      map[int]int // tuple node -> scc ordinal (only for kindSCC)
+	sccMembers map[int][]int
+	cteName    map[int]string // tuple node or scc ordinal anchor -> cte name
+	sccName    map[int]string
+
+	with      []sqlast.CTE
+	usedNames map[string]bool
+}
+
+// Query translates the subgraph.
+func (sg *Subgraph) Query() (*sqlast.Query, error) {
+	gen := &sgGen{
+		sg:         sg,
+		isTup:      map[int]bool{},
+		inTo:       map[int][]int{},
+		outOf:      map[int][]int{},
+		kind:       map[int]nodeKind{},
+		sccOf:      map[int]int{},
+		sccMembers: map[int][]int{},
+		cteName:    map[int]string{},
+		sccName:    map[int]string{},
+		usedNames:  map[string]bool{},
+	}
+	if err := gen.analyze(); err != nil {
+		return nil, err
+	}
+	return gen.emit()
+}
+
+func (g *sgGen) analyze() error {
+	sg := g.sg
+	for id := range sg.Nodes {
+		if sg.G.SchemaNode(id).HasRelation() {
+			g.tuples = append(g.tuples, id)
+			g.isTup[id] = true
+		}
+	}
+	sort.Ints(g.tuples)
+
+	// Hyperedges: tuple-to-tuple reachability through unannotated nodes.
+	for _, a := range g.tuples {
+		var walk func(id int, conds []schema.EdgeCond, seen map[int]bool) error
+		walk = func(id int, conds []schema.EdgeCond, seen map[int]bool) error {
+			for _, e := range sg.G.Children(id) {
+				if !sg.Nodes[e.To] {
+					continue
+				}
+				cconds := conds
+				if e.Cond != nil {
+					cconds = append(append([]schema.EdgeCond(nil), conds...), *e.Cond)
+				}
+				to := sg.G.SchemaNode(e.To)
+				switch {
+				case to.HasRelation():
+					if extra := NodeConds(sg.G, e.To); len(extra) > 0 {
+						cconds = append(append([]schema.EdgeCond(nil), cconds...), extra...)
+					}
+					idx := len(g.hyper)
+					g.hyper = append(g.hyper, hyperedge{from: a, to: e.To, conds: cconds})
+					g.inTo[e.To] = append(g.inTo[e.To], idx)
+					g.outOf[a] = append(g.outOf[a], idx)
+				case to.Column != "":
+					// value leaf; handled via results
+				default:
+					if seen[e.To] {
+						return fmt.Errorf("translate: unannotated cycle at cross-product node %d", e.To)
+					}
+					seen[e.To] = true
+					if err := walk(e.To, cconds, seen); err != nil {
+						return err
+					}
+					delete(seen, e.To)
+				}
+			}
+			return nil
+		}
+		if err := walk(a, nil, map[int]bool{}); err != nil {
+			return err
+		}
+	}
+
+	// SCC condensation over tuple nodes (iterative Tarjan).
+	ord := map[int]int{}
+	for i, t := range g.tuples {
+		ord[t] = i
+	}
+	n := len(g.tuples)
+	adj := make([][]int, n)
+	for _, he := range g.hyper {
+		adj[ord[he.from]] = append(adj[ord[he.from]], ord[he.to])
+	}
+	comp, recursive := tarjan(n, adj)
+	for i, t := range g.tuples {
+		if recursive[comp[i]] {
+			g.kind[t] = kindSCC
+			g.sccOf[t] = comp[i]
+			g.sccMembers[comp[i]] = append(g.sccMembers[comp[i]], t)
+		}
+	}
+
+	// Materialization decision for non-SCC nodes: a node with several
+	// derivations (incoming hyperedges + entry) or several consumers
+	// (outgoing hyperedges + result branches) gets a CTE; otherwise its
+	// joins are inlined into its single consumer.
+	consumers := map[int]int{}
+	for _, he := range g.hyper {
+		consumers[he.from]++
+	}
+	for _, r := range g.sg.Results {
+		owners, err := g.resultOwners(r)
+		if err != nil {
+			return err
+		}
+		for _, o := range owners {
+			if o.owner >= 0 {
+				consumers[o.owner]++
+			}
+		}
+	}
+	for _, t := range g.tuples {
+		if g.kind[t] == kindSCC {
+			continue
+		}
+		derivations := len(g.inTo[t])
+		if _, isEntry := g.sg.Entries[t]; isEntry {
+			derivations++
+		}
+		if derivations > 1 || consumers[t] > 1 || g.feedsFromSCC(t) {
+			g.kind[t] = kindCTE
+		} else {
+			g.kind[t] = kindInline
+		}
+	}
+	return nil
+}
+
+// feedsFromSCC reports whether any derivation of t comes out of a recursive
+// component; such nodes read the component CTE and are materialized for
+// clarity (matching [9]'s output shape).
+func (g *sgGen) feedsFromSCC(t int) bool {
+	for _, idx := range g.inTo[t] {
+		if g.kind[g.hyper[idx].from] == kindSCC {
+			return true
+		}
+	}
+	return false
+}
+
+// resultOwner describes how one result branch is produced: either from a
+// tuple node (owner >= 0, projecting col) or by a bare scan of a relation
+// (owner == -1) for column-only entry leaves.
+type resultOwner struct {
+	owner int
+	rel   string
+	col   string
+	conds []schema.EdgeCond // scan conditions (owner == -1 only)
+}
+
+// resultOwners resolves a result node to the tuple node(s) owning its value.
+func (g *sgGen) resultOwners(r int) ([]resultOwner, error) {
+	sn := g.sg.G.SchemaNode(r)
+	rel, col, err := g.sg.G.Schema.Annot(sn.ID)
+	if err != nil {
+		return nil, err
+	}
+	if sn.HasRelation() {
+		return []resultOwner{{owner: r, rel: rel, col: col}}, nil
+	}
+	// Column-only leaf: owners are the annotated parents within the region,
+	// reached backwards through unannotated nodes.
+	var out []resultOwner
+	var walkUp func(id int, seen map[int]bool) error
+	walkUp = func(id int, seen map[int]bool) error {
+		for _, e := range g.sg.G.Parents(id) {
+			if !g.sg.Nodes[e.From] {
+				continue
+			}
+			if e.Cond != nil {
+				return fmt.Errorf("translate: edge condition on path to value leaf %s", sn.Name)
+			}
+			p := g.sg.G.SchemaNode(e.From)
+			switch {
+			case p.HasRelation():
+				out = append(out, resultOwner{owner: e.From, rel: rel, col: col})
+			default:
+				if seen[e.From] {
+					continue
+				}
+				seen[e.From] = true
+				if err := walkUp(e.From, seen); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walkUp(r, map[int]bool{}); err != nil {
+		return nil, err
+	}
+	if conds, isEntry := g.sg.Entries[r]; isEntry {
+		out = append(out, resultOwner{owner: -1, rel: rel, col: col, conds: conds})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("translate: value leaf %s has no owner in subgraph and is not an entry", sn.Name)
+	}
+	return out, nil
+}
+
+func tarjan(n int, adj [][]int) (comp []int, recursive map[int]bool) {
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	recursive = map[int]bool{}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	counter := 0
+	nComp := 0
+
+	type frame struct {
+		v, child int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		call := []frame{{v: start}}
+		index[start], low[start] = counter, counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.child < len(adj[f.v]) {
+				w := adj[f.v][f.child]
+				f.child++
+				if index[w] == -1 {
+					index[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				var members []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					members = append(members, w)
+					if w == f.v {
+						break
+					}
+				}
+				if len(members) > 1 {
+					recursive[nComp] = true
+				} else {
+					v := members[0]
+					for _, w := range adj[v] {
+						if w == v {
+							recursive[nComp] = true
+						}
+					}
+				}
+				nComp++
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := &call[len(call)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+	return comp, recursive
+}
+
+func (g *sgGen) freshName(base string) string {
+	name := g.sg.NamePrefix + "temp_" + base
+	if !g.usedNames[name] {
+		g.usedNames[name] = true
+		return name
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s_%d", name, i)
+		if !g.usedNames[cand] {
+			g.usedNames[cand] = true
+			return cand
+		}
+	}
+}
+
+// instantiate adds the FROM items and conditions that compute tuple node t's
+// matching rows into sel, returning the alias that holds t's relation row.
+func (g *sgGen) instantiate(t int, sel *sqlast.Select, al *Aliases) (string, error) {
+	sn := g.sg.G.SchemaNode(t)
+	switch g.kind[t] {
+	case kindCTE:
+		alias := al.For(g.cteName[t])
+		sel.From = append(sel.From, sqlast.From(g.cteName[t], alias))
+		return alias, nil
+	case kindSCC:
+		scc := g.sccOf[t]
+		ts := al.For(g.sccName[scc])
+		sel.From = append(sel.From, sqlast.From(g.sccName[scc], ts))
+		sel.Where = sqlast.Conj(sel.Where,
+			sqlast.Eq(sqlast.ColRef{Table: ts, Column: "node"}, sqlast.IntLit(int64(t))))
+		// Rejoin the base relation to expose its full row.
+		alias := al.For(sn.Relation)
+		sel.From = append(sel.From, sqlast.From(sn.Relation, alias))
+		sel.Where = sqlast.Conj(sel.Where,
+			sqlast.Eq(sqlast.ColRef{Table: alias, Column: schema.IDColumn}, sqlast.ColRef{Table: ts, Column: schema.IDColumn}))
+		return alias, nil
+	default: // kindInline
+		alias := al.For(sn.Relation)
+		sel.From = append(sel.From, sqlast.From(sn.Relation, alias))
+		if conds, isEntry := g.sg.Entries[t]; isEntry {
+			if g.sg.Anchored {
+				sel.Where = sqlast.Conj(sel.Where, sqlast.IsNull{Left: sqlast.ColRef{Table: alias, Column: schema.ParentIDColumn}})
+			}
+			for _, c := range append(append([]schema.EdgeCond(nil), NodeConds(g.sg.G, t)...), conds...) {
+				sel.Where = sqlast.Conj(sel.Where, CondExpr(alias, c))
+			}
+			return alias, nil
+		}
+		if len(g.inTo[t]) != 1 {
+			return "", fmt.Errorf("translate: internal: inline node %d has %d derivations", t, len(g.inTo[t]))
+		}
+		he := g.hyper[g.inTo[t][0]]
+		pAlias, err := g.instantiate(he.from, sel, al)
+		if err != nil {
+			return "", err
+		}
+		sel.Where = sqlast.Conj(sel.Where,
+			sqlast.Eq(sqlast.ColRef{Table: alias, Column: schema.ParentIDColumn}, sqlast.ColRef{Table: pAlias, Column: schema.IDColumn}))
+		for _, c := range he.conds {
+			sel.Where = sqlast.Conj(sel.Where, CondExpr(alias, c))
+		}
+		return alias, nil
+	}
+}
+
+// derivationSelects builds the UNION ALL branches computing tuple node t's
+// rows, projected through proj (which receives the relation alias).
+func (g *sgGen) derivationSelects(t int, proj func(alias string) []sqlast.SelectItem) ([]*sqlast.Select, error) {
+	sn := g.sg.G.SchemaNode(t)
+	var out []*sqlast.Select
+	if conds, isEntry := g.sg.Entries[t]; isEntry {
+		sel := &sqlast.Select{}
+		al := NewAliases()
+		alias := al.For(sn.Relation)
+		sel.From = append(sel.From, sqlast.From(sn.Relation, alias))
+		if g.sg.Anchored {
+			sel.Where = sqlast.Conj(sel.Where, sqlast.IsNull{Left: sqlast.ColRef{Table: alias, Column: schema.ParentIDColumn}})
+		}
+		for _, c := range append(append([]schema.EdgeCond(nil), NodeConds(g.sg.G, t)...), conds...) {
+			sel.Where = sqlast.Conj(sel.Where, CondExpr(alias, c))
+		}
+		sel.Cols = proj(alias)
+		out = append(out, sel)
+	}
+	for _, idx := range g.inTo[t] {
+		he := g.hyper[idx]
+		sel := &sqlast.Select{}
+		al := NewAliases()
+		pAlias, err := g.instantiate(he.from, sel, al)
+		if err != nil {
+			return nil, err
+		}
+		alias := al.For(sn.Relation)
+		sel.From = append(sel.From, sqlast.From(sn.Relation, alias))
+		sel.Where = sqlast.Conj(sel.Where,
+			sqlast.Eq(sqlast.ColRef{Table: alias, Column: schema.ParentIDColumn}, sqlast.ColRef{Table: pAlias, Column: schema.IDColumn}))
+		for _, c := range he.conds {
+			sel.Where = sqlast.Conj(sel.Where, CondExpr(alias, c))
+		}
+		sel.Cols = proj(alias)
+		out = append(out, sel)
+	}
+	return out, nil
+}
+
+func (g *sgGen) emit() (*sqlast.Query, error) {
+	// Topological order of the condensation, derived from tuple id order
+	// with Kahn's algorithm over scc edges.
+	order, err := g.topoSCCs()
+	if err != nil {
+		return nil, err
+	}
+
+	for _, unit := range order {
+		if unit.scc >= 0 {
+			if err := g.emitSCC(unit.scc); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		t := unit.node
+		if g.kind[t] != kindCTE {
+			continue
+		}
+		name := g.freshName(g.sg.G.SchemaNode(t).Name)
+		g.cteName[t] = name
+		star := func(alias string) []sqlast.SelectItem { return []sqlast.SelectItem{sqlast.Star(alias)} }
+		sels, err := g.derivationSelects(t, star)
+		if err != nil {
+			return nil, err
+		}
+		g.with = append(g.with, sqlast.CTE{Name: name, Body: &sqlast.Query{Selects: sels}})
+	}
+
+	// Result branches.
+	q := &sqlast.Query{With: g.with}
+	for _, r := range g.sg.Results {
+		owners, err := g.resultOwners(r)
+		if err != nil {
+			return nil, err
+		}
+		for _, ro := range owners {
+			sel := &sqlast.Select{}
+			al := NewAliases()
+			if ro.owner < 0 {
+				alias := al.For(ro.rel)
+				sel.From = append(sel.From, sqlast.From(ro.rel, alias))
+				if g.sg.Anchored {
+					sel.Where = sqlast.Conj(sel.Where, sqlast.IsNull{Left: sqlast.ColRef{Table: alias, Column: schema.ParentIDColumn}})
+				}
+				for _, c := range ro.conds {
+					sel.Where = sqlast.Conj(sel.Where, CondExpr(alias, c))
+				}
+				sel.Cols = []sqlast.SelectItem{sqlast.Col(alias, ro.col)}
+				q.Selects = append(q.Selects, sel)
+				continue
+			}
+			// Elemid results from a recursive component need no rejoin.
+			if g.kind[ro.owner] == kindSCC && ro.col == schema.IDColumn {
+				scc := g.sccOf[ro.owner]
+				ts := al.For(g.sccName[scc])
+				sel.From = append(sel.From, sqlast.From(g.sccName[scc], ts))
+				sel.Where = sqlast.Conj(sel.Where,
+					sqlast.Eq(sqlast.ColRef{Table: ts, Column: "node"}, sqlast.IntLit(int64(ro.owner))))
+				sel.Cols = []sqlast.SelectItem{sqlast.Col(ts, schema.IDColumn)}
+				q.Selects = append(q.Selects, sel)
+				continue
+			}
+			alias, err := g.instantiate(ro.owner, sel, al)
+			if err != nil {
+				return nil, err
+			}
+			sel.Cols = []sqlast.SelectItem{sqlast.Col(alias, ro.col)}
+			q.Selects = append(q.Selects, sel)
+		}
+	}
+	return q, nil
+}
+
+// emitSCC materializes a recursive component as a recursive CTE with
+// columns (node, id): node discriminates which cross-product node each
+// tuple matched, exactly the extra state §5.1 discusses.
+func (g *sgGen) emitSCC(scc int) error {
+	members := g.sccMembers[scc]
+	sort.Ints(members)
+	var baseName string
+	for i, m := range members {
+		if i > 0 {
+			baseName += "_"
+		}
+		baseName += g.sg.G.SchemaNode(m).Name
+	}
+	name := g.freshName(baseName)
+	g.sccName[scc] = name
+
+	inSCC := map[int]bool{}
+	for _, m := range members {
+		inSCC[m] = true
+	}
+
+	var sels []*sqlast.Select
+	tagged := func(t int) func(alias string) []sqlast.SelectItem {
+		return func(alias string) []sqlast.SelectItem {
+			return []sqlast.SelectItem{
+				{Expr: sqlast.IntLit(int64(t)), As: "node"},
+				{Expr: sqlast.ColRef{Table: alias, Column: schema.IDColumn}, As: schema.IDColumn},
+			}
+		}
+	}
+
+	for _, m := range members {
+		sn := g.sg.G.SchemaNode(m)
+		// Base branches: entries inside the component and hyperedges from
+		// outside it.
+		if conds, isEntry := g.sg.Entries[m]; isEntry {
+			sel := &sqlast.Select{}
+			al := NewAliases()
+			alias := al.For(sn.Relation)
+			sel.From = append(sel.From, sqlast.From(sn.Relation, alias))
+			if g.sg.Anchored {
+				sel.Where = sqlast.Conj(sel.Where, sqlast.IsNull{Left: sqlast.ColRef{Table: alias, Column: schema.ParentIDColumn}})
+			}
+			for _, c := range append(append([]schema.EdgeCond(nil), NodeConds(g.sg.G, m)...), conds...) {
+				sel.Where = sqlast.Conj(sel.Where, CondExpr(alias, c))
+			}
+			sel.Cols = tagged(m)(alias)
+			sels = append(sels, sel)
+		}
+		for _, idx := range g.inTo[m] {
+			he := g.hyper[idx]
+			sel := &sqlast.Select{}
+			al := NewAliases()
+			var pID sqlast.ColRef
+			if inSCC[he.from] {
+				// Recursive branch: read the component CTE itself.
+				ts := al.For(name)
+				sel.From = append(sel.From, sqlast.From(name, ts))
+				sel.Where = sqlast.Conj(sel.Where,
+					sqlast.Eq(sqlast.ColRef{Table: ts, Column: "node"}, sqlast.IntLit(int64(he.from))))
+				pID = sqlast.ColRef{Table: ts, Column: schema.IDColumn}
+			} else {
+				pAlias, err := g.instantiate(he.from, sel, al)
+				if err != nil {
+					return err
+				}
+				pID = sqlast.ColRef{Table: pAlias, Column: schema.IDColumn}
+			}
+			alias := al.For(sn.Relation)
+			sel.From = append(sel.From, sqlast.From(sn.Relation, alias))
+			sel.Where = sqlast.Conj(sel.Where,
+				sqlast.Eq(sqlast.ColRef{Table: alias, Column: schema.ParentIDColumn}, pID))
+			for _, c := range he.conds {
+				sel.Where = sqlast.Conj(sel.Where, CondExpr(alias, c))
+			}
+			sel.Cols = tagged(m)(alias)
+			sels = append(sels, sel)
+		}
+	}
+	g.with = append(g.with, sqlast.CTE{Name: name, Recursive: true, Body: &sqlast.Query{Selects: sels}})
+	return nil
+}
+
+type emitUnit struct {
+	node int // tuple node id, or -1
+	scc  int // scc ordinal, or -1
+}
+
+// topoSCCs orders emission units (plain tuple nodes and recursive
+// components) so every derivation's source is emitted first.
+func (g *sgGen) topoSCCs() ([]emitUnit, error) {
+	// Unit key: "n<id>" or "s<scc>".
+	unitOf := func(t int) string {
+		if g.kind[t] == kindSCC {
+			return "s" + itoaInt(g.sccOf[t])
+		}
+		return "n" + itoaInt(t)
+	}
+	indeg := map[string]int{}
+	adj := map[string][]string{}
+	units := map[string]emitUnit{}
+	for _, t := range g.tuples {
+		k := unitOf(t)
+		if _, ok := units[k]; !ok {
+			units[k] = unitFor(g, t)
+			indeg[k] += 0
+		}
+	}
+	for _, he := range g.hyper {
+		a, b := unitOf(he.from), unitOf(he.to)
+		if a == b {
+			continue
+		}
+		adj[a] = append(adj[a], b)
+		indeg[b]++
+	}
+	var queue []string
+	for k, d := range indeg {
+		if d == 0 {
+			queue = append(queue, k)
+		}
+	}
+	sort.Strings(queue)
+	var order []emitUnit
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		order = append(order, units[k])
+		for _, next := range adj[k] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+		sort.Strings(queue)
+	}
+	if len(order) != len(units) {
+		return nil, fmt.Errorf("translate: internal: cyclic condensation")
+	}
+	return order, nil
+}
+
+func unitFor(g *sgGen, t int) emitUnit {
+	if g.kind[t] == kindSCC {
+		return emitUnit{node: -1, scc: g.sccOf[t]}
+	}
+	return emitUnit{node: t, scc: -1}
+}
+
+func itoaInt(n int) string {
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmlsql/internal/schema"
+	"xmlsql/internal/xmltree"
+)
+
+// S1 builds the Figure 5 mapping: a (R1) with children b, c, d all stored in
+// R2 (pc = 1, 2, 3), b's children x, y stored in R3 (pc = 1, 2), and the
+// children of c and d (both x) stored in R3 with the pc column unspecified.
+// Node names follow the figure: 50 = a, 51 = b, 52 = c, 53 = d, 54 = x(b),
+// 55 = y(b), 56 = x(c), 57 = x(d). x values live in R3.C1, y values in
+// R3.C2.
+func S1() *schema.Schema {
+	b := schema.NewBuilder("s1")
+	b.Node("50", "a", schema.Rel("R1"))
+	b.Node("51", "b", schema.Rel("R2"))
+	b.Node("52", "c", schema.Rel("R2"))
+	b.Node("53", "d", schema.Rel("R2"))
+	b.Node("54", "x", schema.Rel("R3"), schema.Col("C1"))
+	b.Node("55", "y", schema.Rel("R3"), schema.Col("C2"))
+	b.Node("56", "x", schema.Rel("R3"), schema.Col("C1"))
+	b.Node("57", "x", schema.Rel("R3"), schema.Col("C1"))
+	b.Root("50")
+	b.EdgeCondInt("50", "51", "pc", 1)
+	b.EdgeCondInt("50", "52", "pc", 2)
+	b.EdgeCondInt("50", "53", "pc", 3)
+	b.EdgeCondInt("51", "54", "pc", 1)
+	b.EdgeCondInt("51", "55", "pc", 2)
+	b.Edge("52", "56")
+	b.Edge("53", "57")
+	return b.MustBuild()
+}
+
+// QueryQ3 is Figure 5's Q3: all x elements.
+const QueryQ3 = "//x"
+
+// GenerateS1 produces a document conforming to S1 with n children of each
+// kind.
+func GenerateS1(n int, seed int64) *xmltree.Document {
+	rng := rand.New(rand.NewSource(seed))
+	root := xmltree.NewElem("a")
+	val := func(prefix string) string { return fmt.Sprintf("%s%d", prefix, rng.Intn(1000)) }
+	for i := 0; i < n; i++ {
+		b := xmltree.NewElem("b",
+			xmltree.NewText("x", val("bx")),
+			xmltree.NewText("y", val("by")))
+		c := xmltree.NewElem("c", xmltree.NewText("x", val("cx")))
+		d := xmltree.NewElem("d", xmltree.NewText("x", val("dx")))
+		root.Children = append(root.Children, b, c, d)
+	}
+	return &xmltree.Document{Root: root}
+}
+
+// S2 builds the Figure 6 DAG mapping with genuine node sharing: the root
+// (R0) has three differently-labelled mid-level element kinds m1, m2, m3
+// (relations R1, R2, R3, reached under gcode 1..3) that all share the same
+// child schema node s (relation S1, node 21), which fans into the leaves t1
+// and t2 (relations T1, T2, pc = 1/2). Node names echo Figure 6: 10 = root,
+// 14/15/20 = mid nodes, 21 = shared S1 node, 24/25 = leaves.
+func S2() *schema.Schema {
+	b := schema.NewBuilder("s2")
+	b.Node("10", "root", schema.Rel("R0"))
+	b.Node("14", "m1", schema.Rel("R1"))
+	b.Node("15", "m2", schema.Rel("R2"))
+	b.Node("20", "m3", schema.Rel("R3"))
+	b.Node("21", "s", schema.Rel("S1"))
+	b.Node("24", "t1", schema.Rel("T1"), schema.Col("C1"))
+	b.Node("25", "t2", schema.Rel("T2"), schema.Col("C1"))
+	b.Root("10")
+	b.EdgeCondInt("10", "14", "gcode", 1)
+	b.EdgeCondInt("10", "15", "gcode", 2)
+	b.EdgeCondInt("10", "20", "gcode", 3)
+	b.Edge("14", "21")
+	b.Edge("15", "21")
+	b.Edge("20", "21")
+	b.EdgeCondInt("21", "24", "pc", 1)
+	b.EdgeCondInt("21", "25", "pc", 2)
+	return b.MustBuild()
+}
+
+// GenerateS2 produces a document conforming to S2: n mid-level elements of
+// each kind, each with one s child carrying t1/t2 leaves.
+func GenerateS2(n int, seed int64) *xmltree.Document {
+	rng := rand.New(rand.NewSource(seed))
+	root := xmltree.NewElem("root")
+	for i := 0; i < n; i++ {
+		for _, label := range []string{"m1", "m2", "m3"} {
+			s := xmltree.NewElem("s",
+				xmltree.NewText("t1", fmt.Sprintf("t1-%d", rng.Intn(1000))),
+				xmltree.NewText("t2", fmt.Sprintf("t2-%d", rng.Intn(1000))))
+			root.Children = append(root.Children, xmltree.NewElem(label, s))
+		}
+	}
+	return &xmltree.Document{Root: root}
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"math/rand"
+	"strconv"
+
+	"xmlsql/internal/schema"
+	"xmlsql/internal/xmltree"
+)
+
+// S3 builds the recursive schema of Figure 7. The figure itself is not
+// reproduced in the paper text, so the layout below is reconstructed from
+// every statement §5.2 makes about it; all of the paper's worked pruning
+// traces for Q4–Q7 hold on this layout (asserted by the tests in
+// internal/core):
+//
+//   - elements E0..E10, each Ei stored in its own relation Ri;
+//   - E0 -> E1, E0 -> E2;  E1 -> E3, E2 -> E3 (so E3 is shared: "two with
+//     clauses, corresponding to elements E3 and E6");
+//   - E3 -> E4, E3 -> E5; E4 -> E6, E5 -> E6 ("Element E6 has two parent
+//     nodes");
+//   - E3 -> E7 ("the edge <E3,E7> does not match the query" for Q7);
+//   - recursive component {E7, E8, E9}: E7 -> E8, E8 -> E9, E9 -> E7, and
+//     E7 -> E9 (p1 = <E0,E2,E3,E7,E9,E10,elemid>);
+//   - E2 -> E8 (Q7 = /E0/E2/E8//E10/elemid);
+//   - E6 -> E10 and E9 -> E10; E10 carries the elemid attribute the queries
+//     return, modelled as an explicit elemid leaf exposing R10.id.
+func S3() *schema.Schema {
+	b := schema.NewBuilder("s3")
+	for i := 0; i <= 10; i++ {
+		name := "E" + strconv.Itoa(i)
+		b.Node(name, name, schema.Rel("R"+strconv.Itoa(i)))
+	}
+	b.Node("elemid", "elemid", schema.Col(schema.IDColumn))
+	b.Root("E0")
+	b.Edge("E0", "E1")
+	b.Edge("E0", "E2")
+	b.Edge("E1", "E3")
+	b.Edge("E2", "E3")
+	b.Edge("E3", "E4")
+	b.Edge("E3", "E5")
+	b.Edge("E3", "E7")
+	b.Edge("E4", "E6")
+	b.Edge("E5", "E6")
+	b.Edge("E2", "E8")
+	b.Edge("E7", "E8")
+	b.Edge("E8", "E9")
+	b.Edge("E9", "E7")
+	b.Edge("E7", "E9")
+	b.Edge("E6", "E10")
+	b.Edge("E9", "E10")
+	b.Edge("E10", "elemid")
+	return b.MustBuild()
+}
+
+// The S3 queries of Figures 7 and 9.
+const (
+	QueryQ4 = "/E0//E6/E10/elemid"
+	QueryQ5 = "/E0/E1//E6/E10/elemid"
+	QueryQ6 = "/E0//E9/E10/elemid"
+	QueryQ7 = "/E0/E2/E8//E10/elemid"
+)
+
+// S3Config sizes the generated recursive document.
+type S3Config struct {
+	// Fanout is the number of children generated per recursive slot.
+	Fanout int
+	// MaxDepth bounds recursion through the {E7,E8,E9} component.
+	MaxDepth int
+	Seed     int64
+}
+
+// DefaultS3Config returns a moderate recursive document configuration.
+func DefaultS3Config() S3Config { return S3Config{Fanout: 2, MaxDepth: 4, Seed: 1} }
+
+// GenerateS3 produces a document conforming to S3, exercising both the DAG
+// region (E3/E6 sharing) and the recursive component.
+func GenerateS3(cfg S3Config) *xmltree.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 1
+	}
+
+	e10 := func() *xmltree.Node {
+		return xmltree.NewElem("E10", xmltree.NewElem("elemid"))
+	}
+	e6 := func() *xmltree.Node {
+		n := xmltree.NewElem("E6")
+		for i := 0; i < cfg.Fanout; i++ {
+			n.Children = append(n.Children, e10())
+		}
+		return n
+	}
+
+	var e7, e8, e9 func(depth int) *xmltree.Node
+	e9 = func(depth int) *xmltree.Node {
+		n := xmltree.NewElem("E9")
+		if depth < cfg.MaxDepth && rng.Intn(2) == 0 {
+			n.Children = append(n.Children, e7(depth+1))
+		}
+		for i := 0; i < cfg.Fanout; i++ {
+			n.Children = append(n.Children, e10())
+		}
+		return n
+	}
+	e8 = func(depth int) *xmltree.Node {
+		n := xmltree.NewElem("E8")
+		for i := 0; i < cfg.Fanout; i++ {
+			n.Children = append(n.Children, e9(depth+1))
+		}
+		return n
+	}
+	e7 = func(depth int) *xmltree.Node {
+		n := xmltree.NewElem("E7")
+		if depth < cfg.MaxDepth {
+			n.Children = append(n.Children, e8(depth+1))
+		}
+		n.Children = append(n.Children, e9(depth+1))
+		return n
+	}
+
+	e45 := func(label string) *xmltree.Node {
+		n := xmltree.NewElem(label)
+		for i := 0; i < cfg.Fanout; i++ {
+			n.Children = append(n.Children, e6())
+		}
+		return n
+	}
+	e3 := func() *xmltree.Node {
+		return xmltree.NewElem("E3", e45("E4"), e45("E5"), e7(0))
+	}
+	e1 := xmltree.NewElem("E1")
+	for i := 0; i < cfg.Fanout; i++ {
+		e1.Children = append(e1.Children, e3())
+	}
+	e2 := xmltree.NewElem("E2")
+	for i := 0; i < cfg.Fanout; i++ {
+		e2.Children = append(e2.Children, e3())
+	}
+	e2.Children = append(e2.Children, e8(0))
+	return &xmltree.Document{Root: xmltree.NewElem("E0", e1, e2)}
+}

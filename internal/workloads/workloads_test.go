@@ -1,0 +1,111 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/workloads"
+	"xmlsql/internal/xmltree"
+)
+
+func TestSchemasValid(t *testing.T) {
+	cases := []struct {
+		name  string
+		s     *schema.Schema
+		shape schema.Shape
+	}{
+		{"xmark", workloads.XMark(), schema.ShapeTree},
+		{"xmarkfull", workloads.XMarkFull(), schema.ShapeTree},
+		{"s1", workloads.S1(), schema.ShapeTree},
+		{"s2", workloads.S2(), schema.ShapeDAG},
+		{"s3", workloads.S3(), schema.ShapeRecursive},
+		{"adex", workloads.ADEX(), schema.ShapeTree},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.s.Validate(); err != nil {
+				t.Fatalf("invalid: %v", err)
+			}
+			if got := c.s.Classify(); got != c.shape {
+				t.Errorf("classified as %v, want %v", got, c.shape)
+			}
+			if _, err := c.s.DeriveRelations(); err != nil {
+				t.Errorf("derive relations: %v", err)
+			}
+		})
+	}
+}
+
+func TestXMarkNodeNumbering(t *testing.T) {
+	s := workloads.XMark()
+	// The paper's §4.1 discussion references nodes 3 (Africa), 9 (Africa
+	// Item), 12 (Africa Category), 29 (SouthAmerica Item), 32 (SouthAmerica
+	// Category).
+	checks := map[string]string{
+		"1": "Site", "2": "Regions", "3": "Africa", "8": "SouthAmerica",
+		"9": "Item", "12": "Category", "29": "Item", "32": "Category",
+	}
+	for name, label := range checks {
+		n := s.NodeByName(name)
+		if n == nil || n.Label != label {
+			t.Errorf("node %s: got %v, want label %s", name, n, label)
+		}
+	}
+	// Africa items carry parentcode 1, SouthAmerica items parentcode 6.
+	e := s.EdgeBetween(s.NodeByName("3").ID, s.NodeByName("9").ID)
+	if e == nil || e.Cond == nil || e.Cond.Value.AsInt() != 1 {
+		t.Error("Africa Item edge condition wrong")
+	}
+	e = s.EdgeBetween(s.NodeByName("8").ID, s.NodeByName("29").ID)
+	if e == nil || e.Cond == nil || e.Cond.Value.AsInt() != 6 {
+		t.Error("SouthAmerica Item edge condition wrong")
+	}
+}
+
+func conforms(t *testing.T, s *schema.Schema, d *xmltree.Document) {
+	t.Helper()
+	if !shred.Conforms(s, d) {
+		t.Fatalf("generated document does not conform to schema %s", s.Name)
+	}
+}
+
+func TestGeneratorsConform(t *testing.T) {
+	conforms(t, workloads.XMark(), workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	conforms(t, workloads.XMarkFull(), workloads.GenerateXMarkFull(workloads.DefaultXMarkConfig()))
+	conforms(t, workloads.S1(), workloads.GenerateS1(5, 1))
+	conforms(t, workloads.S2(), workloads.GenerateS2(5, 1))
+	conforms(t, workloads.S3(), workloads.GenerateS3(workloads.DefaultS3Config()))
+	conforms(t, workloads.ADEX(), workloads.GenerateADEX(workloads.DefaultADEXConfig()))
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := workloads.GenerateXMark(workloads.XMarkConfig{ItemsPerContinent: 5, CategoriesPerItem: 1, NumCategories: 3, Seed: 9})
+	b := workloads.GenerateXMark(workloads.XMarkConfig{ItemsPerContinent: 5, CategoriesPerItem: 1, NumCategories: 3, Seed: 9})
+	if !a.Equal(b) {
+		t.Error("same seed must generate identical documents")
+	}
+	c := workloads.GenerateXMark(workloads.XMarkConfig{ItemsPerContinent: 5, CategoriesPerItem: 1, NumCategories: 3, Seed: 10})
+	if a.Equal(c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestS3GeneratorRecursionDepth(t *testing.T) {
+	shallow := workloads.GenerateS3(workloads.S3Config{Fanout: 1, MaxDepth: 0, Seed: 1})
+	deep := workloads.GenerateS3(workloads.S3Config{Fanout: 1, MaxDepth: 8, Seed: 1})
+	if deep.CountNodes() <= shallow.CountNodes() {
+		t.Errorf("deeper config should generate more nodes: %d vs %d",
+			deep.CountNodes(), shallow.CountNodes())
+	}
+}
+
+func TestXMarkSizes(t *testing.T) {
+	cfg := workloads.XMarkConfig{ItemsPerContinent: 3, CategoriesPerItem: 2, NumCategories: 5, Seed: 1}
+	d := workloads.GenerateXMark(cfg)
+	// Site + Regions + 6 continents + 6*3 items (+name each) + 6*3*2 incat (+category each)
+	want := 1 + 1 + 6 + 18*2 + 36*2
+	if d.CountNodes() != want {
+		t.Errorf("document has %d nodes, want %d", d.CountNodes(), want)
+	}
+}

@@ -1,0 +1,156 @@
+// Package workloads defines the XML schemas, mappings, and data generators
+// used throughout the paper: the XMark fragment of Figure 1, the mapping S1
+// of Figure 5, the DAG mapping S2 of Figure 6, the recursive mapping S3 of
+// Figure 7, the schema-oblivious Edge mapping of Figure 10, and an ADEX-like
+// advertisement workload standing in for the NAA classified-ads dataset.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmlsql/internal/schema"
+	"xmlsql/internal/xmltree"
+)
+
+// Continents are the six XMark regions (every continent except Antarctica),
+// in parentcode order.
+var Continents = []string{"Africa", "Asia", "Australia", "Europe", "NorthAmerica", "SouthAmerica"}
+
+// XMark builds the Figure 1 schema: Site -> Regions -> six continents, each
+// with Item children (relation Item, parentcode 1..6), items carrying a name
+// value and InCategory children (relation InCat) with Category values. Node
+// names follow the paper's numbering: 1 = Site, 2 = Regions, 3..8 the
+// continents, and for continent k the quadruple (Item, name, InCategory,
+// Category) is numbered 9+4(k-1) .. 12+4(k-1); so 12 and 32 are the Africa
+// and SouthAmerica Category leaves discussed in §4.1.
+func XMark() *schema.Schema {
+	b := schema.NewBuilder("xmark")
+	b.Node("1", "Site", schema.Rel("Site"))
+	b.Node("2", "Regions")
+	b.Root("1")
+	b.Edge("1", "2")
+	for i, cont := range Continents {
+		contName := fmt.Sprintf("%d", 3+i)
+		b.Node(contName, cont)
+		b.Edge("2", contName)
+		base := 9 + 4*i
+		item := fmt.Sprintf("%d", base)
+		name := fmt.Sprintf("%d", base+1)
+		incat := fmt.Sprintf("%d", base+2)
+		cat := fmt.Sprintf("%d", base+3)
+		b.Node(item, "Item", schema.Rel("Item"))
+		b.Node(name, "name", schema.Col("name"))
+		b.Node(incat, "InCategory", schema.Rel("InCat"))
+		b.Node(cat, "Category", schema.Col("category"))
+		b.EdgeCondInt(contName, item, "parentcode", int64(i+1))
+		b.Edge(item, name)
+		b.Edge(item, incat)
+		b.Edge(incat, cat)
+	}
+	return b.MustBuild()
+}
+
+// XMarkConfig sizes the generated XMark document.
+type XMarkConfig struct {
+	// ItemsPerContinent is the number of Item elements under each continent.
+	ItemsPerContinent int
+	// CategoriesPerItem is the number of InCategory children per item.
+	CategoriesPerItem int
+	// NumCategories is the size of the category value pool.
+	NumCategories int
+	// Seed drives the deterministic pseudo-random generator.
+	Seed int64
+}
+
+// DefaultXMarkConfig returns a small but non-trivial document configuration.
+func DefaultXMarkConfig() XMarkConfig {
+	return XMarkConfig{ItemsPerContinent: 20, CategoriesPerItem: 2, NumCategories: 25, Seed: 1}
+}
+
+// GenerateXMark produces a document conforming to the XMark schema.
+func GenerateXMark(cfg XMarkConfig) *xmltree.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.NumCategories <= 0 {
+		cfg.NumCategories = 1
+	}
+	regions := xmltree.NewElem("Regions")
+	itemNo := 0
+	for ci, cont := range Continents {
+		contElem := xmltree.NewElem(cont)
+		for i := 0; i < cfg.ItemsPerContinent; i++ {
+			item := xmltree.NewElem("Item",
+				xmltree.NewText("name", fmt.Sprintf("item-%s-%d", Continents[ci][:2], itemNo)))
+			itemNo++
+			for c := 0; c < cfg.CategoriesPerItem; c++ {
+				cat := fmt.Sprintf("category%d", rng.Intn(cfg.NumCategories))
+				item.Children = append(item.Children,
+					xmltree.NewElem("InCategory", xmltree.NewText("Category", cat)))
+			}
+			contElem.Children = append(contElem.Children, item)
+		}
+		regions.Children = append(regions.Children, contElem)
+	}
+	return &xmltree.Document{Root: xmltree.NewElem("Site", regions)}
+}
+
+// XMarkFull extends the Figure 1 fragment with XMark's top-level category
+// catalogue: Site -> Categories -> Category (relation Cat, value column
+// name). A second place where the Category tag occurs is what makes §5.3's
+// Q8 over Edge storage prune to a 2-way self-join rather than a single scan:
+// a bare "tag = 'Category'" scan would also return catalogue categories.
+func XMarkFull() *schema.Schema {
+	b := schema.NewBuilder("xmarkfull")
+	b.Node("1", "Site", schema.Rel("Site"))
+	b.Node("2", "Regions")
+	b.Root("1")
+	b.Edge("1", "2")
+	for i, cont := range Continents {
+		contName := fmt.Sprintf("%d", 3+i)
+		b.Node(contName, cont)
+		b.Edge("2", contName)
+		base := 9 + 4*i
+		item := fmt.Sprintf("%d", base)
+		name := fmt.Sprintf("%d", base+1)
+		incat := fmt.Sprintf("%d", base+2)
+		cat := fmt.Sprintf("%d", base+3)
+		b.Node(item, "Item", schema.Rel("Item"))
+		b.Node(name, "name", schema.Col("name"))
+		b.Node(incat, "InCategory", schema.Rel("InCat"))
+		b.Node(cat, "Category", schema.Col("category"))
+		b.EdgeCondInt(contName, item, "parentcode", int64(i+1))
+		b.Edge(item, name)
+		b.Edge(item, incat)
+		b.Edge(incat, cat)
+	}
+	b.Node("33", "Categories")
+	b.Node("34", "Category", schema.Rel("Cat"), schema.Col("name"))
+	b.Edge("1", "33")
+	b.Edge("33", "34")
+	return b.MustBuild()
+}
+
+// GenerateXMarkFull produces a document conforming to XMarkFull: the
+// Figure 1 content plus the category catalogue.
+func GenerateXMarkFull(cfg XMarkConfig) *xmltree.Document {
+	doc := GenerateXMark(cfg)
+	cats := xmltree.NewElem("Categories")
+	if cfg.NumCategories <= 0 {
+		cfg.NumCategories = 1
+	}
+	for i := 0; i < cfg.NumCategories; i++ {
+		cats.Children = append(cats.Children, xmltree.NewText("Category", fmt.Sprintf("category%d", i)))
+	}
+	doc.Root.Children = append(doc.Root.Children, cats)
+	return doc
+}
+
+// XMark queries from the paper.
+const (
+	// QueryQ1 is §2's Q1: all item categories.
+	QueryQ1 = "//Item/InCategory/Category"
+	// QueryQ2 is §3.4's Q2: categories of Africa items.
+	QueryQ2 = "/Site/Regions/Africa/Item/InCategory/Category"
+	// QueryQ8 is §5.3's Q8, evaluated over the Edge mapping.
+	QueryQ8 = "/Site//Item/InCategory/Category"
+)

@@ -1,0 +1,191 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmlsql/internal/schema"
+	"xmlsql/internal/xmltree"
+)
+
+// XMarkAuctions builds a richer slice of the XMark benchmark than the
+// Figure 1 fragment: alongside the regional item listings it includes the
+// people directory and the open/closed auction sections, which is where most
+// of XMark's published queries roam. The mapping exercises every annotation
+// kind: shared relations with parentcode discrimination (Item), multi-level
+// tuple nesting (OpenAuction -> Bidder), and plain value columns.
+//
+//	Site
+//	├── Regions ── <continent>* ── Item(name, InCategory(Category))
+//	├── People ── Person(Name, EmailAddress, Phone?)
+//	├── OpenAuctions ── OpenAuction(Initial, Current, ItemRef,
+//	│                               Bidder(Date, Increase)*)
+//	└── ClosedAuctions ── ClosedAuction(Price, ItemRef, BuyerRef)
+func XMarkAuctions() *schema.Schema {
+	b := schema.NewBuilder("xmarkauctions")
+	b.Node("site", "Site", schema.Rel("Site"))
+	b.Root("site")
+
+	// Regions, as in Figure 1.
+	b.Node("regions", "Regions")
+	b.Edge("site", "regions")
+	for i, cont := range Continents {
+		contName := "cont_" + cont
+		b.Node(contName, cont)
+		b.Edge("regions", contName)
+		item := "item_" + cont
+		b.Node(item, "Item", schema.Rel("Item"))
+		b.EdgeCondInt(contName, item, "parentcode", int64(i+1))
+		b.Node("name_"+cont, "name", schema.Col("name"))
+		b.Edge(item, "name_"+cont)
+		b.Node("incat_"+cont, "InCategory", schema.Rel("InCat"))
+		b.Edge(item, "incat_"+cont)
+		b.Node("cat_"+cont, "Category", schema.Col("category"))
+		b.Edge("incat_"+cont, "cat_"+cont)
+	}
+
+	// People.
+	b.Node("people", "People")
+	b.Edge("site", "people")
+	b.Node("person", "Person", schema.Rel("Person"))
+	b.Edge("people", "person")
+	b.Node("pname", "Name", schema.Col("name"))
+	b.Edge("person", "pname")
+	b.Node("pemail", "EmailAddress", schema.Col("email"))
+	b.Edge("person", "pemail")
+	b.Node("pphone", "Phone", schema.Col("phone"))
+	b.Edge("person", "pphone")
+
+	// Open auctions, with nested bidders.
+	b.Node("openauctions", "OpenAuctions")
+	b.Edge("site", "openauctions")
+	b.Node("oa", "OpenAuction", schema.Rel("OpenAuction"))
+	b.Edge("openauctions", "oa")
+	b.Node("oainitial", "Initial", schema.Col("initial"))
+	b.Edge("oa", "oainitial")
+	b.Node("oacurrent", "Current", schema.Col("current"))
+	b.Edge("oa", "oacurrent")
+	b.Node("oaitemref", "ItemRef", schema.Col("itemref"))
+	b.Edge("oa", "oaitemref")
+	b.Node("bidder", "Bidder", schema.Rel("Bidder"))
+	b.Edge("oa", "bidder")
+	b.Node("bdate", "Date", schema.Col("date"))
+	b.Edge("bidder", "bdate")
+	b.Node("bincrease", "Increase", schema.Col("increase"))
+	b.Edge("bidder", "bincrease")
+
+	// Closed auctions.
+	b.Node("closedauctions", "ClosedAuctions")
+	b.Edge("site", "closedauctions")
+	b.Node("ca", "ClosedAuction", schema.Rel("ClosedAuction"))
+	b.Edge("closedauctions", "ca")
+	b.Node("caprice", "Price", schema.Col("price"))
+	b.Edge("ca", "caprice")
+	b.Node("caitemref", "ItemRef", schema.Col("itemref"))
+	b.Edge("ca", "caitemref")
+	b.Node("cabuyer", "BuyerRef", schema.Col("buyerref"))
+	b.Edge("ca", "cabuyer")
+
+	return b.MustBuild()
+}
+
+// XMarkAuctionsConfig sizes the generated document.
+type XMarkAuctionsConfig struct {
+	ItemsPerContinent int
+	People            int
+	OpenAuctions      int
+	BiddersPerAuction int
+	ClosedAuctions    int
+	Seed              int64
+}
+
+// DefaultXMarkAuctionsConfig returns a moderate configuration.
+func DefaultXMarkAuctionsConfig() XMarkAuctionsConfig {
+	return XMarkAuctionsConfig{
+		ItemsPerContinent: 20,
+		People:            60,
+		OpenAuctions:      40,
+		BiddersPerAuction: 3,
+		ClosedAuctions:    30,
+		Seed:              1,
+	}
+}
+
+// GenerateXMarkAuctions produces a conforming document.
+func GenerateXMarkAuctions(cfg XMarkAuctionsConfig) *xmltree.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	site := xmltree.NewElem("Site")
+
+	regions := xmltree.NewElem("Regions")
+	itemNo := 0
+	for _, cont := range Continents {
+		contElem := xmltree.NewElem(cont)
+		for i := 0; i < cfg.ItemsPerContinent; i++ {
+			item := xmltree.NewElem("Item",
+				xmltree.NewText("name", fmt.Sprintf("item%d", itemNo)),
+				xmltree.NewElem("InCategory",
+					xmltree.NewText("Category", fmt.Sprintf("category%d", rng.Intn(20)))))
+			itemNo++
+			contElem.Children = append(contElem.Children, item)
+		}
+		regions.Children = append(regions.Children, contElem)
+	}
+	site.Children = append(site.Children, regions)
+
+	people := xmltree.NewElem("People")
+	for i := 0; i < cfg.People; i++ {
+		person := xmltree.NewElem("Person",
+			xmltree.NewText("Name", fmt.Sprintf("person%d", i)),
+			xmltree.NewText("EmailAddress", fmt.Sprintf("person%d@example.com", i)))
+		if rng.Intn(2) == 0 {
+			person.Children = append(person.Children,
+				xmltree.NewText("Phone", fmt.Sprintf("555-%04d", rng.Intn(10000))))
+		}
+		people.Children = append(people.Children, person)
+	}
+	site.Children = append(site.Children, people)
+
+	open := xmltree.NewElem("OpenAuctions")
+	for i := 0; i < cfg.OpenAuctions; i++ {
+		oa := xmltree.NewElem("OpenAuction",
+			xmltree.NewText("Initial", fmt.Sprintf("%d", 10+rng.Intn(90))),
+			xmltree.NewText("Current", fmt.Sprintf("%d", 100+rng.Intn(900))),
+			xmltree.NewText("ItemRef", fmt.Sprintf("item%d", rng.Intn(itemNo))))
+		for bcount := rng.Intn(cfg.BiddersPerAuction + 1); bcount > 0; bcount-- {
+			oa.Children = append(oa.Children, xmltree.NewElem("Bidder",
+				xmltree.NewText("Date", fmt.Sprintf("2026-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))),
+				xmltree.NewText("Increase", fmt.Sprintf("%d", 1+rng.Intn(50)))))
+		}
+		open.Children = append(open.Children, oa)
+	}
+	site.Children = append(site.Children, open)
+
+	closed := xmltree.NewElem("ClosedAuctions")
+	for i := 0; i < cfg.ClosedAuctions; i++ {
+		closed.Children = append(closed.Children, xmltree.NewElem("ClosedAuction",
+			xmltree.NewText("Price", fmt.Sprintf("%d", 100+rng.Intn(2000))),
+			xmltree.NewText("ItemRef", fmt.Sprintf("item%d", rng.Intn(itemNo))),
+			xmltree.NewText("BuyerRef", fmt.Sprintf("person%d", rng.Intn(cfg.People)))))
+	}
+	site.Children = append(site.Children, closed)
+
+	return &xmltree.Document{Root: site}
+}
+
+// XMark auction queries used by the extended benchmark suite; shaped after
+// the published XMark query set (Q1-style lookups, bidder traversals,
+// closed-auction reporting).
+var XMarkAuctionQueries = []string{
+	"//Person/Name",
+	"//Person/EmailAddress",
+	"//OpenAuction/Bidder/Increase",
+	"//Bidder/Date",
+	"//OpenAuction/Initial",
+	"//ClosedAuction/Price",
+	"/Site/OpenAuctions/OpenAuction/Current",
+	"/Site/ClosedAuctions/ClosedAuction/ItemRef",
+	"//Item/InCategory/Category",
+	"/Site/Regions/Europe/Item/name",
+	"//OpenAuction[Initial='42']/Current",
+	"//Person[Name='person7']/EmailAddress",
+}

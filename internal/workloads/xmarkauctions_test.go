@@ -1,0 +1,32 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/workloads"
+)
+
+func TestXMarkAuctionsSchemaAndGenerator(t *testing.T) {
+	s := workloads.XMarkAuctions()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Classify() != schema.ShapeTree {
+		t.Errorf("shape = %v", s.Classify())
+	}
+	doc := workloads.GenerateXMarkAuctions(workloads.DefaultXMarkAuctionsConfig())
+	if !shred.Conforms(s, doc) {
+		t.Fatal("generated document does not conform")
+	}
+	defs, err := s.DeriveRelations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"Site", "Item", "InCat", "Person", "OpenAuction", "Bidder", "ClosedAuction"} {
+		if defs[rel] == nil {
+			t.Errorf("relation %s not derived", rel)
+		}
+	}
+}

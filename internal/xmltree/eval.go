@@ -1,0 +1,67 @@
+package xmltree
+
+import "xmlsql/internal/pathexpr"
+
+// MatchNodes returns, in document order, every element whose root-to-element
+// label path (and step predicates, if any) matches the path expression. This
+// is the reference semantics of SPE evaluation (§3.3, extended with the §6
+// predicate queries); value extraction (text vs. elemid) is layered on top
+// by callers who know the schema annotations.
+func MatchNodes(d *Document, p *pathexpr.Path) []*Node {
+	dfa := pathexpr.BuildPredDFA(p)
+	var out []*Node
+	var rec func(n *Node, state int)
+	rec = func(n *Node, state int) {
+		next := dfa.Step(state, n.Label, SatisfiesPred(n, p.PredForLabel(n.Label)))
+		if dfa.Accepting(next) {
+			out = append(out, n)
+		}
+		for _, c := range n.Children {
+			rec(c, next)
+		}
+	}
+	rec(d.Root, dfa.Start())
+	return out
+}
+
+// SatisfiesPred reports whether the element satisfies a step predicate: it
+// has a child with the predicate's label whose text equals the value. A nil
+// predicate is trivially satisfied.
+func SatisfiesPred(n *Node, pred *pathexpr.Pred) bool {
+	if pred == nil {
+		return true
+	}
+	for _, c := range n.Children {
+		if c.Label == pred.Child && c.Text == pred.Value {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchNodesNFA is the slow reference implementation used to cross-check the
+// DFA in property tests: it re-runs the NFA matcher on every root-to-node
+// element sequence.
+func MatchNodesNFA(d *Document, p *pathexpr.Path) []*Node {
+	var out []*Node
+	var chain []*Node
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		chain = append(chain, n)
+		labels := make([]string, len(chain))
+		for i, e := range chain {
+			labels[i] = e.Label
+		}
+		if p.MatchesPred(labels, func(level int) bool {
+			return SatisfiesPred(chain[level], p.PredForLabel(chain[level].Label))
+		}) {
+			out = append(out, n)
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+		chain = chain[:len(chain)-1]
+	}
+	rec(d.Root)
+	return out
+}

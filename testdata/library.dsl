@@ -1,0 +1,23 @@
+# A small library mapping: books on two shelves share the Book relation,
+# distinguished by the shelf column (the Figure 1 annotation style).
+schema library
+root lib
+
+node lib     label=Library rel=Library
+node fiction label=Fiction
+node science label=Science
+node fbook   label=Book    rel=Book
+node sbook   label=Book    rel=Book
+node ftitle  label=Title   col=title
+node stitle  label=Title   col=title
+node fyear   label=Year    col=year
+node syear   label=Year    col=year
+
+edge lib -> fiction
+edge lib -> science
+edge fiction -> fbook [shelf=1]
+edge science -> sbook [shelf=2]
+edge fbook -> ftitle
+edge fbook -> fyear
+edge sbook -> stitle
+edge sbook -> syear

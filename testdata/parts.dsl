@@ -1,0 +1,14 @@
+# A recursive bill-of-materials mapping: parts contain subparts, modelled
+# with a self-referential Part relation (the §5 recursive-schema case).
+schema parts
+root assembly
+
+node assembly label=Assembly rel=Assembly
+node part     label=Part     rel=Part
+node pname    label=Name     col=name
+node pid      label=elemid   col=id
+
+edge assembly -> part
+edge part -> part
+edge part -> pname
+edge part -> pid

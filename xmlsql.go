@@ -1,0 +1,183 @@
+// Package xmlsql reproduces "XML Views as Integrity Constraints and their
+// Use in Query Translation" (Krishnamurthy, Kaushik, Naughton; ICDE 2005):
+// XML-to-SQL query translation for shredded XML storage that exploits the
+// "lossless from XML" integrity constraint to emit drastically simpler SQL.
+//
+// The package ties together the full pipeline:
+//
+//	schema  := xmlsql.MustParseSchema(dsl)      // annotated XML schema graph
+//	store   := xmlsql.NewStore()                // in-memory relational store
+//	xmlsql.Shred(schema, store, doc)            // lossless shredding
+//	q       := xmlsql.MustParseQuery("//Item/InCategory/Category")
+//	tr, _   := xmlsql.Translate(schema, q)      // pruned SQL (the paper's algorithm)
+//	res, _  := xmlsql.Execute(store, tr.Query)  // evaluate
+//
+// TranslateNaive provides the baseline translation of [9] for comparison;
+// Reconstruct and CheckLossless witness the integrity constraint itself.
+package xmlsql
+
+import (
+	"io"
+
+	"xmlsql/internal/core"
+	"xmlsql/internal/engine"
+	"xmlsql/internal/infer"
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/translate"
+	"xmlsql/internal/xmltree"
+)
+
+// Core data types, re-exported from the implementation packages.
+type (
+	// Schema is an annotated XML schema graph — an XML-to-Relational
+	// mapping (§3.1 of the paper).
+	Schema = schema.Schema
+	// SchemaBuilder constructs schemas programmatically.
+	SchemaBuilder = schema.Builder
+	// Query is a parsed simple path expression (§3.3).
+	Query = pathexpr.Path
+	// Store is the in-memory relational database instance.
+	Store = relational.Store
+	// Value is a single SQL value.
+	Value = relational.Value
+	// Document is an XML document tree.
+	Document = xmltree.Document
+	// Element is one XML element.
+	Element = xmltree.Node
+	// SQL is a generated SQL statement.
+	SQL = sqlast.Query
+	// Result is an executed query's multiset of rows.
+	Result = engine.Result
+	// Translation is the output of the lossless-constraint-aware
+	// translator: the SQL plus pruning diagnostics.
+	Translation = core.Result
+	// TranslateOptions tunes the pruning translator (ablations).
+	TranslateOptions = core.Options
+	// ShredResult reports one document's shredding, including the elemid
+	// assigned to every tuple-producing element.
+	ShredResult = shred.Result
+	// ShredOptions configure shredding (adversarial unspecified-column
+	// fills, order-preserving shredding).
+	ShredOptions = shred.Options
+	// CrossProduct is the PathId stage's output (S_CP).
+	CrossProduct = pathid.Graph
+)
+
+// NewSchemaBuilder starts a programmatic schema definition.
+func NewSchemaBuilder(name string) *SchemaBuilder { return schema.NewBuilder(name) }
+
+// ParseSchema reads a schema from the text DSL (see internal/schema's Parse
+// for the format).
+func ParseSchema(dsl string) (*Schema, error) { return schema.Parse(dsl) }
+
+// MustParseSchema parses a schema literal, panicking on error.
+func MustParseSchema(dsl string) *Schema { return schema.MustParse(dsl) }
+
+// ParseQuery parses a simple path expression such as "//Item//Category".
+func ParseQuery(q string) (*Query, error) { return pathexpr.Parse(q) }
+
+// MustParseQuery parses a query literal, panicking on error.
+func MustParseQuery(q string) *Query { return pathexpr.MustParse(q) }
+
+// ParseDocument reads an XML document.
+func ParseDocument(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
+
+// ParseDocumentString reads an XML document from a string.
+func ParseDocumentString(s string) (*Document, error) { return xmltree.ParseString(s) }
+
+// NewStore creates an empty relational store.
+func NewStore() *Store { return relational.NewStore() }
+
+// Shred losslessly decomposes documents into the store according to the
+// mapping, creating the derived relations as needed. The shredding respects
+// the mapping in the sense of §3.2, so the "lossless from XML" constraint
+// holds for the resulting instance by construction.
+func Shred(s *Schema, store *Store, docs ...*Document) ([]*ShredResult, error) {
+	return shred.ShredAll(s, store, shred.Options{}, docs...)
+}
+
+// ShredWithOptions is Shred with explicit shredding options (e.g. WithOrder
+// for byte-exact reconstruction).
+func ShredWithOptions(s *Schema, store *Store, opts ShredOptions, docs ...*Document) ([]*ShredResult, error) {
+	return shred.ShredAll(s, store, opts, docs...)
+}
+
+// Reconstruct inverts shredding, rebuilding the stored documents (exact up
+// to canonical sibling order).
+func Reconstruct(s *Schema, store *Store) ([]*Document, error) {
+	return shred.Reconstruct(s, store)
+}
+
+// CheckLossless verifies that the instance could have been produced by a
+// shredding that respects the mapping, reporting orphan, ambiguous, or
+// structurally invalid tuples.
+func CheckLossless(s *Schema, store *Store) error { return shred.CheckLossless(s, store) }
+
+// EdgeMapping derives the schema-oblivious Edge-storage mapping of §5.3 for
+// a schema: every element in one generic Edge(id, parentid, tag, value)
+// relation.
+func EdgeMapping(s *Schema) (*Schema, error) { return shred.EdgeSchemaFor(s) }
+
+// InferSchema derives a mapping from sample documents (§5.3: "an XML schema
+// is either given or has been inferred from the XML documents loaded into
+// the system"): one schema node per distinct label path, value columns for
+// non-repeating text leaves, and a relation for everything else.
+func InferSchema(docs ...*Document) (*Schema, error) { return infer.FromDocuments(docs...) }
+
+// PathID runs the PathId stage: the cross-product of the schema with the
+// query automaton (§3.4).
+func PathID(s *Schema, q *Query) (*CrossProduct, error) { return pathid.Build(s, q) }
+
+// TranslateNaive is the baseline XML-to-SQL translation of [9], which does
+// not use the "lossless from XML" constraint: a union of root-to-leaf join
+// queries (with WITH [RECURSIVE] CTEs for DAG and recursive schemas).
+func TranslateNaive(s *Schema, q *Query) (*SQL, error) {
+	g, err := pathid.Build(s, q)
+	if err != nil {
+		return nil, err
+	}
+	return translate.Naive(g)
+}
+
+// Translate is the paper's contribution: translation that exploits the
+// "lossless from XML" constraint to prune root-to-leaf chains to their
+// shortest safe suffixes (§4, §5).
+func Translate(s *Schema, q *Query) (*Translation, error) {
+	g, err := pathid.Build(s, q)
+	if err != nil {
+		return nil, err
+	}
+	return core.Translate(g)
+}
+
+// TranslateWithOptions runs the pruning translator with explicit options
+// (used by the ablation benchmarks).
+func TranslateWithOptions(s *Schema, q *Query, opts TranslateOptions) (*Translation, error) {
+	g, err := pathid.Build(s, q)
+	if err != nil {
+		return nil, err
+	}
+	return core.TranslateOpts(g, opts)
+}
+
+// Execute evaluates a generated SQL statement against the store.
+func Execute(store *Store, q *SQL) (*Result, error) { return engine.Execute(store, q) }
+
+// Eval is the end-to-end convenience: translate with the lossless
+// constraint and execute.
+func Eval(s *Schema, store *Store, query string) (*Result, error) {
+	q, err := ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := Translate(s, q)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(store, tr.Query)
+}
