@@ -177,6 +177,107 @@ func BenchmarkTranslateQ7Pruned(b *testing.B) {
 	}
 }
 
+// Serving fast path: the plan cache. Hot = repeated Planner.Eval (parse and
+// translation amortized to a cache hit); Cold = the uncached
+// translate+execute path on the same query and store. The recursive S3
+// schema's Q4 is the headline case: pruning a recursive mapping is the most
+// expensive translation (cycle unrolling during pattern enumeration) while
+// its pruned SQL (R6 ⋈ R10) is among the cheapest to execute, which is
+// exactly the regime the paper's contribution creates — and where a plan
+// cache pays off most.
+func plannerFixtureS3(b *testing.B) (*xmlsql.Schema, *xmlsql.Store) {
+	b.Helper()
+	s := workloads.S3()
+	store := xmlsql.NewStore()
+	doc := workloads.GenerateS3(workloads.S3Config{Fanout: 2, MaxDepth: 5, Seed: 1})
+	if _, err := xmlsql.Shred(s, store, doc); err != nil {
+		b.Fatal(err)
+	}
+	return s, store
+}
+
+func BenchmarkPlannerHot(b *testing.B) {
+	s, store := plannerFixtureS3(b)
+	p := xmlsql.NewPlanner(s)
+	if _, err := p.Eval(store, workloads.QueryQ4); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Eval(store, workloads.QueryQ4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerCold(b *testing.B) {
+	s, store := plannerFixtureS3(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := xmlsql.Eval(s, store, workloads.QueryQ4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Parallel UNION ALL execution: naive translations are unions of
+// root-to-leaf join chains (six branches for XMark's Q1 and the Edge
+// mapping's Q8), the widest unions the system produces and therefore the
+// workloads with enough independent branch work to scale with cores.
+// "serial" forces Parallelism 1; "parallel" uses the GOMAXPROCS default.
+// Per-branch results merge in branch order, so both return identical rows.
+func benchmarkParallelUnion(b *testing.B, s *xmlsql.Schema, store *xmlsql.Store, query string) {
+	b.Helper()
+	naive, err := xmlsql.TranslateNaive(s, xmlsql.MustParseQuery(query))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if naive.Shape().Branches < 4 {
+		b.Fatalf("%s: naive union has %d branches, want >= 4", query, naive.Shape().Branches)
+	}
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := xmlsql.ExecuteOptions{Parallelism: mode.par}
+			for i := 0; i < b.N; i++ {
+				if _, err := xmlsql.ExecuteWithOptions(store, naive, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelUnion(b *testing.B) {
+	b.Run("xmark-q1", func(b *testing.B) {
+		s := workloads.XMark()
+		store := xmlsql.NewStore()
+		doc := workloads.GenerateXMark(workloads.XMarkConfig{
+			ItemsPerContinent: 400, CategoriesPerItem: 2, NumCategories: 50, Seed: 1,
+		})
+		if _, err := xmlsql.Shred(s, store, doc); err != nil {
+			b.Fatal(err)
+		}
+		benchmarkParallelUnion(b, s, store, workloads.QueryQ1)
+	})
+	b.Run("edge-q8", func(b *testing.B) {
+		base := workloads.XMarkFull()
+		es, err := xmlsql.EdgeMapping(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := xmlsql.NewStore()
+		doc := workloads.GenerateXMarkFull(workloads.XMarkConfig{
+			ItemsPerContinent: 100, CategoriesPerItem: 2, NumCategories: 50, Seed: 1,
+		})
+		if _, err := xmlsql.Shred(es, store, doc); err != nil {
+			b.Fatal(err)
+		}
+		benchmarkParallelUnion(b, es, store, workloads.QueryQ8)
+	})
+}
+
 // Substrate throughput: shredding.
 func BenchmarkShredXMark(b *testing.B) {
 	s := workloads.XMark()

@@ -4,9 +4,14 @@
 // generated SQL shape, verified result equality, and measured execution
 // time — and prints the tables recorded in EXPERIMENTS.md.
 //
+// It also measures the serving fast path (plan cache hot/cold, parallel
+// UNION ALL) and, with -json, writes the whole comparison table as one
+// machine-readable JSON document so the perf trajectory can be tracked
+// across PRs.
+//
 // Usage:
 //
-//	benchrunner [-scale N] [-details] [-ablations]
+//	benchrunner [-scale N] [-details] [-ablations] [-serving=false] [-json FILE]
 package main
 
 import (
@@ -22,6 +27,8 @@ func main() {
 	details := flag.Bool("details", false, "print per-query SQL details")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	scaling := flag.Bool("scaling", false, "also run the Q1 speedup-vs-size scaling series")
+	serving := flag.Bool("serving", true, "also measure the serving fast path (plan cache, parallel unions)")
+	jsonPath := flag.String("json", "", "write the comparison table as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	sc := bench.DefaultScale()
@@ -48,6 +55,35 @@ func main() {
 		}
 	}
 	fmt.Printf("E8 subset (stands in for the [10] XMark+ADEX evaluation): %s", bench.Summary(e8))
+
+	var srv []*bench.ServingComparison
+	if *serving {
+		srv, err = bench.RunServing(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: serving: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(bench.FormatServing(srv))
+	}
+
+	if *jsonPath != "" {
+		report := bench.BuildReport("xmlsql", *scale, cmps, srv)
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: writing json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *details {
 		fmt.Println()

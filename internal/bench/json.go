@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// Report is the machine-readable form of a benchrunner run, written by the
+// -json flag so the perf trajectory can be tracked across PRs (one
+// BENCH_<name>.json-style document per run).
+type Report struct {
+	Name       string               `json:"name"`
+	Scale      int                  `json:"scale"`
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	Cases      []ReportCase         `json:"cases"`
+	Serving    []*ServingComparison `json:"serving,omitempty"`
+	Summary    ReportSummary        `json:"summary"`
+}
+
+// ReportCase is one experiment case's measurements.
+type ReportCase struct {
+	Experiment  string  `json:"experiment"`
+	Workload    string  `json:"workload"`
+	Query       string  `json:"query"`
+	NaiveShape  string  `json:"naive_shape"`
+	PrunedShape string  `json:"pruned_shape"`
+	Fallback    bool    `json:"fallback"`
+	Rows        int     `json:"rows"`
+	StoreRows   int     `json:"store_rows"`
+	NaiveNs     float64 `json:"naive_ns"`
+	PrunedNs    float64 `json:"pruned_ns"`
+	Speedup     float64 `json:"speedup"`
+	Verified    bool    `json:"verified"`
+}
+
+// ReportSummary aggregates the speedup distribution.
+type ReportSummary struct {
+	Queries     int     `json:"queries"`
+	MinSpeedup  float64 `json:"min_speedup"`
+	MaxSpeedup  float64 `json:"max_speedup"`
+	Over10x     int     `json:"over_10x"`
+	Regressions int     `json:"regressions"`
+	AllVerified bool    `json:"all_verified"`
+}
+
+// BuildReport assembles the JSON report from measured comparisons.
+func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison) *Report {
+	r := &Report{
+		Name:       name,
+		Scale:      scale,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Serving:    serving,
+		Summary:    ReportSummary{AllVerified: true},
+	}
+	for _, c := range cmps {
+		r.Cases = append(r.Cases, ReportCase{
+			Experiment:  c.Experiment,
+			Workload:    c.Workload,
+			Query:       c.Query,
+			NaiveShape:  c.NaiveShape.String(),
+			PrunedShape: c.PrunedShape.String(),
+			Fallback:    c.Fallback,
+			Rows:        c.Rows,
+			StoreRows:   c.TotalRows,
+			NaiveNs:     c.NaiveNs,
+			PrunedNs:    c.PrunedNs,
+			Speedup:     c.Speedup,
+			Verified:    c.Verified,
+		})
+		if r.Summary.Queries == 0 || c.Speedup < r.Summary.MinSpeedup {
+			r.Summary.MinSpeedup = c.Speedup
+		}
+		if c.Speedup > r.Summary.MaxSpeedup {
+			r.Summary.MaxSpeedup = c.Speedup
+		}
+		if c.Speedup >= 10 {
+			r.Summary.Over10x++
+		}
+		if c.Speedup < 1 {
+			r.Summary.Regressions++
+		}
+		if !c.Verified {
+			r.Summary.AllVerified = false
+		}
+		r.Summary.Queries++
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

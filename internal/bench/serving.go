@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"xmlsql"
+	"xmlsql/internal/workloads"
+)
+
+// ServingComparison measures the concurrent query-serving fast path on one
+// (workload, query) pair: the plan cache (cold translate+execute vs hot
+// cache-hit Eval) and parallel UNION ALL execution of the naive translation
+// (serial vs GOMAXPROCS-bounded workers).
+type ServingComparison struct {
+	Workload string `json:"workload"`
+	Query    string `json:"query"`
+
+	// Plan cache: ColdNs is parse+translate+execute from scratch, HotNs is
+	// Planner.Eval after the first call (a cache hit straight to execution).
+	ColdNs     float64 `json:"cold_ns"`
+	HotNs      float64 `json:"hot_ns"`
+	HotSpeedup float64 `json:"hot_speedup"`
+
+	// Parallel union: the naive translation's UNION ALL executed with
+	// Parallelism 1 vs the GOMAXPROCS default.
+	Branches        int     `json:"branches"`
+	SerialNs        float64 `json:"serial_ns"`
+	ParallelNs      float64 `json:"parallel_ns"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	Procs           int     `json:"procs"`
+}
+
+// servingCase declares one serving measurement.
+type servingCase struct {
+	workload string
+	query    string
+	schema   *xmlsql.Schema
+	doc      *xmlsql.Document
+}
+
+// servingSuite builds the serving cases: the recursive S3 schema (the most
+// expensive translations, so the plan cache's best case), schema-aware XMark
+// and the schema-oblivious Edge mapping (the widest naive unions, so
+// parallel execution's best case).
+func servingSuite(sc Scale) ([]servingCase, error) {
+	s3 := workloads.S3()
+	s3Doc := workloads.GenerateS3(workloads.S3Config{Fanout: sc.S3Fanout, MaxDepth: sc.S3Depth, Seed: 1})
+	xm := workloads.XMark()
+	xmDoc := workloads.GenerateXMark(workloads.XMarkConfig{
+		ItemsPerContinent: sc.ItemsPerContinent, CategoriesPerItem: 2, NumCategories: 50, Seed: 1,
+	})
+	xf := workloads.XMarkFull()
+	edge, err := xmlsql.EdgeMapping(xf)
+	if err != nil {
+		return nil, err
+	}
+	edgeDoc := workloads.GenerateXMarkFull(workloads.XMarkConfig{
+		ItemsPerContinent: sc.ItemsPerContinent / 2, CategoriesPerItem: 2, NumCategories: 50, Seed: 1,
+	})
+	// The small S3 store isolates the plan-cache effect: translation cost is
+	// store-independent, so shrinking the data exposes the full
+	// parse+translate overhead the cache removes (the same regime as
+	// BenchmarkPlannerHot/Cold).
+	s3Small := workloads.GenerateS3(workloads.S3Config{Fanout: 2, MaxDepth: 5, Seed: 1})
+	return []servingCase{
+		{workload: "s3-small", query: workloads.QueryQ4, schema: s3, doc: s3Small},
+		{workload: "s3", query: workloads.QueryQ4, schema: s3, doc: s3Doc},
+		{workload: "s3", query: workloads.QueryQ7, schema: s3, doc: s3Doc},
+		{workload: "xmark", query: workloads.QueryQ1, schema: xm, doc: xmDoc},
+		{workload: "xmarkfull-edge", query: workloads.QueryQ8, schema: edge, doc: edgeDoc},
+	}, nil
+}
+
+// RunServing measures the serving fast path for every serving case.
+func RunServing(sc Scale) ([]*ServingComparison, error) {
+	cases, err := servingSuite(sc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ServingComparison, 0, len(cases))
+	for _, c := range cases {
+		cmp, err := runServing(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+func runServing(c servingCase) (*ServingComparison, error) {
+	store := xmlsql.NewStore()
+	if _, err := xmlsql.Shred(c.schema, store, c.doc); err != nil {
+		return nil, fmt.Errorf("serving %s %s: shred: %w", c.workload, c.query, err)
+	}
+
+	// Correctness gate before timing: hot, cold, serial, and parallel paths
+	// must all agree.
+	planner := xmlsql.NewPlanner(c.schema)
+	hotRes, err := planner.Eval(store, c.query)
+	if err != nil {
+		return nil, fmt.Errorf("serving %s %s: planner: %w", c.workload, c.query, err)
+	}
+	coldRes, err := xmlsql.Eval(c.schema, store, c.query)
+	if err != nil {
+		return nil, err
+	}
+	if !hotRes.MultisetEqual(coldRes) {
+		return nil, fmt.Errorf("serving %s %s: cached plan disagrees with fresh translation", c.workload, c.query)
+	}
+	naive, err := xmlsql.TranslateNaive(c.schema, xmlsql.MustParseQuery(c.query))
+	if err != nil {
+		return nil, err
+	}
+	serialRes, err := xmlsql.ExecuteWithOptions(store, naive, xmlsql.ExecuteOptions{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	parallelRes, err := xmlsql.ExecuteWithOptions(store, naive, xmlsql.ExecuteOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if len(serialRes.Rows) != len(parallelRes.Rows) {
+		return nil, fmt.Errorf("serving %s %s: parallel row count diverged", c.workload, c.query)
+	}
+	for i := range serialRes.Rows {
+		if serialRes.Rows[i].Key() != parallelRes.Rows[i].Key() {
+			return nil, fmt.Errorf("serving %s %s: parallel row order diverged at row %d", c.workload, c.query, i)
+		}
+	}
+
+	cmp := &ServingComparison{
+		Workload: c.workload,
+		Query:    c.query,
+		Branches: naive.Shape().Branches,
+		Procs:    runtime.GOMAXPROCS(0),
+	}
+	cmp.ColdNs = measureFn(func() error {
+		_, err := xmlsql.Eval(c.schema, store, c.query)
+		return err
+	})
+	cmp.HotNs = measureFn(func() error {
+		_, err := planner.Eval(store, c.query)
+		return err
+	})
+	if cmp.HotNs > 0 {
+		cmp.HotSpeedup = cmp.ColdNs / cmp.HotNs
+	}
+	cmp.SerialNs = measureFn(func() error {
+		_, err := xmlsql.ExecuteWithOptions(store, naive, xmlsql.ExecuteOptions{Parallelism: 1})
+		return err
+	})
+	cmp.ParallelNs = measureFn(func() error {
+		_, err := xmlsql.ExecuteWithOptions(store, naive, xmlsql.ExecuteOptions{})
+		return err
+	})
+	if cmp.ParallelNs > 0 {
+		cmp.ParallelSpeedup = cmp.SerialNs / cmp.ParallelNs
+	}
+	return cmp, nil
+}
+
+// measureFn runs fn repeatedly for at least MinMeasureTime and returns the
+// mean per-call nanoseconds (same protocol as measure).
+func measureFn(fn func() error) float64 {
+	if err := fn(); err != nil {
+		return 0
+	}
+	var reps int
+	start := time.Now()
+	for time.Since(start) < MinMeasureTime || reps < 3 {
+		if err := fn(); err != nil {
+			return 0
+		}
+		reps++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps)
+}
+
+// FormatServing renders the serving comparisons as a fixed-width table.
+func FormatServing(cmps []*ServingComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving fast path: plan cache (cold vs hot) and parallel UNION ALL (GOMAXPROCS=%d)\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%-15s %-35s %10s %10s %8s %4s %10s %10s %8s\n",
+		"workload", "query", "cold/op", "hot/op", "speedup", "br", "serial/op", "par/op", "speedup")
+	b.WriteString(strings.Repeat("-", 118))
+	b.WriteString("\n")
+	for _, c := range cmps {
+		fmt.Fprintf(&b, "%-15s %-35s %10s %10s %7.2fx %4d %10s %10s %7.2fx\n",
+			c.Workload, truncate(c.Query, 35),
+			fmtNs(c.ColdNs), fmtNs(c.HotNs), c.HotSpeedup,
+			c.Branches, fmtNs(c.SerialNs), fmtNs(c.ParallelNs), c.ParallelSpeedup)
+	}
+	return b.String()
+}

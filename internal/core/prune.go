@@ -149,9 +149,10 @@ func (pr *pruner) loopResultConflicts() error {
 		if !changed {
 			return nil
 		}
-		// Growth may reintroduce first-loop obligations only never — growing
-		// adds constraints monotonically — but mixed entries can appear;
-		// re-establish loop-1 invariants cheaply.
+		// Growing a suffix adds join constraints monotonically, so it can
+		// never relax an already-satisfied obligation; but the grown item's
+		// new entry pattern may now mix with non-result tuples, so loop-1's
+		// invariant must be re-established after each loop-2 round.
 		if err := pr.loopNonResultConflicts(); err != nil {
 			return err
 		}

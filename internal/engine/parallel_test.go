@@ -1,0 +1,191 @@
+package engine_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"xmlsql/internal/engine"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/sqlast"
+)
+
+// wideUnion builds a UNION ALL with one branch per parent kind plus an
+// unconditioned branch, so parallel evaluation has real work to interleave.
+func wideUnion() *sqlast.Query {
+	branch := func(kind int64) *sqlast.Select {
+		return &sqlast.Select{
+			Cols: []sqlast.SelectItem{sqlast.Col("C", "v")},
+			From: []sqlast.FromItem{sqlast.From("P", "P"), sqlast.From("C", "C")},
+			Where: sqlast.Conj(
+				sqlast.Eq(sqlast.ColRef{Table: "C", Column: "parentid"}, sqlast.ColRef{Table: "P", Column: "id"}),
+				sqlast.Eq(sqlast.ColRef{Table: "P", Column: "kind"}, sqlast.IntLit(kind)),
+			),
+		}
+	}
+	q := &sqlast.Query{}
+	q.Selects = append(q.Selects,
+		branch(1), branch(2),
+		&sqlast.Select{
+			Cols: []sqlast.SelectItem{sqlast.Col("C", "v")},
+			From: []sqlast.FromItem{sqlast.From("C", "C")},
+		},
+		branch(1), branch(2), branch(99),
+	)
+	return q
+}
+
+// TestParallelUnionMatchesSerialOrder asserts the determinism contract:
+// parallel execution returns rows in exactly the serial row order, for every
+// parallelism level.
+func TestParallelUnionMatchesSerialOrder(t *testing.T) {
+	s := buildStore(t)
+	q := wideUnion()
+	serial, err := engine.ExecuteOpts(s, q, engine.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() == 0 {
+		t.Fatal("fixture produced no rows")
+	}
+	for _, par := range []int{0, 2, 3, 8} {
+		res, err := engine.ExecuteOpts(s, q, engine.Options{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(res.Rows, serial.Rows) {
+			t.Fatalf("parallelism %d: row order differs from serial\nserial:   %v\nparallel: %v",
+				par, serial.Rows, res.Rows)
+		}
+	}
+}
+
+// TestParallelUnionErrorDeterministic asserts that the error surfaced under
+// parallel evaluation is the first branch-order error, as in serial mode.
+func TestParallelUnionErrorDeterministic(t *testing.T) {
+	s := buildStore(t)
+	bad := func(col string) *sqlast.Select {
+		return &sqlast.Select{
+			Cols: []sqlast.SelectItem{sqlast.Col("C", col)},
+			From: []sqlast.FromItem{sqlast.From("C", "C")},
+		}
+	}
+	q := &sqlast.Query{Selects: []*sqlast.Select{
+		bad("v"), bad("nope1"), bad("nope2"), bad("v"),
+	}}
+	serialErr := func() error {
+		_, err := engine.ExecuteOpts(s, q, engine.Options{Parallelism: 1})
+		return err
+	}()
+	if serialErr == nil {
+		t.Fatal("expected an error")
+	}
+	for i := 0; i < 20; i++ {
+		_, err := engine.ExecuteOpts(s, q, engine.Options{Parallelism: 4})
+		if err == nil || err.Error() != serialErr.Error() {
+			t.Fatalf("parallel error %v, want %v", err, serialErr)
+		}
+	}
+}
+
+// TestConcurrentExecute runs many whole queries concurrently against one
+// shared store (the serving pattern); run with -race.
+func TestConcurrentExecute(t *testing.T) {
+	s := buildStore(t)
+	if err := s.BuildJoinIndexes("parentid"); err != nil {
+		t.Fatal(err)
+	}
+	q := wideUnion()
+	want, err := engine.ExecuteOpts(s, q, engine.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := engine.Execute(s, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res.Rows, want.Rows) {
+					errs <- fmt.Errorf("concurrent result diverged: %v", res.Rows)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelRecursiveCTE checks that per-round parallel evaluation of a
+// recursive CTE's branches reproduces the serial fixpoint, row order
+// included.
+func TestParallelRecursiveCTE(t *testing.T) {
+	s := relational.NewStore()
+	edge, err := s.CreateTable(&relational.TableSchema{
+		Name: "E",
+		Columns: []relational.Column{
+			{Name: "src", Kind: relational.KindInt},
+			{Name: "dst", Kind: relational.KindInt},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small DAG: chain 1->2->3->4 plus shortcut edges.
+	for _, e := range [][2]int64{{1, 2}, {2, 3}, {3, 4}, {1, 3}, {2, 4}} {
+		edge.MustInsert(relational.Row{relational.Int(e[0]), relational.Int(e[1])})
+	}
+	// WITH RECURSIVE reach(n) AS (two base branches UNION ALL two recursive
+	// branches) SELECT n FROM reach.
+	base := func(start int64) *sqlast.Select {
+		return &sqlast.Select{
+			Cols:  []sqlast.SelectItem{sqlast.Col("E", "dst")},
+			From:  []sqlast.FromItem{sqlast.From("E", "E")},
+			Where: sqlast.Eq(sqlast.ColRef{Table: "E", Column: "src"}, sqlast.IntLit(start)),
+		}
+	}
+	rec := &sqlast.Select{
+		Cols: []sqlast.SelectItem{sqlast.Col("E", "dst")},
+		From: []sqlast.FromItem{sqlast.From("reach", "reach"), sqlast.From("E", "E")},
+		Where: sqlast.Eq(
+			sqlast.ColRef{Table: "E", Column: "src"},
+			sqlast.ColRef{Table: "reach", Column: "dst"},
+		),
+	}
+	q := &sqlast.Query{
+		With: []sqlast.CTE{{
+			Name:      "reach",
+			Recursive: true,
+			Body:      &sqlast.Query{Selects: []*sqlast.Select{base(1), base(2), rec, rec}},
+		}},
+		Selects: []*sqlast.Select{{
+			Cols: []sqlast.SelectItem{sqlast.Col("reach", "dst")},
+			From: []sqlast.FromItem{sqlast.From("reach", "reach")},
+		}},
+	}
+	serial, err := engine.ExecuteOpts(s, q, engine.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() == 0 {
+		t.Fatal("recursive fixture produced no rows")
+	}
+	parallel, err := engine.ExecuteOpts(s, q, engine.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parallel.Rows, serial.Rows) {
+		t.Fatalf("recursive parallel order differs\nserial:   %v\nparallel: %v", serial.Rows, parallel.Rows)
+	}
+}

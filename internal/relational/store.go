@@ -4,11 +4,18 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Store is a catalog of named tables — the relational database instance into
 // which XML documents are shredded.
+//
+// The catalog is guarded by an RWMutex so table resolution is safe from
+// concurrent query goroutines while shredding (which creates tables) runs in
+// another phase or another goroutine; per-table row access has its own lock,
+// see Table.
 type Store struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
@@ -23,6 +30,8 @@ func (s *Store) CreateTable(schema *TableSchema) (*Table, error) {
 	if schema.Name == "" {
 		return nil, fmt.Errorf("relational: empty table name")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, exists := s.tables[schema.Name]; exists {
 		return nil, fmt.Errorf("relational: table %s already exists", schema.Name)
 	}
@@ -45,20 +54,28 @@ func (s *Store) CreateTable(schema *TableSchema) (*Table, error) {
 }
 
 // Table returns the named table, or nil.
-func (s *Store) Table(name string) *Table { return s.tables[name] }
+func (s *Store) Table(name string) *Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[name]
+}
 
 // TableNames returns all table names in sorted order.
 func (s *Store) TableNames() []string {
+	s.mu.RLock()
 	names := make([]string, 0, len(s.tables))
 	for n := range s.tables {
 		names = append(names, n)
 	}
+	s.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // DropAllRows clears the contents of every table but keeps the catalog.
 func (s *Store) DropAllRows() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for name, t := range s.tables {
 		s.tables[name] = NewTable(t.schema)
 	}
@@ -69,7 +86,7 @@ func (s *Store) DropAllRows() {
 func (s *Store) Dump() string {
 	var b strings.Builder
 	for _, name := range s.TableNames() {
-		t := s.tables[name]
+		t := s.Table(name)
 		fmt.Fprintf(&b, "TABLE %s (", name)
 		for i, c := range t.schema.Columns {
 			if i > 0 {
@@ -97,7 +114,7 @@ func (s *Store) Dump() string {
 // query. The engine's index-probe path uses them automatically.
 func (s *Store) BuildJoinIndexes(column string) error {
 	for _, name := range s.TableNames() {
-		t := s.tables[name]
+		t := s.Table(name)
 		if !t.Schema().HasColumn(column) {
 			continue
 		}
@@ -110,8 +127,14 @@ func (s *Store) BuildJoinIndexes(column string) error {
 
 // TotalRows returns the number of rows across all tables.
 func (s *Store) TotalRows() int {
-	n := 0
+	s.mu.RLock()
+	tables := make([]*Table, 0, len(s.tables))
 	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.RUnlock()
+	n := 0
+	for _, t := range tables {
 		n += t.Len()
 	}
 	return n

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Column describes one column of a table schema.
@@ -59,7 +60,17 @@ func (r Row) Key() string {
 }
 
 // Table is an in-memory heap of rows plus optional hash indexes.
+//
+// The read path (Rows, Lookup, Len, SortedRows) is safe for any number of
+// concurrent readers, including readers overlapping with writers: an RWMutex
+// guards the row heap and indexes, inserted rows are defensively cloned and
+// never mutated afterwards, and indexes are maintained incrementally on
+// insert rather than built lazily on first probe — the query engine only
+// ever observes fully built indexes. This is what lets the engine evaluate
+// UNION ALL branches (and whole queries, via Planner) from parallel
+// goroutines against a shared store.
 type Table struct {
+	mu      sync.RWMutex
 	schema  *TableSchema
 	rows    []Row
 	pkIndex map[string]int      // primary key value -> row ordinal
@@ -85,11 +96,17 @@ func NewTable(schema *TableSchema) *Table {
 func (t *Table) Schema() *TableSchema { return t.schema }
 
 // Len returns the number of rows.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
 
 // Insert appends a row. It validates arity, column kinds (NULL is allowed in
 // any column except the primary key) and primary key uniqueness.
 func (t *Table) Insert(r Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(r) != len(t.schema.Columns) {
 		return fmt.Errorf("relational: table %s: insert arity %d, want %d", t.schema.Name, len(r), len(t.schema.Columns))
 	}
@@ -131,10 +148,21 @@ func (t *Table) MustInsert(r Row) {
 }
 
 // Rows returns the table's rows. The slice and rows must not be mutated.
-func (t *Table) Rows() []Row { return t.rows }
+// The returned slice is a stable snapshot: concurrent inserts may extend the
+// table but never touch the prefix a reader already holds.
+func (t *Table) Rows() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
 
-// BuildIndex builds (or rebuilds) a hash index on the named column.
+// BuildIndex builds (or rebuilds) a hash index on the named column. Once
+// built, the index is maintained incrementally by Insert. Build indexes
+// before serving reads: the build itself takes the write lock, but readers
+// that resolved the rows snapshot earlier may probe a stale index.
 func (t *Table) BuildIndex(column string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	ci := t.schema.ColumnIndex(column)
 	if ci < 0 {
 		return fmt.Errorf("relational: table %s: no column %s", t.schema.Name, column)
@@ -151,6 +179,8 @@ func (t *Table) BuildIndex(column string) error {
 // Lookup returns the rows whose named (indexed) column equals v. The second
 // result reports whether an index on the column exists.
 func (t *Table) Lookup(column string, v Value) ([]Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	idx, ok := t.indexes[column]
 	if !ok {
 		return nil, false
@@ -166,8 +196,11 @@ func (t *Table) Lookup(column string, v Value) ([]Row, bool) {
 // SortedRows returns a copy of the rows in deterministic order (for golden
 // tests and dumps).
 func (t *Table) SortedRows() []Row {
-	out := make([]Row, len(t.rows))
-	copy(out, t.rows)
+	t.mu.RLock()
+	rows := t.rows
+	t.mu.RUnlock()
+	out := make([]Row, len(rows))
+	copy(out, rows)
 	sort.Slice(out, func(i, j int) bool { return rowLess(out[i], out[j]) })
 	return out
 }

@@ -1,0 +1,31 @@
+package schema
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// fingerprint memoization; schemas are immutable once built, so the hash is
+// computed at most once.
+type fingerprintCache struct {
+	once sync.Once
+	fp   string
+}
+
+// Fingerprint returns a stable structural hash of the schema: two schemas
+// have the same fingerprint iff they render to the same DSL text (same
+// nodes, labels, annotations, conditions, and edges in the same order).
+// It is the cache-invalidation token of the plan cache: a translation is
+// reusable exactly as long as the mapping it was derived from is unchanged,
+// so cache keys embed the fingerprint and entries for an older mapping
+// simply stop being hit.
+//
+// The value is memoized; after the first call Fingerprint is a pointer read.
+func (s *Schema) Fingerprint() string {
+	s.fpc.once.Do(func() {
+		h := sha256.Sum256([]byte(s.String()))
+		s.fpc.fp = hex.EncodeToString(h[:16])
+	})
+	return s.fpc.fp
+}

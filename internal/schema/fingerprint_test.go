@@ -1,0 +1,86 @@
+package schema
+
+import "testing"
+
+const fpDSL = `
+schema fp
+root a
+node a label=A rel=RA
+node b label=B rel=RB col=v
+edge a -> b
+`
+
+func TestFingerprintStable(t *testing.T) {
+	s1 := MustParse(fpDSL)
+	s2 := MustParse(fpDSL)
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Fatalf("structurally identical schemas fingerprint differently: %s vs %s",
+			s1.Fingerprint(), s2.Fingerprint())
+	}
+	if s1.Fingerprint() != s1.Fingerprint() {
+		t.Fatal("fingerprint not memoized stably")
+	}
+	if len(s1.Fingerprint()) != 32 {
+		t.Fatalf("fingerprint length %d, want 32 hex chars", len(s1.Fingerprint()))
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	base := MustParse(fpDSL)
+	variants := []string{
+		// Different relation annotation.
+		`
+schema fp
+root a
+node a label=A rel=RA
+node b label=B rel=RX col=v
+edge a -> b
+`,
+		// Different label.
+		`
+schema fp
+root a
+node a label=A2 rel=RA
+node b label=B rel=RB col=v
+edge a -> b
+`,
+		// Extra condition.
+		`
+schema fp
+root a
+node a label=A rel=RA
+node b label=B rel=RB col=v cond=kind=1
+edge a -> b
+`,
+		// Extra node and edge.
+		`
+schema fp
+root a
+node a label=A rel=RA
+node b label=B rel=RB col=v
+node c label=C rel=RC
+edge a -> b
+edge a -> c
+`,
+	}
+	for i, dsl := range variants {
+		v := MustParse(dsl)
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Errorf("variant %d: fingerprint collides with base mapping", i)
+		}
+	}
+}
+
+func TestFingerprintConcurrent(t *testing.T) {
+	s := MustParse(fpDSL)
+	done := make(chan string, 16)
+	for i := 0; i < 16; i++ {
+		go func() { done <- s.Fingerprint() }()
+	}
+	want := <-done
+	for i := 1; i < 16; i++ {
+		if got := <-done; got != want {
+			t.Fatalf("concurrent fingerprint mismatch: %s vs %s", got, want)
+		}
+	}
+}

@@ -100,6 +100,7 @@ type Schema struct {
 	nodes  []*Node
 	byName map[string]NodeID
 	root   NodeID
+	fpc    fingerprintCache
 }
 
 // Root returns the root node's id.

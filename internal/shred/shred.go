@@ -209,7 +209,13 @@ func isCondColumn(def *schema.RelationDef, name string) bool {
 }
 
 // ShredAll loads several documents under one shredder, returning the
-// per-document results.
+// per-document results. After loading it eagerly builds the hash join
+// indexes on the parentid column of every relation (which is also the Edge
+// mapping's join column): every translated query joins parent to child on
+// parentid = id, so the engine's index-probe path is hot from the first
+// query, and no lazy index build can race with concurrent readers at serving
+// time. Table.Insert maintains the indexes incrementally, so later ShredAll
+// calls against the same store keep them current.
 func ShredAll(s *schema.Schema, store *relational.Store, opts Options, docs ...*xmltree.Document) ([]*Result, error) {
 	sh, err := NewShredder(s, store, opts)
 	if err != nil {
@@ -222,6 +228,9 @@ func ShredAll(s *schema.Schema, store *relational.Store, opts Options, docs ...*
 			return nil, err
 		}
 		out = append(out, r)
+	}
+	if err := store.BuildJoinIndexes(schema.ParentIDColumn); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

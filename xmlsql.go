@@ -17,13 +17,16 @@
 package xmlsql
 
 import (
+	"fmt"
 	"io"
+	"sync/atomic"
 
 	"xmlsql/internal/core"
 	"xmlsql/internal/engine"
 	"xmlsql/internal/infer"
 	"xmlsql/internal/pathexpr"
 	"xmlsql/internal/pathid"
+	"xmlsql/internal/plancache"
 	"xmlsql/internal/relational"
 	"xmlsql/internal/schema"
 	"xmlsql/internal/shred"
@@ -58,6 +61,9 @@ type (
 	Translation = core.Result
 	// TranslateOptions tunes the pruning translator (ablations).
 	TranslateOptions = core.Options
+	// ExecuteOptions tunes query execution: join algorithm selection and
+	// the UNION ALL branch parallelism.
+	ExecuteOptions = engine.Options
 	// ShredResult reports one document's shredding, including the elemid
 	// assigned to every tuple-producing element.
 	ShredResult = shred.Result
@@ -168,6 +174,12 @@ func TranslateWithOptions(s *Schema, q *Query, opts TranslateOptions) (*Translat
 // Execute evaluates a generated SQL statement against the store.
 func Execute(store *Store, q *SQL) (*Result, error) { return engine.Execute(store, q) }
 
+// ExecuteWithOptions evaluates a generated SQL statement with explicit
+// execution options (e.g. Parallelism for concurrent UNION ALL branches).
+func ExecuteWithOptions(store *Store, q *SQL, opts ExecuteOptions) (*Result, error) {
+	return engine.ExecuteOpts(store, q, opts)
+}
+
 // Eval is the end-to-end convenience: translate with the lossless
 // constraint and execute.
 func Eval(s *Schema, store *Store, query string) (*Result, error) {
@@ -181,3 +193,108 @@ func Eval(s *Schema, store *Store, query string) (*Result, error) {
 	}
 	return Execute(store, tr.Query)
 }
+
+// PlannerConfig tunes a Planner. The zero value is the serving default: a
+// plan cache of plancache.DefaultCapacity entries and parallel UNION ALL
+// execution with GOMAXPROCS workers.
+type PlannerConfig struct {
+	// CacheSize bounds the plan cache (total entries across shards);
+	// 0 means plancache.DefaultCapacity.
+	CacheSize int
+	// Execute is passed to the engine on every Eval. Execute.Parallelism
+	// bounds concurrent UNION ALL branches (0 = GOMAXPROCS, 1 = serial).
+	Execute ExecuteOptions
+	// Translate tunes the pruning translator. Plans translated under
+	// different options never alias in the cache.
+	Translate TranslateOptions
+}
+
+// Planner is the concurrent query-serving fast path: a plan cache composed
+// with the parallel executor. Translation (PathId + pruning) is pure and
+// depends only on (schema, query, options), so Planner caches the full
+// Translation keyed by the schema's structural fingerprint, the query text,
+// and the translate options; repeated queries skip parsing and translation
+// entirely and go straight to execution.
+//
+// A Planner is safe for concurrent use by multiple goroutines: the realistic
+// serving workload is many clients issuing a small set of hot path
+// expressions against a slowly-changing mapping. When the mapping does
+// change, install it with SetSchema — its fingerprint differs, so every
+// cached plan for the old mapping stops being hit and ages out of the LRU.
+type Planner struct {
+	schema atomic.Pointer[Schema]
+	cfg    PlannerConfig
+	cache  *plancache.Cache
+	optKey string
+}
+
+// NewPlanner creates a Planner for the schema with default configuration.
+func NewPlanner(s *Schema) *Planner { return NewPlannerWith(s, PlannerConfig{}) }
+
+// NewPlannerWith creates a Planner with explicit configuration.
+func NewPlannerWith(s *Schema, cfg PlannerConfig) *Planner {
+	p := &Planner{
+		cfg:   cfg,
+		cache: plancache.New(cfg.CacheSize),
+		// The options key only needs to distinguish distinct option values;
+		// core.Options is a flat struct of scalars, so %+v is canonical.
+		optKey: fmt.Sprintf("%+v", cfg.Translate),
+	}
+	p.schema.Store(s)
+	return p
+}
+
+// Schema returns the mapping the planner currently serves.
+func (p *Planner) Schema() *Schema { return p.schema.Load() }
+
+// SetSchema atomically installs a new mapping. In-flight Evals finish under
+// the schema they started with; subsequent Evals translate (and cache) under
+// the new fingerprint, so stale plans are never served.
+func (p *Planner) SetSchema(s *Schema) { p.schema.Store(s) }
+
+// Plan returns the translation for query, from the cache when possible.
+func (p *Planner) Plan(query string) (*Translation, error) {
+	s := p.schema.Load()
+	k := plancache.Key{SchemaFP: s.Fingerprint(), Query: query, Options: p.optKey}
+	if v, ok := p.cache.Get(k); ok {
+		return v.(*Translation), nil
+	}
+	q, err := ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := TranslateWithOptions(s, q, p.cfg.Translate)
+	if err != nil {
+		return nil, err
+	}
+	p.cache.Put(k, tr)
+	return tr, nil
+}
+
+// Eval translates (with caching) and executes query against the store.
+func (p *Planner) Eval(store *Store, query string) (*Result, error) {
+	tr, err := p.Plan(query)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ExecuteOpts(store, tr.Query, p.cfg.Execute)
+}
+
+// PlannerStats is a point-in-time snapshot of the plan cache counters.
+type PlannerStats struct {
+	// Hits and Misses count cache lookups since the planner was created.
+	Hits, Misses int64
+	// Entries is the number of plans currently cached.
+	Entries int
+}
+
+// Stats returns the planner's cache hit/miss counters and size.
+func (p *Planner) Stats() PlannerStats {
+	st := p.cache.Stats()
+	return PlannerStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+}
+
+// InvalidatePlans drops every cached plan (counters are preserved). Normal
+// schema evolution does not need this — SetSchema invalidates by fingerprint
+// — but it is useful for tests and memory pressure.
+func (p *Planner) InvalidatePlans() { p.cache.Purge() }
