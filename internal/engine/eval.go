@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"xmlsql/internal/relational"
 	"xmlsql/internal/sqlast"
@@ -25,8 +26,8 @@ type Options struct {
 	// always building per-query hash tables.
 	DisableIndexes bool
 	// Parallelism bounds the worker pool evaluating the branches of a
-	// UNION ALL concurrently: 0 means GOMAXPROCS, 1 forces serial
-	// evaluation, N > 1 allows up to N branches in flight. Results are
+	// UNION ALL concurrently: 0 means GOMAXPROCS, values < 0 and 1 force
+	// serial evaluation, N > 1 allows up to N branches in flight. Results are
 	// merged in branch order, so parallel execution returns rows in
 	// exactly the serial order. Naive translations — unions of
 	// root-to-leaf join chains, six branches for XMark's Q1 and the Edge
@@ -123,8 +124,13 @@ func (ex *executor) query(q *sqlast.Query) (*Result, error) {
 	return out, nil
 }
 
-// parallelism resolves the configured worker bound.
+// parallelism resolves the configured worker bound. Negative values clamp to
+// serial: a caller passing -1 plausibly means "disabled", and silently
+// enabling full parallelism for it would be surprising.
 func (ex *executor) parallelism() int {
+	if ex.opts.Parallelism < 0 {
+		return 1
+	}
 	if ex.opts.Parallelism > 0 {
 		return ex.opts.Parallelism
 	}
@@ -158,16 +164,23 @@ func (ex *executor) evalSelects(sels []*sqlast.Select) ([]*Result, error) {
 	}
 	results := make([]*Result, len(sels))
 	errs := make([]error, len(sels))
-	sem := make(chan struct{}, par)
+	// Spawn exactly par workers pulling branch indexes from a shared counter,
+	// so goroutine creation (not just concurrency) is bounded even for
+	// pathological many-branch unions.
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, s := range sels {
+	for w := 0; w < par; w++ {
 		wg.Add(1)
-		go func(i int, s *sqlast.Select) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = ex.selectBlock(s)
-		}(i, s)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sels) {
+					return
+				}
+				results[i], errs[i] = ex.selectBlock(sels[i])
+			}
+		}()
 	}
 	wg.Wait()
 	// Report the first (branch-order) error deterministically, matching what

@@ -97,8 +97,13 @@ func (c *Cache) Get(k Key) (any, bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	el, ok := s.items[k]
+	var v any
 	if ok {
 		s.ll.MoveToFront(el)
+		// Copy the value while still holding the lock: Put on an existing
+		// key overwrites entry.value under the same lock, so reading it
+		// after unlock would race with a concurrent refresh.
+		v = el.Value.(*entry).value
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -106,7 +111,7 @@ func (c *Cache) Get(k Key) (any, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*entry).value, true
+	return v, true
 }
 
 // Put stores v under k, evicting the least recently used entry of the key's
