@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	benchrunner [-scale N] [-details] [-ablations] [-serving=false] [-json FILE]
+//	benchrunner [-scale N] [-backend mem|fakedb] [-details] [-ablations] [-serving=false] [-json FILE]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	scaling := flag.Bool("scaling", false, "also run the Q1 speedup-vs-size scaling series")
 	serving := flag.Bool("serving", true, "also measure the serving fast path (plan cache, parallel unions)")
+	backendName := flag.String("backend", "mem", "where measured queries run: mem (in-memory engine) or fakedb (database/sql over the in-repo fake driver)")
 	jsonPath := flag.String("json", "", "write the comparison table as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
 
@@ -37,13 +38,14 @@ func main() {
 	sc.S1Groups *= *scale
 	sc.S2Groups *= *scale
 
-	cmps, err := bench.RunSuite(sc)
+	cmps, err := bench.RunSuiteOn(sc, *backendName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("Experiment suite: baseline [9] vs lossless-from-XML translation")
-	fmt.Printf("(scale %d: %d items/continent, %d ads/section)\n\n", *scale, sc.ItemsPerContinent, sc.AdsPerSection)
+	fmt.Printf("(scale %d: %d items/continent, %d ads/section; backend %s)\n\n",
+		*scale, sc.ItemsPerContinent, sc.AdsPerSection, *backendName)
 	fmt.Print(bench.FormatTable(cmps))
 	fmt.Println()
 	fmt.Print(bench.Summary(cmps))

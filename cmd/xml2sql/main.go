@@ -8,9 +8,18 @@
 //	xml2sql -schema mapping.dsl -query '//Item/InCategory/Category'
 //	xml2sql -workload xmark -query '//Item/InCategory/Category'
 //	xml2sql -workload xmarkfull-edge -query '/Site//Item/InCategory/Category'
+//	xml2sql -workload xmark -dialect sqlite -ddl
+//	xml2sql -workload xmark -dialect postgres -ddl -load > setup.sql
 //
 // Built-in workloads: xmark, xmarkfull, s1, s2, s3, adex, plus an "-edge"
 // suffix for the schema-oblivious Edge mapping of any of them.
+//
+// With -ddl and/or -load the command emits an executable SQL script instead
+// of (or in addition to) a translation: -ddl prints the CREATE TABLE /
+// CREATE INDEX statements for the mapping's shredded relations, and -load
+// generates a workload document, shreds it, and prints the literal INSERT
+// statements. Feed both to any engine speaking the chosen -dialect and the
+// translated queries run there unchanged.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"xmlsql/internal/backend"
 	"xmlsql/internal/cli"
 	"xmlsql/internal/core"
 	"xmlsql/internal/engine"
@@ -38,17 +48,42 @@ func main() {
 	showCP := flag.Bool("cross-product", false, "also print the PathId cross-product graph")
 	showClasses := flag.Bool("classes", false, "also print the pruned PathSet's combinability classes")
 	execute := flag.Bool("execute", false, "generate a workload document, execute both translations, verify, and time them (built-in workloads only)")
+	dialectName := flag.String("dialect", "default", "SQL dialect for all emitted text (default, sqlite, postgres)")
+	emitDDL := flag.Bool("ddl", false, "print the CREATE TABLE / CREATE INDEX script for the mapping's shredded relations")
+	emitLoad := flag.Bool("load", false, "generate a workload document, shred it, and print the INSERT script (built-in workloads only)")
 	flag.Parse()
 
-	if *query == "" {
-		fmt.Fprintln(os.Stderr, "xml2sql: -query is required")
+	if *query == "" && !*emitDDL && !*emitLoad {
+		fmt.Fprintln(os.Stderr, "xml2sql: -query is required (unless emitting scripts with -ddl/-load)")
 		flag.Usage()
+		os.Exit(2)
+	}
+	dialect, err := sqlast.DialectByName(*dialectName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xml2sql: %v\n", err)
 		os.Exit(2)
 	}
 	s, err := cli.LoadSchema(*schemaFile, *workload)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xml2sql: %v\n", err)
 		os.Exit(1)
+	}
+	if *emitDDL {
+		ddl, err := backend.DDL(s, dialect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xml2sql: ddl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- shredded relations of schema %s (%s dialect)\n%s", s.Name, dialect.Name(), ddl)
+	}
+	if *emitLoad {
+		if err := emitLoadScript(s, *workload, dialect); err != nil {
+			fmt.Fprintf(os.Stderr, "xml2sql: load: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *query == "" {
+		return
 	}
 
 	q, err := pathexpr.Parse(*query)
@@ -79,12 +114,12 @@ func main() {
 	}
 
 	fmt.Printf("-- query: %s over schema %s (%s)\n\n", q, s.Name, s.Classify())
-	fmt.Printf("-- baseline translation [9] (%s):\n%s\n\n", naive.Shape(), naive.SQL())
+	fmt.Printf("-- baseline translation [9] (%s):\n%s\n\n", naive.Shape(), naive.SQLFor(dialect))
 	label := "exploiting the lossless-from-XML constraint"
 	if pruned.Fallback {
 		label = "pruning not applicable; baseline retained"
 	}
-	fmt.Printf("-- %s (%s):\n%s\n", label, pruned.Query.Shape(), pruned.Query.SQL())
+	fmt.Printf("-- %s (%s):\n%s\n", label, pruned.Query.Shape(), pruned.Query.SQLFor(dialect))
 	if *execute {
 		if err := runBoth(s, *workload, naive, pruned.Query); err != nil {
 			fmt.Fprintf(os.Stderr, "xml2sql: %v\n", err)
@@ -97,6 +132,26 @@ func main() {
 			fmt.Printf("--   %s\n", c)
 		}
 	}
+}
+
+// emitLoadScript shreds a generated workload document and prints its rows as
+// literal INSERT statements in the chosen dialect.
+func emitLoadScript(s *schema.Schema, workload string, d *sqlast.Dialect) error {
+	if workload == "" {
+		return fmt.Errorf("-load requires a built-in -workload to generate a document for")
+	}
+	doc, err := cli.GenerateDoc(workload)
+	if err != nil {
+		return err
+	}
+	store := relational.NewStore()
+	results, err := shred.ShredAll(s, store, shred.Options{}, doc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- %d tuples from a generated %s document (%s dialect)\n%s",
+		results[0].Tuples, workload, d.Name(), backend.LoadScript(store, d))
+	return nil
 }
 
 // runBoth shreds a generated document and executes both translations,

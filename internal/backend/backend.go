@@ -1,0 +1,54 @@
+// Package backend abstracts where shredded tuples live and where translated
+// SQL runs.
+//
+// The translation pipeline (pathexpr -> translate -> sqlast) is pure: it maps
+// an XML query and an annotated schema to a SQL statement. Everything after
+// that point — creating the shredded relations, bulk-loading documents, and
+// executing the statement — is the backend's business. Two implementations
+// ship with the repo:
+//
+//   - Mem keeps tuples in the in-process relational.Store and evaluates
+//     queries with internal/engine. It is the zero-setup default and the
+//     reference implementation the differential tests trust.
+//
+//   - DB renders statements through a sqlast.Dialect and runs them over any
+//     database/sql connection: generated CREATE TABLE/CREATE INDEX DDL
+//     (ddl.go), batched prepared INSERTs for loading, and dialect-rendered
+//     SELECTs for querying. Pointing it at SQLite or Postgres is a matter of
+//     opening the right *sql.DB; the in-repo fakedb driver stands in for
+//     them in this offline environment.
+//
+// Both speak the same interface, so callers (xmlsql.Planner, cmd/benchrunner)
+// switch storage engines without touching translation.
+package backend
+
+import (
+	"xmlsql/internal/engine"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/xmltree"
+)
+
+// Backend is a place shredded documents live and translated SQL runs.
+//
+// The expected call order is EnsureSchema, then Load (any number of times),
+// then Execute; implementations return errors, not panics, when the order is
+// violated (for example executing against tables that were never created).
+type Backend interface {
+	// Name identifies the backend in reports and logs, e.g. "mem" or
+	// "db(sqlite)".
+	Name() string
+	// EnsureSchema creates the shredded relations (and their join-column
+	// indexes) derived from the mapping annotations of s. It is idempotent
+	// on backends whose catalog can be inspected; see each implementation.
+	EnsureSchema(s *schema.Schema) error
+	// Load shreds the documents under the mapping of s and stores the
+	// resulting tuples. The returned per-document results report tuple
+	// counts and element-to-id alignment, as shred.ShredAll does.
+	Load(s *schema.Schema, docs ...*xmltree.Document) ([]*shred.Result, error)
+	// Execute runs a translated query and returns its multiset of rows.
+	Execute(q *sqlast.Query) (*engine.Result, error)
+	// Close releases whatever the backend holds (connections, stores).
+	Close() error
+}

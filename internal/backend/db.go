@@ -1,0 +1,178 @@
+package backend
+
+import (
+	"database/sql"
+	"fmt"
+
+	"xmlsql/internal/engine"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/xmltree"
+)
+
+// DB runs everything over a database/sql connection: EnsureSchema executes
+// generated DDL, Load shreds into a staging store and bulk-inserts the
+// tuples with batched prepared statements, and Execute sends the
+// dialect-rendered query text to the database and scans the rows back. Any
+// driver whose SQL surface covers the translated fragment works; in this
+// repo that is the fakedb driver, standing in for SQLite or Postgres.
+type DB struct {
+	db      *sql.DB
+	dialect *sqlast.Dialect
+}
+
+// NewDB wraps an opened database handle. The dialect controls all SQL text
+// the backend sends; nil means sqlast.DialectDefault.
+func NewDB(db *sql.DB, d *sqlast.Dialect) *DB {
+	if d == nil {
+		d = sqlast.DialectDefault
+	}
+	return &DB{db: db, dialect: d}
+}
+
+// Dialect returns the dialect the backend renders with.
+func (b *DB) Dialect() *sqlast.Dialect { return b.dialect }
+
+// Name implements Backend.
+func (b *DB) Name() string { return "db(" + b.dialect.Name() + ")" }
+
+// EnsureSchema implements Backend by executing the generated DDL statement
+// by statement. database/sql gives no portable catalog inspection, so this
+// is not idempotent: call it once per database, like any migration.
+func (b *DB) EnsureSchema(s *schema.Schema) error {
+	stmts, err := DDLStatements(s, b.dialect)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if _, err := b.db.Exec(stmt); err != nil {
+			return fmt.Errorf("backend: ddl %q: %w", stmt, err)
+		}
+	}
+	return nil
+}
+
+// Load implements Backend. Documents are shredded into a staging in-memory
+// store first — the shredder needs random access to assign ids and maintain
+// alignment — and the staged tuples are then streamed to the database in
+// batched prepared INSERTs.
+func (b *DB) Load(s *schema.Schema, docs ...*xmltree.Document) ([]*shred.Result, error) {
+	staging := relational.NewStore()
+	results, err := shred.ShredAll(s, staging, shred.Options{}, docs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range staging.TableNames() {
+		if err := b.copyTable(staging.Table(name)); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func (b *DB) copyTable(t *relational.Table) error {
+	ts := t.Schema()
+	rows := t.SortedRows()
+	if len(rows) == 0 {
+		return nil
+	}
+	width := len(ts.Columns)
+
+	// Full batches share one prepared statement; the tail gets its own.
+	full := len(rows) / loadBatchRows * loadBatchRows
+	if full > 0 {
+		stmt, err := b.db.Prepare(insertPlaceholderSQL(ts, loadBatchRows, b.dialect))
+		if err != nil {
+			return fmt.Errorf("backend: prepare load for %s: %w", ts.Name, err)
+		}
+		args := make([]any, 0, loadBatchRows*width)
+		for start := 0; start < full; start += loadBatchRows {
+			args = args[:0]
+			for _, row := range rows[start : start+loadBatchRows] {
+				args = appendArgs(args, row)
+			}
+			if _, err := stmt.Exec(args...); err != nil {
+				stmt.Close()
+				return fmt.Errorf("backend: load %s: %w", ts.Name, err)
+			}
+		}
+		stmt.Close()
+	}
+	if tail := rows[full:]; len(tail) > 0 {
+		args := make([]any, 0, len(tail)*width)
+		for _, row := range tail {
+			args = appendArgs(args, row)
+		}
+		if _, err := b.db.Exec(insertPlaceholderSQL(ts, len(tail), b.dialect), args...); err != nil {
+			return fmt.Errorf("backend: load %s tail: %w", ts.Name, err)
+		}
+	}
+	return nil
+}
+
+func appendArgs(args []any, row relational.Row) []any {
+	for _, v := range row {
+		switch v.Kind() {
+		case relational.KindNull:
+			args = append(args, nil)
+		case relational.KindInt:
+			args = append(args, v.AsInt())
+		default:
+			args = append(args, v.AsString())
+		}
+	}
+	return args
+}
+
+// Execute implements Backend: render, send, scan back.
+func (b *DB) Execute(q *sqlast.Query) (*engine.Result, error) {
+	text := q.SQLFor(b.dialect)
+	rows, err := b.db.Query(text)
+	if err != nil {
+		return nil, fmt.Errorf("backend: query failed: %w\nsql:\n%s", err, text)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		return nil, err
+	}
+	res := &engine.Result{Cols: cols}
+	dest := make([]any, len(cols))
+	for i := range dest {
+		dest[i] = new(any)
+	}
+	for rows.Next() {
+		if err := rows.Scan(dest...); err != nil {
+			return nil, err
+		}
+		row := make(relational.Row, len(cols))
+		for i, d := range dest {
+			v, err := toValue(*d.(*any))
+			if err != nil {
+				return nil, fmt.Errorf("backend: column %s: %w", cols[i], err)
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, rows.Err()
+}
+
+func toValue(v any) (relational.Value, error) {
+	switch v := v.(type) {
+	case nil:
+		return relational.Null, nil
+	case int64:
+		return relational.Int(v), nil
+	case string:
+		return relational.String(v), nil
+	case []byte:
+		return relational.String(string(v)), nil
+	}
+	return relational.Null, fmt.Errorf("unsupported scan type %T", v)
+}
+
+// Close implements Backend.
+func (b *DB) Close() error { return b.db.Close() }

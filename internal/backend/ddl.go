@@ -1,0 +1,182 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/sqlast"
+)
+
+// DDLStatements derives the shredded relations from the mapping annotations
+// of s and renders one CREATE statement per table and index in the given
+// dialect: a CREATE TABLE with the id column as inline PRIMARY KEY, followed
+// by a CREATE INDEX on every join and condition column (parentid, then each
+// edge-condition column) — the columns translated queries join and filter on.
+// Table order is alphabetical so the output is deterministic.
+func DDLStatements(s *schema.Schema, d *sqlast.Dialect) ([]string, error) {
+	defs, err := s.DeriveRelations()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(defs))
+	for name := range defs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		ts := defs[name].TableSchema()
+		stmt, err := createTableSQL(ts, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt)
+		for _, col := range ts.Columns {
+			if col.Name == schema.ParentIDColumn || isCondColumn(defs[name], col.Name) {
+				out = append(out, createIndexSQL(ts.Name, col.Name, d))
+			}
+		}
+	}
+	return out, nil
+}
+
+// DDL joins DDLStatements into one executable script.
+func DDL(s *schema.Schema, d *sqlast.Dialect) (string, error) {
+	stmts, err := DDLStatements(s, d)
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(stmts, ";\n") + ";\n", nil
+}
+
+func isCondColumn(def *schema.RelationDef, col string) bool {
+	for _, c := range def.CondColumns {
+		if c.Name == col {
+			return true
+		}
+	}
+	return false
+}
+
+func createTableSQL(ts *relational.TableSchema, d *sqlast.Dialect) (string, error) {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(d.Ident(ts.Name))
+	b.WriteString(" (")
+	for i, col := range ts.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		typ, err := d.TypeName(col.Kind)
+		if err != nil {
+			return "", fmt.Errorf("backend: table %s column %s: %w", ts.Name, col.Name, err)
+		}
+		b.WriteString(d.Ident(col.Name))
+		b.WriteByte(' ')
+		b.WriteString(typ)
+		if col.Name == ts.PrimaryKey {
+			b.WriteString(" PRIMARY KEY")
+		}
+	}
+	b.WriteByte(')')
+	return b.String(), nil
+}
+
+func createIndexSQL(table, column string, d *sqlast.Dialect) string {
+	return fmt.Sprintf("CREATE INDEX %s ON %s (%s)",
+		d.Ident("idx_"+table+"_"+column), d.Ident(table), d.Ident(column))
+}
+
+// loadBatchRows is how many rows each bulk INSERT statement carries. One
+// prepared statement covers full batches; a shorter tail statement covers
+// the remainder. 64 rows keeps Postgres-style $N numbering far under any
+// engine's placeholder limit while amortizing per-statement overhead.
+const loadBatchRows = 64
+
+// insertHeadSQL renders `INSERT INTO "t" ("c1", "c2") VALUES ` for a table.
+func insertHeadSQL(ts *relational.TableSchema, d *sqlast.Dialect) string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(d.Ident(ts.Name))
+	b.WriteString(" (")
+	for i, col := range ts.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(d.Ident(col.Name))
+	}
+	b.WriteString(") VALUES ")
+	return b.String()
+}
+
+// insertPlaceholderSQL renders a prepared multi-row INSERT: the head plus
+// nrows parenthesized groups of dialect placeholders, numbered consecutively
+// across rows ($1..$N for Postgres, ? everywhere else).
+func insertPlaceholderSQL(ts *relational.TableSchema, nrows int, d *sqlast.Dialect) string {
+	var b strings.Builder
+	b.WriteString(insertHeadSQL(ts, d))
+	n := 1
+	for r := 0; r < nrows; r++ {
+		if r > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for c := range ts.Columns {
+			if c > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(d.Placeholder(n))
+			n++
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// InsertStatements renders every row of every table in the store as literal
+// multi-row INSERT statements — the script form used by `xml2sql -load`,
+// which must be runnable as plain SQL text with no bind parameters. Tables
+// are emitted alphabetically and rows in primary-key order.
+func InsertStatements(store *relational.Store, d *sqlast.Dialect) []string {
+	var out []string
+	for _, name := range store.TableNames() {
+		t := store.Table(name)
+		ts := t.Schema()
+		rows := t.SortedRows()
+		for start := 0; start < len(rows); start += loadBatchRows {
+			end := start + loadBatchRows
+			if end > len(rows) {
+				end = len(rows)
+			}
+			var b strings.Builder
+			b.WriteString(insertHeadSQL(ts, d))
+			for r, row := range rows[start:end] {
+				if r > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteByte('(')
+				for c, v := range row {
+					if c > 0 {
+						b.WriteString(", ")
+					}
+					b.WriteString(d.Literal(v))
+				}
+				b.WriteByte(')')
+			}
+			out = append(out, b.String())
+		}
+	}
+	return out
+}
+
+// LoadScript joins InsertStatements into one executable script.
+func LoadScript(store *relational.Store, d *sqlast.Dialect) string {
+	stmts := InsertStatements(store, d)
+	if len(stmts) == 0 {
+		return ""
+	}
+	return strings.Join(stmts, ";\n") + ";\n"
+}

@@ -1,0 +1,249 @@
+package backend_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsql/internal/backend"
+	"xmlsql/internal/backend/fakedb"
+	"xmlsql/internal/core"
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/translate"
+	"xmlsql/internal/workloads"
+	"xmlsql/internal/xmltree"
+)
+
+// The differential suite holds the DB backend (over the fake driver) to the
+// in-memory backend's answers: every workload query, translated both naively
+// and with the paper's pruning, must come back row-for-row identical after a
+// full render -> database/sql -> parse -> execute round trip, in every
+// dialect. This is the property that makes the dialect layer trustworthy.
+
+type diffCase struct {
+	name    string
+	schema  *schema.Schema
+	doc     *xmltree.Document
+	queries []string
+}
+
+func diffCases(t *testing.T) []diffCase {
+	t.Helper()
+	xmark := workloads.XMark()
+	xmarkDoc := workloads.GenerateXMark(workloads.DefaultXMarkConfig())
+	edge, err := shred.EdgeSchemaFor(xmark)
+	if err != nil {
+		t.Fatalf("EdgeSchemaFor: %v", err)
+	}
+	return []diffCase{
+		{
+			name:    "s1",
+			schema:  workloads.S1(),
+			doc:     workloads.GenerateS1(25, 1),
+			queries: []string{workloads.QueryQ3, "//b/x", "/a/c/x"},
+		},
+		{
+			name:    "s2-dag",
+			schema:  workloads.S2(),
+			doc:     workloads.GenerateS2(10, 2),
+			queries: []string{"//s/t1", "//t2", "/root/m1/s/t1"},
+		},
+		{
+			name:    "s3-recursive",
+			schema:  workloads.S3(),
+			doc:     workloads.GenerateS3(workloads.DefaultS3Config()),
+			queries: []string{workloads.QueryQ4, workloads.QueryQ5, workloads.QueryQ6, workloads.QueryQ7},
+		},
+		{
+			name:    "xmark",
+			schema:  xmark,
+			doc:     xmarkDoc,
+			queries: []string{workloads.QueryQ1, workloads.QueryQ2, workloads.QueryQ8},
+		},
+		{
+			name:    "xmark-edge",
+			schema:  edge,
+			doc:     xmarkDoc,
+			queries: []string{workloads.QueryQ1, workloads.QueryQ8},
+		},
+	}
+}
+
+// loadBoth stands up a mem backend and a fakedb-based DB backend with the
+// same schema and documents.
+func loadBoth(t *testing.T, s *schema.Schema, d *sqlast.Dialect, doc *xmltree.Document) (*backend.Mem, *backend.DB) {
+	t.Helper()
+	mem := backend.NewMem()
+	if err := mem.EnsureSchema(s); err != nil {
+		t.Fatalf("mem EnsureSchema: %v", err)
+	}
+	memRes, err := mem.Load(s, doc)
+	if err != nil {
+		t.Fatalf("mem Load: %v", err)
+	}
+	db := backend.NewDB(fakedb.Open(), d)
+	t.Cleanup(func() { db.Close() })
+	if err := db.EnsureSchema(s); err != nil {
+		t.Fatalf("db EnsureSchema: %v", err)
+	}
+	dbRes, err := db.Load(s, doc)
+	if err != nil {
+		t.Fatalf("db Load: %v", err)
+	}
+	if memRes[0].Tuples != dbRes[0].Tuples {
+		t.Fatalf("tuple counts differ: mem %d, db %d", memRes[0].Tuples, dbRes[0].Tuples)
+	}
+	return mem, db
+}
+
+func translations(t *testing.T, s *schema.Schema, query string) map[string]*sqlast.Query {
+	t.Helper()
+	path, err := pathexpr.Parse(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	g, err := pathid.Build(s, path)
+	if err != nil {
+		t.Fatalf("pathid %q: %v", query, err)
+	}
+	naive, err := translate.Naive(g)
+	if err != nil {
+		t.Fatalf("naive %q: %v", query, err)
+	}
+	pruned, err := core.Translate(g)
+	if err != nil {
+		t.Fatalf("pruned %q: %v", query, err)
+	}
+	return map[string]*sqlast.Query{"naive": naive, "pruned": pruned.Query}
+}
+
+func TestDBBackendMatchesMem(t *testing.T) {
+	sawRecursive := false
+	for _, tc := range diffCases(t) {
+		for _, d := range []*sqlast.Dialect{sqlast.DialectSQLite, sqlast.DialectPostgres} {
+			t.Run(tc.name+"/"+d.Name(), func(t *testing.T) {
+				mem, db := loadBoth(t, tc.schema, d, tc.doc)
+				for _, query := range tc.queries {
+					for mode, q := range translations(t, tc.schema, query) {
+						if q.Shape().Recursive {
+							sawRecursive = true
+							if !strings.Contains(strings.ToLower(q.SQLFor(d)), "with recursive") {
+								t.Errorf("%s %s: recursive plan lacks WITH RECURSIVE", query, mode)
+							}
+						}
+						want, err := mem.Execute(q)
+						if err != nil {
+							t.Fatalf("%s %s on mem: %v", query, mode, err)
+						}
+						got, err := db.Execute(q)
+						if err != nil {
+							t.Fatalf("%s %s on %s: %v", query, mode, db.Name(), err)
+						}
+						if !want.MultisetEqual(got) {
+							t.Errorf("%s %s: %s diverges from mem:\n%s\nsql:\n%s",
+								query, mode, db.Name(), want.MultisetDiff(got), q.SQLFor(d))
+						}
+					}
+				}
+			})
+		}
+	}
+	if !sawRecursive {
+		t.Error("differential suite never exercised a recursive (WITH RECURSIVE) plan")
+	}
+}
+
+// TestDDLScriptRoundTrip proves the emitted artifacts work standalone: the
+// -ddl and -load scripts, executed as plain SQL text against a fresh
+// database, reproduce the answers of the normally-loaded store for the
+// paper's XMark example queries.
+func TestDDLScriptRoundTrip(t *testing.T) {
+	s := workloads.XMark()
+	doc := workloads.GenerateXMark(workloads.DefaultXMarkConfig())
+	for _, d := range []*sqlast.Dialect{sqlast.DialectSQLite, sqlast.DialectPostgres} {
+		t.Run(d.Name(), func(t *testing.T) {
+			mem := backend.NewMem()
+			if _, err := mem.Load(s, doc); err != nil {
+				t.Fatalf("mem Load: %v", err)
+			}
+			ddl, err := backend.DDL(s, d)
+			if err != nil {
+				t.Fatalf("DDL: %v", err)
+			}
+			load := backend.LoadScript(mem.Store(), d)
+
+			raw := fakedb.Open()
+			if _, err := raw.Exec(ddl); err != nil {
+				t.Fatalf("exec DDL script: %v", err)
+			}
+			if _, err := raw.Exec(load); err != nil {
+				t.Fatalf("exec load script: %v", err)
+			}
+			db := backend.NewDB(raw, d)
+			defer db.Close()
+
+			for _, query := range []string{workloads.QueryQ1, workloads.QueryQ2} {
+				for mode, q := range translations(t, s, query) {
+					want, err := mem.Execute(q)
+					if err != nil {
+						t.Fatalf("%s %s on mem: %v", query, mode, err)
+					}
+					got, err := db.Execute(q)
+					if err != nil {
+						t.Fatalf("%s %s on scripted db: %v", query, mode, err)
+					}
+					if want.Len() == 0 {
+						t.Fatalf("%s returned no rows; test is vacuous", query)
+					}
+					if !want.MultisetEqual(got) {
+						t.Errorf("%s %s: scripted db diverges:\n%s", query, mode, want.MultisetDiff(got))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDDLStatementsShape(t *testing.T) {
+	stmts, err := backend.DDLStatements(workloads.XMark(), sqlast.DialectSQLite)
+	if err != nil {
+		t.Fatalf("DDLStatements: %v", err)
+	}
+	var tables, indexes int
+	for _, st := range stmts {
+		switch {
+		case strings.HasPrefix(st, "CREATE TABLE"):
+			tables++
+			if !strings.Contains(st, `"id" INTEGER PRIMARY KEY`) {
+				t.Errorf("table DDL lacks id primary key: %s", st)
+			}
+		case strings.HasPrefix(st, "CREATE INDEX"):
+			indexes++
+		default:
+			t.Errorf("unexpected DDL statement: %s", st)
+		}
+	}
+	if tables == 0 || indexes == 0 {
+		t.Fatalf("DDL has %d tables and %d indexes; want both nonzero", tables, indexes)
+	}
+	// Every table must carry an index on its parentid join column.
+	if indexes < tables {
+		t.Errorf("%d indexes for %d tables; every table needs at least its parentid index", indexes, tables)
+	}
+}
+
+func TestMemEnsureSchemaIdempotent(t *testing.T) {
+	s := workloads.S1()
+	mem := backend.NewMem()
+	for i := 0; i < 2; i++ {
+		if err := mem.EnsureSchema(s); err != nil {
+			t.Fatalf("EnsureSchema #%d: %v", i+1, err)
+		}
+	}
+	if _, err := mem.Load(s, workloads.GenerateS1(3, 7)); err != nil {
+		t.Fatalf("Load after EnsureSchema: %v", err)
+	}
+}

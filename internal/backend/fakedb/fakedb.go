@@ -1,0 +1,277 @@
+// Package fakedb is an in-process database/sql/driver implementation backed
+// by the repo's own relational store and query engine.
+//
+// The environment this project targets is offline: no external SQL driver
+// can be downloaded, yet the dbbackend needs a real database/sql connection
+// to prove that dialect-rendered SQL, generated DDL, and batched INSERT
+// loading behave like a live RDBMS. fakedb closes that gap. It registers a
+// driver whose connections parse the SQL text they receive (parser.go) and
+// execute it against a relational.Store via internal/engine — so everything
+// crossing the database/sql boundary is honest SQL text plus driver.Value
+// args, exactly what a SQLite or Postgres driver would see. Differential
+// tests then assert that the dbbackend over fakedb returns row-for-row the
+// results of the in-memory backend; swapping in a real driver is a one-line
+// change in the caller.
+package fakedb
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"sync"
+
+	"xmlsql/internal/engine"
+	"xmlsql/internal/relational"
+)
+
+// DriverName is the name the fake driver is registered under with
+// database/sql. Each distinct DSN names its own shared database instance.
+const DriverName = "xmlsql-fakedb"
+
+// DB is one fake database instance: a relational store plus the engine that
+// serves queries over it. It is safe for concurrent use through any number
+// of database/sql connections.
+type DB struct {
+	store *relational.Store
+}
+
+// New creates an empty fake database.
+func New() *DB { return &DB{store: relational.NewStore()} }
+
+// Store exposes the underlying relational store (tests use it to inspect
+// what DDL and INSERT statements materialized).
+func (db *DB) Store() *relational.Store { return db.store }
+
+// Connector returns a driver.Connector for sql.OpenDB.
+func (db *DB) Connector() driver.Connector { return connector{db: db} }
+
+// Open creates a fresh, empty fake database and returns a database/sql
+// handle to it. Closing the handle discards the instance.
+func Open() *sql.DB { return sql.OpenDB(New().Connector()) }
+
+// The named-DSN registry behind sql.Open(DriverName, dsn): every dsn names
+// one shared instance, so separate sql.Open calls can address the same data.
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*DB{}
+)
+
+// Drv is the database/sql driver. sql.Open(DriverName, "somedsn") connects
+// to the shared instance named by the DSN, creating it on first use.
+type Drv struct{}
+
+// Open implements driver.Driver.
+func (Drv) Open(dsn string) (driver.Conn, error) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	db, ok := registry[dsn]
+	if !ok {
+		db = New()
+		registry[dsn] = db
+	}
+	return &conn{db: db}, nil
+}
+
+func init() { sql.Register(DriverName, Drv{}) }
+
+type connector struct {
+	db *DB
+}
+
+func (c connector) Connect(context.Context) (driver.Conn, error) {
+	return &conn{db: c.db}, nil
+}
+
+func (c connector) Driver() driver.Driver { return connDriver{db: c.db} }
+
+// connDriver satisfies driver.Connector's Driver method for a pinned
+// instance (used only by database/sql introspection).
+type connDriver struct {
+	db *DB
+}
+
+func (d connDriver) Open(string) (driver.Conn, error) { return &conn{db: d.db}, nil }
+
+type conn struct {
+	db *DB
+}
+
+// Prepare parses the statement text once; Exec/Query replay it with args.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	stmts, numInput, err := parseScript(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) > 1 && numInput > 0 {
+		return nil, fmt.Errorf("fakedb: multi-statement scripts cannot carry bind parameters")
+	}
+	return &stmt{db: c.db, stmts: stmts, numInput: numInput}, nil
+}
+
+func (c *conn) Close() error { return nil }
+
+// Begin returns a pass-through transaction: the fake database applies
+// statements immediately and Commit/Rollback are no-ops. Bulk loading does
+// not rely on transactional atomicity, only on statement execution.
+func (c *conn) Begin() (driver.Tx, error) { return nopTx{}, nil }
+
+type nopTx struct{}
+
+func (nopTx) Commit() error   { return nil }
+func (nopTx) Rollback() error { return nil }
+
+type stmt struct {
+	db       *DB
+	stmts    []*statement
+	numInput int
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return s.numInput }
+
+// Exec runs DDL and INSERT statements (and tolerates scripts mixing them).
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	vals, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	var affected int64
+	for _, st := range s.stmts {
+		n, err := s.execOne(st, vals)
+		if err != nil {
+			return nil, err
+		}
+		affected += n
+	}
+	return execResult(affected), nil
+}
+
+func (s *stmt) execOne(st *statement, args []relational.Value) (int64, error) {
+	switch st.kind {
+	case stmtCreateTable:
+		_, err := s.db.store.CreateTable(st.create)
+		return 0, err
+	case stmtCreateIndex:
+		t := s.db.store.Table(st.index.table)
+		if t == nil {
+			return 0, fmt.Errorf("fakedb: create index: no table %s", st.index.table)
+		}
+		return 0, t.BuildIndex(st.index.column)
+	case stmtInsert:
+		return s.runInsert(st.insert, args)
+	case stmtSelect:
+		// Exec on a SELECT: evaluate and discard (mirrors real drivers).
+		_, err := engine.Execute(s.db.store, st.query)
+		return 0, err
+	}
+	return 0, fmt.Errorf("fakedb: unknown statement kind %d", st.kind)
+}
+
+func (s *stmt) runInsert(op *insertOp, args []relational.Value) (int64, error) {
+	t := s.db.store.Table(op.table)
+	if t == nil {
+		return 0, fmt.Errorf("fakedb: insert into unknown table %s", op.table)
+	}
+	ts := t.Schema()
+	colIdx := make([]int, len(op.cols))
+	for i, c := range op.cols {
+		ci := ts.ColumnIndex(c)
+		if ci < 0 {
+			return 0, fmt.Errorf("fakedb: table %s has no column %s", op.table, c)
+		}
+		colIdx[i] = ci
+	}
+	var n int64
+	for _, row := range op.rows {
+		out := make(relational.Row, len(ts.Columns))
+		for i := range out {
+			out[i] = relational.Null
+		}
+		for i, v := range row {
+			val := v.lit
+			if v.arg >= 0 {
+				if v.arg >= len(args) {
+					return n, fmt.Errorf("fakedb: bind parameter %d out of range (%d args)", v.arg+1, len(args))
+				}
+				val = args[v.arg]
+			}
+			out[colIdx[i]] = val
+		}
+		if err := t.Insert(out); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Query runs the (single) SELECT statement through the engine.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	if len(s.stmts) != 1 || s.stmts[0].kind != stmtSelect {
+		return nil, fmt.Errorf("fakedb: Query requires a single SELECT statement")
+	}
+	if len(args) > 0 {
+		return nil, fmt.Errorf("fakedb: bind parameters are not supported in SELECT")
+	}
+	res, err := engine.Execute(s.db.store, s.stmts[0].query)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+type rows struct {
+	res *engine.Result
+	i   int
+}
+
+func (r *rows) Columns() []string { return r.res.Cols }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.i >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.i]
+	r.i++
+	for i, v := range row {
+		switch v.Kind() {
+		case relational.KindNull:
+			dest[i] = nil
+		case relational.KindInt:
+			dest[i] = v.AsInt()
+		case relational.KindString:
+			dest[i] = v.AsString()
+		}
+	}
+	return nil
+}
+
+type execResult int64
+
+func (r execResult) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("fakedb: LastInsertId unsupported")
+}
+func (r execResult) RowsAffected() (int64, error) { return int64(r), nil }
+
+// toValues converts driver args to relational values.
+func toValues(args []driver.Value) ([]relational.Value, error) {
+	out := make([]relational.Value, len(args))
+	for i, a := range args {
+		switch a := a.(type) {
+		case nil:
+			out[i] = relational.Null
+		case int64:
+			out[i] = relational.Int(a)
+		case string:
+			out[i] = relational.String(a)
+		case []byte:
+			out[i] = relational.String(string(a))
+		default:
+			return nil, fmt.Errorf("fakedb: unsupported bind parameter type %T", a)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,741 @@
+package fakedb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xmlsql/internal/relational"
+	"xmlsql/internal/sqlast"
+)
+
+// The fake driver's SQL surface is exactly what the dialect renderer and the
+// DDL/bulk-load generators emit: CREATE TABLE, CREATE INDEX, INSERT with
+// positional (? or $N) placeholders, and SELECT-FROM-WHERE blocks combined
+// with UNION ALL under optional WITH [RECURSIVE] clauses. The parser
+// reconstructs sqlast values from the text, so a query survives a full
+// render -> parse -> execute round trip through a real database/sql
+// connection; keywords are case-insensitive and identifiers may be bare or
+// ANSI-quoted, which covers every built-in dialect.
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber
+	tPunct
+	tPlaceholder // text holds the 0-based ordinal, or "" for positional ?
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '"':
+			text, err := l.quoted('"')
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tIdent, text: text, pos: start})
+		case c == '\'':
+			text, err := l.quoted('\'')
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tString, text: text, pos: start})
+		case c == '?':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tPlaceholder, pos: start})
+		case c == '$':
+			l.pos++
+			d := l.pos
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.pos == d {
+				return nil, fmt.Errorf("fakedb: bare $ at offset %d", start)
+			}
+			n, err := strconv.Atoi(l.src[d:l.pos])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("fakedb: bad placeholder $%s", l.src[d:l.pos])
+			}
+			l.toks = append(l.toks, token{kind: tPlaceholder, text: strconv.Itoa(n - 1), pos: start})
+		case c == '<':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+				l.pos += 2
+				l.toks = append(l.toks, token{kind: tPunct, text: "<>", pos: start})
+				break
+			}
+			return nil, fmt.Errorf("fakedb: unexpected %q at offset %d", c, start)
+		case strings.IndexByte("(),.*;=", c) >= 0:
+			l.pos++
+			l.toks = append(l.toks, token{kind: tPunct, text: string(c), pos: start})
+		case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.pos++
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tNumber, text: l.src[start:l.pos], pos: start})
+		case isIdentByte(c):
+			for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tIdent, text: l.src[start:l.pos], pos: start})
+		default:
+			return nil, fmt.Errorf("fakedb: unexpected %q at offset %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+// quoted consumes a q-delimited token with doubled-q escapes.
+func (l *lexer) quoted(q byte) (string, error) {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == q {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == q {
+				b.WriteByte(q)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("fakedb: unterminated %c-quoted token at offset %d", q, start)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || isDigit(c) || c == '_'
+}
+
+// stmtKind discriminates the parsed statement forms.
+type stmtKind int
+
+const (
+	stmtCreateTable stmtKind = iota
+	stmtCreateIndex
+	stmtInsert
+	stmtSelect
+)
+
+// insertVal is one VALUES cell: a literal or a bind-parameter ordinal.
+type insertVal struct {
+	lit relational.Value
+	arg int // 0-based placeholder ordinal, or -1 for a literal
+}
+
+type insertOp struct {
+	table string
+	cols  []string
+	rows  [][]insertVal
+}
+
+// statement is one parsed SQL statement.
+type statement struct {
+	kind   stmtKind
+	create *relational.TableSchema
+	index  struct{ table, column string }
+	insert *insertOp
+	query  *sqlast.Query
+}
+
+type parser struct {
+	toks []token
+	i    int
+	// numInput tracks the bind parameter count across the script.
+	numInput int
+}
+
+// parseScript parses a semicolon-separated sequence of statements and
+// returns them together with the number of bind parameters.
+func parseScript(src string) ([]*statement, int, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &parser{toks: toks}
+	var out []*statement
+	for {
+		for p.punct(";") {
+		}
+		if p.peek().kind == tEOF {
+			break
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, st)
+		if !p.punct(";") && p.peek().kind != tEOF {
+			return nil, 0, p.errf("expected ; or end of script")
+		}
+	}
+	if len(out) == 0 {
+		return nil, 0, fmt.Errorf("fakedb: empty statement")
+	}
+	return out, p.numInput, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("fakedb: %s (near offset %d)", fmt.Sprintf(format, args...), t.pos)
+}
+
+// kw consumes the given keyword (case-insensitive bare identifier).
+func (p *parser) kw(word string) bool {
+	t := p.peek()
+	if t.kind == tIdent && strings.EqualFold(t.text, word) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.kw(word) {
+		return p.errf("expected %s", strings.ToUpper(word))
+	}
+	return nil
+}
+
+func (p *parser) punct(s string) bool {
+	t := p.peek()
+	if t.kind == tPunct && t.text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.punct(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tIdent {
+		return "", p.errf("expected identifier")
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) statement() (*statement, error) {
+	switch {
+	case p.kw("create"):
+		return p.createStmt()
+	case p.kw("insert"):
+		return p.insertStmt()
+	default:
+		q, err := p.query()
+		if err != nil {
+			return nil, err
+		}
+		return &statement{kind: stmtSelect, query: q}, nil
+	}
+}
+
+func (p *parser) createStmt() (*statement, error) {
+	if p.kw("index") {
+		st := &statement{kind: stmtCreateIndex}
+		if _, err := p.ident(); err != nil { // index name, unused
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		var err error
+		if st.index.table, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if st.index.column, err = p.ident(); err != nil {
+			return nil, err
+		}
+		return st, p.expectPunct(")")
+	}
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ts := &relational.TableSchema{Name: name}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.kw("primary") {
+			if err := p.expectKw("key"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			pk, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			ts.PrimaryKey = pk
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := kindOfType(typ)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			ts.Columns = append(ts.Columns, relational.Column{Name: col, Kind: kind})
+			if p.kw("primary") {
+				if err := p.expectKw("key"); err != nil {
+					return nil, err
+				}
+				ts.PrimaryKey = col
+			}
+			p.kw("not") // tolerate NOT NULL
+			p.kw("null")
+		}
+		if p.punct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &statement{kind: stmtCreateTable, create: ts}, nil
+}
+
+func kindOfType(typ string) (relational.Kind, error) {
+	switch strings.ToUpper(typ) {
+	case "INT", "INTEGER", "BIGINT":
+		return relational.KindInt, nil
+	case "TEXT", "VARCHAR", "CHAR":
+		return relational.KindString, nil
+	}
+	return 0, fmt.Errorf("unsupported column type %q", typ)
+}
+
+func (p *parser) insertStmt() (*statement, error) {
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	op := &insertOp{}
+	var err error
+	if op.table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		op.cols = append(op.cols, col)
+		if p.punct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []insertVal
+		for {
+			v, err := p.insertVal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.punct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if len(row) != len(op.cols) {
+			return nil, p.errf("INSERT row has %d values, want %d", len(row), len(op.cols))
+		}
+		op.rows = append(op.rows, row)
+		if p.punct(",") {
+			continue
+		}
+		break
+	}
+	return &statement{kind: stmtInsert, insert: op}, nil
+}
+
+func (p *parser) insertVal() (insertVal, error) {
+	t := p.peek()
+	if t.kind == tPlaceholder {
+		p.i++
+		ord := p.numInput // positional ?
+		if t.text != "" { // numbered $N
+			ord, _ = strconv.Atoi(t.text)
+		}
+		if ord+1 > p.numInput {
+			p.numInput = ord + 1
+		}
+		return insertVal{arg: ord}, nil
+	}
+	v, ok, err := p.literal()
+	if err != nil {
+		return insertVal{}, err
+	}
+	if !ok {
+		return insertVal{}, p.errf("expected literal or placeholder")
+	}
+	return insertVal{lit: v, arg: -1}, nil
+}
+
+// literal consumes a literal token if one is next.
+func (p *parser) literal() (relational.Value, bool, error) {
+	t := p.peek()
+	switch t.kind {
+	case tNumber:
+		p.i++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return relational.Null, false, p.errf("bad integer %q", t.text)
+		}
+		return relational.Int(n), true, nil
+	case tString:
+		p.i++
+		return relational.String(t.text), true, nil
+	case tIdent:
+		if strings.EqualFold(t.text, "null") {
+			p.i++
+			return relational.Null, true, nil
+		}
+	}
+	return relational.Null, false, nil
+}
+
+// query parses [WITH [RECURSIVE] ctes] select (UNION ALL select)*.
+func (p *parser) query() (*sqlast.Query, error) {
+	q := &sqlast.Query{}
+	if p.kw("with") {
+		recursive := p.kw("recursive")
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("as"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			body, err := p.query()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			q.With = append(q.With, sqlast.CTE{Name: name, Recursive: recursive, Body: body})
+			if p.punct(",") {
+				continue
+			}
+			break
+		}
+	}
+	for {
+		s, err := p.selectBlock()
+		if err != nil {
+			return nil, err
+		}
+		q.Selects = append(q.Selects, s)
+		save := p.i
+		if p.kw("union") {
+			if err := p.expectKw("all"); err != nil {
+				p.i = save
+				return nil, p.errf("only UNION ALL is supported")
+			}
+			continue
+		}
+		break
+	}
+	return q, nil
+}
+
+func (p *parser) selectBlock() (*sqlast.Select, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	s := &sqlast.Select{}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Cols = append(s.Cols, item)
+		if p.punct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	for {
+		src, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		f := sqlast.FromItem{Source: src, Alias: src}
+		if t := p.peek(); t.kind == tIdent && !isReserved(t.text) {
+			p.i++
+			f.Alias = t.text
+		}
+		s.From = append(s.From, f)
+		if p.punct(",") {
+			continue
+		}
+		break
+	}
+	if p.kw("where") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	return s, nil
+}
+
+// isReserved lists the keywords that may follow a FROM item, so a bare
+// identifier in that position is only an alias when it is none of them.
+func isReserved(word string) bool {
+	switch strings.ToUpper(word) {
+	case "WHERE", "UNION", "ALL", "AS", "SELECT", "FROM", "ON":
+		return true
+	}
+	return false
+}
+
+func (p *parser) selectItem() (sqlast.SelectItem, error) {
+	// alias.* star projection.
+	if t := p.peek(); t.kind == tIdent && !isReserved(t.text) && p.i+2 < len(p.toks) &&
+		p.toks[p.i+1].kind == tPunct && p.toks[p.i+1].text == "." &&
+		p.toks[p.i+2].kind == tPunct && p.toks[p.i+2].text == "*" {
+		p.i += 3
+		return sqlast.SelectItem{Star: true, StarTable: t.text}, nil
+	}
+	e, err := p.operand()
+	if err != nil {
+		return sqlast.SelectItem{}, err
+	}
+	item := sqlast.SelectItem{Expr: e}
+	if p.kw("as") {
+		name, err := p.ident()
+		if err != nil {
+			return sqlast.SelectItem{}, err
+		}
+		item.As = name
+	}
+	return item, nil
+}
+
+// operand parses a column reference or a literal.
+func (p *parser) operand() (sqlast.Expr, error) {
+	if v, ok, err := p.literal(); err != nil {
+		return nil, err
+	} else if ok {
+		return sqlast.Lit{Value: v}, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, p.errf("expected column reference or literal")
+	}
+	if p.punct(".") {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.ColRef{Table: name, Column: col}, nil
+	}
+	return sqlast.ColRef{Column: name}, nil
+}
+
+func (p *parser) orExpr() (sqlast.Expr, error) {
+	e, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []sqlast.Expr{e}
+	for p.kw("or") {
+		k, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return sqlast.Or{Kids: kids}, nil
+}
+
+func (p *parser) andExpr() (sqlast.Expr, error) {
+	e, err := p.predicate()
+	if err != nil {
+		return nil, err
+	}
+	kids := []sqlast.Expr{e}
+	for p.kw("and") {
+		k, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return sqlast.And{Kids: kids}, nil
+}
+
+func (p *parser) predicate() (sqlast.Expr, error) {
+	if p.punct("(") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	}
+	// The boolean constants produced by empty conjunctions/disjunctions.
+	if p.kw("true") {
+		return sqlast.And{}, nil
+	}
+	if p.kw("false") {
+		return sqlast.Or{}, nil
+	}
+	left, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.punct("="):
+		right, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		// Canonicalize the boolAsCmp dialect constants back to the empty
+		// conjunction/disjunction they were rendered from, so rendered
+		// queries survive the round trip node-for-node.
+		if l, lok := left.(sqlast.Lit); lok {
+			if r, rok := right.(sqlast.Lit); rok && r.Value == relational.Int(1) {
+				switch l.Value {
+				case relational.Int(1):
+					return sqlast.And{}, nil
+				case relational.Int(0):
+					return sqlast.Or{}, nil
+				}
+			}
+		}
+		return sqlast.Cmp{Op: sqlast.OpEq, Left: left, Right: right}, nil
+	case p.punct("<>"):
+		right, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.Cmp{Op: sqlast.OpNe, Left: left, Right: right}, nil
+	case p.kw("is"):
+		if err := p.expectKw("null"); err != nil {
+			return nil, err
+		}
+		return sqlast.IsNull{Left: left}, nil
+	case p.kw("in"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var list []sqlast.Lit
+		for {
+			v, ok, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, p.errf("expected literal in IN list")
+			}
+			list = append(list, sqlast.Lit{Value: v})
+			if p.punct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return sqlast.In{Left: left, List: list}, nil
+	}
+	return nil, p.errf("expected comparison, IS NULL, or IN")
+}

@@ -1,0 +1,66 @@
+package backend
+
+import (
+	"xmlsql/internal/engine"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/xmltree"
+)
+
+// Mem is the in-process backend: tuples live in a relational.Store and
+// queries run through internal/engine. It is the reference implementation —
+// the differential tests hold every other backend to its answers.
+type Mem struct {
+	store *relational.Store
+	opts  engine.Options
+}
+
+// NewMem creates an in-memory backend over a fresh store.
+func NewMem() *Mem { return NewMemOn(relational.NewStore()) }
+
+// NewMemOn wraps an existing store, so already-shredded data (or data shared
+// with other components) can be served through the Backend interface.
+func NewMemOn(store *relational.Store) *Mem { return &Mem{store: store} }
+
+// SetEngineOptions replaces the engine options used by Execute (parallelism,
+// recursion limits). The zero value is engine.Execute's default behavior.
+func (m *Mem) SetEngineOptions(opts engine.Options) { m.opts = opts }
+
+// Store exposes the underlying store.
+func (m *Mem) Store() *relational.Store { return m.store }
+
+// Name implements Backend.
+func (m *Mem) Name() string { return "mem" }
+
+// EnsureSchema creates any missing shredded relations for s. Existing tables
+// are kept, matching the shredder's own behavior.
+func (m *Mem) EnsureSchema(s *schema.Schema) error {
+	defs, err := s.DeriveRelations()
+	if err != nil {
+		return err
+	}
+	for name, def := range defs {
+		if m.store.Table(name) != nil {
+			continue
+		}
+		if _, err := m.store.CreateTable(def.TableSchema()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements Backend by shredding straight into the store.
+func (m *Mem) Load(s *schema.Schema, docs ...*xmltree.Document) ([]*shred.Result, error) {
+	return shred.ShredAll(s, m.store, shred.Options{}, docs...)
+}
+
+// Execute implements Backend.
+func (m *Mem) Execute(q *sqlast.Query) (*engine.Result, error) {
+	return engine.ExecuteOpts(m.store, q, m.opts)
+}
+
+// Close implements Backend; the store is garbage-collected.
+func (m *Mem) Close() error { return nil }

@@ -50,8 +50,8 @@ func RunAblations(sc Scale) (string, error) {
 		return "", err
 	}
 	fmt.Fprintf(&b, "edge-annotation optimization (Q2 = %s):\n", workloads.QueryQ2)
-	fmt.Fprintf(&b, "  on : %-24s %10s\n", withOpt.Query.Shape(), fmtNs(measure(store, withOpt.Query)))
-	fmt.Fprintf(&b, "  off: %-24s %10s\n\n", withoutOpt.Query.Shape(), fmtNs(measure(store, withoutOpt.Query)))
+	fmt.Fprintf(&b, "  on : %-24s %10s\n", withOpt.Query.Shape(), fmtNs(measure(memExec(store), withOpt.Query)))
+	fmt.Fprintf(&b, "  off: %-24s %10s\n\n", withoutOpt.Query.Shape(), fmtNs(measure(memExec(store), withoutOpt.Query)))
 
 	// --- Combinability (Q1 on XMark: with full combining all six suffixes
 	// collapse into one scan; with identical-template-only combining they
@@ -70,9 +70,9 @@ func RunAblations(sc Scale) (string, error) {
 		return "", err
 	}
 	fmt.Fprintf(&b, "combinability (Q1 = %s):\n", workloads.QueryQ1)
-	fmt.Fprintf(&b, "  full            : %-24s %10s\n", full.Query.Shape(), fmtNs(measure(store, full.Query)))
+	fmt.Fprintf(&b, "  full            : %-24s %10s\n", full.Query.Shape(), fmtNs(measure(memExec(store), full.Query)))
 	fmt.Fprintf(&b, "  identical-only  : %-24s %10s (fallback=%v)\n\n",
-		identOnly.Query.Shape(), fmtNs(measure(store, identOnly.Query)), identOnly.Fallback)
+		identOnly.Query.Shape(), fmtNs(measure(memExec(store), identOnly.Query)), identOnly.Fallback)
 
 	s1 := workloads.S1()
 	s1Doc := workloads.GenerateS1(sc.S1Groups, 1)
@@ -93,9 +93,9 @@ func RunAblations(sc Scale) (string, error) {
 		return "", err
 	}
 	fmt.Fprintf(&b, "combinability (Q3 = %s over S1):\n", workloads.QueryQ3)
-	fmt.Fprintf(&b, "  full            : %-24s %10s\n", fullQ3.Query.Shape(), fmtNs(measure(s1Store, fullQ3.Query)))
+	fmt.Fprintf(&b, "  full            : %-24s %10s\n", fullQ3.Query.Shape(), fmtNs(measure(memExec(s1Store), fullQ3.Query)))
 	fmt.Fprintf(&b, "  identical-only  : %-24s %10s (fallback=%v)\n\n",
-		identQ3.Query.Shape(), fmtNs(measure(s1Store, identQ3.Query)), identQ3.Fallback)
+		identQ3.Query.Shape(), fmtNs(measure(memExec(s1Store), identQ3.Query)), identQ3.Fallback)
 
 	// --- Substrate: hash join vs nested loop on naive Q1.
 	naiveQ1, err := translate.Naive(q1)

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"time"
 
+	"xmlsql/internal/backend"
+	"xmlsql/internal/backend/fakedb"
 	"xmlsql/internal/core"
 	"xmlsql/internal/engine"
 	"xmlsql/internal/pathexpr"
@@ -38,6 +40,10 @@ type Case struct {
 type Comparison struct {
 	Case
 
+	// Backend names where the measured executions ran ("mem" or
+	// "db(sqlite)"); verification always also consults the reference XML
+	// evaluation.
+	Backend     string
 	NaiveShape  sqlast.Shape
 	PrunedShape sqlast.Shape
 	NaiveSQL    string
@@ -55,12 +61,50 @@ type Comparison struct {
 // MinMeasureTime is how long each side is measured (adaptive repetitions).
 const MinMeasureTime = 50 * time.Millisecond
 
-// Run measures one case.
-func Run(c Case) (*Comparison, error) {
+// BackendNames lists the -backend values benchrunner accepts: "mem" runs
+// queries directly on the in-memory engine, "fakedb" routes them through the
+// DB backend (dialect rendering, database/sql, the fake driver's SQL parser)
+// so the serving overhead of a real driver stack is measurable.
+func BackendNames() []string { return []string{"mem", "fakedb"} }
+
+// Run measures one case on the in-memory engine.
+func Run(c Case) (*Comparison, error) { return RunOn(c, "mem") }
+
+// RunOn measures one case with executions routed to the named backend.
+func RunOn(c Case, backendName string) (*Comparison, error) {
 	store := relational.NewStore()
 	results, err := shred.ShredAll(c.Schema, store, c.ShredOpts, c.Doc)
 	if err != nil {
 		return nil, fmt.Errorf("%s %s: shred: %w", c.Experiment, c.Query, err)
+	}
+
+	// The reference store stays authoritative for verification; the named
+	// backend is what executes (and is measured). The fakedb route copies
+	// the shredded rows over the same DDL + INSERT scripts xml2sql emits,
+	// so custom ShredOpts instances transfer exactly.
+	exec := memExec(store)
+	label := "mem"
+	switch backendName {
+	case "", "mem":
+	case "fakedb":
+		d := sqlast.DialectSQLite
+		raw := fakedb.Open()
+		ddl, err := backend.DDL(c.Schema, d)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: ddl: %w", c.Experiment, c.Query, err)
+		}
+		if _, err := raw.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("%s %s: ddl: %w", c.Experiment, c.Query, err)
+		}
+		if _, err := raw.Exec(backend.LoadScript(store, d)); err != nil {
+			return nil, fmt.Errorf("%s %s: load: %w", c.Experiment, c.Query, err)
+		}
+		db := backend.NewDB(raw, d)
+		defer db.Close()
+		exec = db.Execute
+		label = db.Name()
+	default:
+		return nil, fmt.Errorf("bench: unknown backend %q (want mem or fakedb)", backendName)
 	}
 
 	q, err := pathexpr.Parse(c.Query)
@@ -80,11 +124,11 @@ func Run(c Case) (*Comparison, error) {
 		return nil, err
 	}
 
-	nres, err := engine.Execute(store, naive)
+	nres, err := exec(naive)
 	if err != nil {
 		return nil, fmt.Errorf("%s %s: naive execution: %w", c.Experiment, c.Query, err)
 	}
-	pres, err := engine.Execute(store, pruned.Query)
+	pres, err := exec(pruned.Query)
 	if err != nil {
 		return nil, fmt.Errorf("%s %s: pruned execution: %w", c.Experiment, c.Query, err)
 	}
@@ -102,11 +146,12 @@ func Run(c Case) (*Comparison, error) {
 		verified = pres.MultisetEqual(want)
 	}
 
-	naiveNs := measure(store, naive)
-	prunedNs := measure(store, pruned.Query)
+	naiveNs := measure(exec, naive)
+	prunedNs := measure(exec, pruned.Query)
 
 	cmp := &Comparison{
 		Case:        c,
+		Backend:     label,
 		NaiveShape:  naive.Shape(),
 		PrunedShape: pruned.Query.Shape(),
 		NaiveSQL:    naive.SQL(),
@@ -124,17 +169,26 @@ func Run(c Case) (*Comparison, error) {
 	return cmp, nil
 }
 
+// memExec adapts an in-memory store to the executor signature measure and
+// RunOn route queries through, so ablations (always in-memory) and the
+// backend-selectable main suite share one measurement path.
+func memExec(store *relational.Store) func(*sqlast.Query) (*engine.Result, error) {
+	return func(q *sqlast.Query) (*engine.Result, error) {
+		return engine.Execute(store, q)
+	}
+}
+
 // measure executes the query repeatedly for at least MinMeasureTime and
 // returns the mean per-execution nanoseconds.
-func measure(store *relational.Store, q *sqlast.Query) float64 {
+func measure(exec func(*sqlast.Query) (*engine.Result, error), q *sqlast.Query) float64 {
 	// Warm-up run.
-	if _, err := engine.Execute(store, q); err != nil {
+	if _, err := exec(q); err != nil {
 		return 0
 	}
 	var reps int
 	start := time.Now()
 	for time.Since(start) < MinMeasureTime || reps < 3 {
-		if _, err := engine.Execute(store, q); err != nil {
+		if _, err := exec(q); err != nil {
 			return 0
 		}
 		reps++
@@ -252,11 +306,14 @@ func Suite(sc Scale) []Case {
 	return cases
 }
 
-// RunSuite measures every case.
-func RunSuite(sc Scale) ([]*Comparison, error) {
+// RunSuite measures every case on the in-memory engine.
+func RunSuite(sc Scale) ([]*Comparison, error) { return RunSuiteOn(sc, "mem") }
+
+// RunSuiteOn measures every case on the named backend (see BackendNames).
+func RunSuiteOn(sc Scale, backendName string) ([]*Comparison, error) {
 	var out []*Comparison
 	for _, c := range Suite(sc) {
-		cmp, err := Run(c)
+		cmp, err := RunOn(c, backendName)
 		if err != nil {
 			return nil, err
 		}

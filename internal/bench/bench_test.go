@@ -52,6 +52,34 @@ func TestRunVerifiesAndMeasures(t *testing.T) {
 	}
 }
 
+func TestRunOnFakeDBBackend(t *testing.T) {
+	c := bench.Case{
+		Experiment: "E1",
+		Workload:   "xmark",
+		Query:      workloads.QueryQ1,
+		Schema:     workloads.XMark(),
+		Doc:        workloads.GenerateXMark(workloads.XMarkConfig{ItemsPerContinent: 5, CategoriesPerItem: 1, NumCategories: 5, Seed: 1}),
+	}
+	cmp, err := bench.RunOn(c, "fakedb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Verified {
+		t.Error("verification failed on fakedb backend")
+	}
+	if cmp.Backend != "db(sqlite)" {
+		t.Errorf("backend label = %q, want db(sqlite)", cmp.Backend)
+	}
+	rep := bench.BuildReport("xmlsql", 1, []*bench.Comparison{cmp}, nil)
+	if rep.Backend != "db(sqlite)" {
+		t.Errorf("report backend = %q, want db(sqlite)", rep.Backend)
+	}
+
+	if _, err := bench.RunOn(c, "nosuch"); err == nil {
+		t.Error("unknown backend name accepted")
+	}
+}
+
 func TestRunSuiteSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness run")

@@ -10,8 +10,11 @@ import (
 // -json flag so the perf trajectory can be tracked across PRs (one
 // BENCH_<name>.json-style document per run).
 type Report struct {
-	Name       string               `json:"name"`
-	Scale      int                  `json:"scale"`
+	Name  string `json:"name"`
+	Scale int    `json:"scale"`
+	// Backend names where the measured executions ran ("mem", or
+	// "db(sqlite)" for the database/sql route over the fake driver).
+	Backend    string               `json:"backend"`
 	GoMaxProcs int                  `json:"gomaxprocs"`
 	Cases      []ReportCase         `json:"cases"`
 	Serving    []*ServingComparison `json:"serving,omitempty"`
@@ -49,11 +52,15 @@ func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingC
 	r := &Report{
 		Name:       name,
 		Scale:      scale,
+		Backend:    "mem",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Serving:    serving,
 		Summary:    ReportSummary{AllVerified: true},
 	}
 	for _, c := range cmps {
+		if c.Backend != "" {
+			r.Backend = c.Backend
+		}
 		r.Cases = append(r.Cases, ReportCase{
 			Experiment:  c.Experiment,
 			Workload:    c.Workload,

@@ -1,0 +1,62 @@
+package pathexpr_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlsql/internal/core"
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/translate"
+	"xmlsql/internal/workloads"
+)
+
+// FuzzParseQuery drives the whole query-side pipeline with arbitrary input:
+// parse, and for accepted queries run PathId and both translators against a
+// fixed schema. Nothing may panic — malformed input must surface as errors —
+// and both translations of an accepted query must render.
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"//Item/InCategory/Category",
+		"/Site/Regions/Africa/Item/InCategory/Category",
+		"/Site//Item/InCategory/Category",
+		"//Category",
+		"/Site/*/Africa",
+		"//Item[parentcode='1']/InCategory",
+		"//nosuchtag",
+		"Item",
+		"//",
+		"/a[b=']/c",
+		"/\x00//",
+		strings.Repeat("//Item", 8),
+	} {
+		f.Add(seed)
+	}
+	s := workloads.XMark()
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := pathexpr.Parse(input)
+		if err != nil {
+			return
+		}
+		// Parsing is linear and runs on everything; the cross-product and
+		// translation stages are super-linear in query depth, so bound them
+		// to keep each fuzz execution fast.
+		if len(p.Steps) > 10 {
+			return
+		}
+		g, err := pathid.Build(s, p)
+		if err != nil {
+			// Queries referencing labels outside the schema legitimately
+			// fail here; they must do so with an error, not a panic.
+			return
+		}
+		naive, err := translate.Naive(g)
+		if err == nil {
+			_ = naive.SQL()
+		}
+		pruned, err := core.Translate(g)
+		if err == nil {
+			_ = pruned.Query.SQL()
+		}
+	})
+}

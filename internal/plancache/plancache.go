@@ -41,10 +41,11 @@ const numShards = 16
 // Cache is a sharded, bounded LRU mapping Key -> cached plan. The zero value
 // is not usable; call New.
 type Cache struct {
-	shards [numShards]shard
-	seed   maphash.Seed
-	hits   atomic.Int64
-	misses atomic.Int64
+	shards    [numShards]shard
+	seed      maphash.Seed
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type shard struct {
@@ -131,6 +132,7 @@ func (c *Cache) Put(k Key, v any) {
 		if oldest != nil {
 			s.ll.Remove(oldest)
 			delete(s.items, oldest.Value.(*entry).key)
+			c.evictions.Add(1)
 		}
 	}
 	s.items[k] = s.ll.PushFront(&entry{key: k, value: v})
@@ -161,12 +163,21 @@ func (c *Cache) Purge() {
 
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
+	Hits   int64
+	Misses int64
+	// Evictions counts entries dropped by LRU capacity pressure (Purge and
+	// key refreshes do not count). A growing rate under a steady workload
+	// means the hot set no longer fits and the capacity needs raising.
+	Evictions int64
+	Entries   int
 }
 
-// Stats returns the cache's hit/miss counters and current size.
+// Stats returns the cache's hit/miss/eviction counters and current size.
 func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.Len()}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
 }

@@ -74,6 +74,35 @@ func TestLRUEviction(t *testing.T) {
 	if _, ok := c.Get(same[2]); !ok {
 		t.Fatal("new entry missing")
 	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestEvictionCounter(t *testing.T) {
+	c := New(numShards) // one entry per shard: every same-shard Put evicts
+	probe := key("fp", "probe")
+	s := c.shardFor(probe)
+	var last Key
+	n := 0
+	for i := 0; n < 5; i++ {
+		k := key("fp", fmt.Sprintf("q%d", i))
+		if c.shardFor(k) != s {
+			continue
+		}
+		c.Put(k, i)
+		last = k
+		n++
+	}
+	if st := c.Stats(); st.Evictions != 4 {
+		t.Fatalf("evictions = %d, want 4", st.Evictions)
+	}
+	// Refreshing an existing key and purging must not count as evictions.
+	c.Put(last, "refreshed")
+	c.Purge()
+	if st := c.Stats(); st.Evictions != 4 {
+		t.Fatalf("refresh/purge changed evictions: got %d, want 4", st.Evictions)
+	}
 }
 
 func TestPurge(t *testing.T) {

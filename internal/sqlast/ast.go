@@ -16,7 +16,7 @@ import (
 
 // Expr is a boolean or scalar expression node.
 type Expr interface {
-	render(b *strings.Builder)
+	render(b *strings.Builder, d *Dialect)
 	exprNode()
 }
 
@@ -28,12 +28,12 @@ type ColRef struct {
 
 func (ColRef) exprNode() {}
 
-func (c ColRef) render(b *strings.Builder) {
+func (c ColRef) render(b *strings.Builder, d *Dialect) {
 	if c.Table != "" {
-		b.WriteString(c.Table)
+		b.WriteString(d.Ident(c.Table))
 		b.WriteByte('.')
 	}
-	b.WriteString(c.Column)
+	b.WriteString(d.Ident(c.Column))
 }
 
 // Lit is a literal value.
@@ -43,7 +43,7 @@ type Lit struct {
 
 func (Lit) exprNode() {}
 
-func (l Lit) render(b *strings.Builder) { b.WriteString(l.Value.String()) }
+func (l Lit) render(b *strings.Builder, d *Dialect) { b.WriteString(d.Literal(l.Value)) }
 
 // IntLit builds an integer literal expression.
 func IntLit(v int64) Lit { return Lit{Value: relational.Int(v)} }
@@ -80,12 +80,12 @@ type Cmp struct {
 
 func (Cmp) exprNode() {}
 
-func (c Cmp) render(b *strings.Builder) {
-	c.Left.render(b)
+func (c Cmp) render(b *strings.Builder, d *Dialect) {
+	c.Left.render(b, d)
 	b.WriteByte(' ')
 	b.WriteString(c.Op.String())
 	b.WriteByte(' ')
-	c.Right.render(b)
+	c.Right.render(b, d)
 }
 
 // Eq builds Left = Right.
@@ -100,8 +100,8 @@ type IsNull struct {
 
 func (IsNull) exprNode() {}
 
-func (i IsNull) render(b *strings.Builder) {
-	i.Left.render(b)
+func (i IsNull) render(b *strings.Builder, d *Dialect) {
+	i.Left.render(b, d)
 	b.WriteString(" IS NULL")
 }
 
@@ -113,14 +113,14 @@ type In struct {
 
 func (In) exprNode() {}
 
-func (i In) render(b *strings.Builder) {
-	i.Left.render(b)
+func (i In) render(b *strings.Builder, d *Dialect) {
+	i.Left.render(b, d)
 	b.WriteString(" IN (")
 	for j, l := range i.List {
 		if j > 0 {
 			b.WriteString(", ")
 		}
-		l.render(b)
+		l.render(b, d)
 	}
 	b.WriteByte(')')
 }
@@ -132,16 +132,16 @@ type And struct {
 
 func (And) exprNode() {}
 
-func (a And) render(b *strings.Builder) {
+func (a And) render(b *strings.Builder, d *Dialect) {
 	if len(a.Kids) == 0 {
-		b.WriteString("TRUE")
+		b.WriteString(d.trueSQL())
 		return
 	}
 	for i, k := range a.Kids {
 		if i > 0 {
 			b.WriteString(" AND ")
 		}
-		renderChild(b, k, precAnd)
+		renderChild(b, k, precAnd, d)
 	}
 }
 
@@ -152,16 +152,16 @@ type Or struct {
 
 func (Or) exprNode() {}
 
-func (o Or) render(b *strings.Builder) {
+func (o Or) render(b *strings.Builder, d *Dialect) {
 	if len(o.Kids) == 0 {
-		b.WriteString("FALSE")
+		b.WriteString(d.falseSQL())
 		return
 	}
 	for i, k := range o.Kids {
 		if i > 0 {
 			b.WriteString(" OR ")
 		}
-		renderChild(b, k, precOr)
+		renderChild(b, k, precOr, d)
 	}
 }
 
@@ -182,14 +182,14 @@ func prec(e Expr) int {
 	}
 }
 
-func renderChild(b *strings.Builder, e Expr, parent int) {
+func renderChild(b *strings.Builder, e Expr, parent int, d *Dialect) {
 	if prec(e) < parent {
 		b.WriteByte('(')
-		e.render(b)
+		e.render(b, d)
 		b.WriteByte(')')
 		return
 	}
-	e.render(b)
+	e.render(b, d)
 }
 
 // Conj builds a conjunction, flattening nested Ands and dropping nils. A
@@ -256,16 +256,16 @@ func Col(table, column string) SelectItem {
 // Star is shorthand for an "alias.*" projection.
 func Star(table string) SelectItem { return SelectItem{Star: true, StarTable: table} }
 
-func (s SelectItem) render(b *strings.Builder) {
+func (s SelectItem) render(b *strings.Builder, d *Dialect) {
 	if s.Star {
-		b.WriteString(s.StarTable)
+		b.WriteString(d.Ident(s.StarTable))
 		b.WriteString(".*")
 		return
 	}
-	s.Expr.render(b)
+	s.Expr.render(b, d)
 	if s.As != "" {
 		b.WriteString(" AS ")
-		b.WriteString(s.As)
+		b.WriteString(d.Ident(s.As))
 	}
 }
 
@@ -275,11 +275,11 @@ type FromItem struct {
 	Alias  string
 }
 
-func (f FromItem) render(b *strings.Builder) {
-	b.WriteString(f.Source)
+func (f FromItem) render(b *strings.Builder, d *Dialect) {
+	b.WriteString(d.Ident(f.Source))
 	if f.Alias != "" && f.Alias != f.Source {
 		b.WriteByte(' ')
-		b.WriteString(f.Alias)
+		b.WriteString(d.Ident(f.Alias))
 	}
 }
 

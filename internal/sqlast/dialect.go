@@ -1,0 +1,153 @@
+package sqlast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xmlsql/internal/relational"
+)
+
+// Dialect describes how the sqlast fragment is rendered as SQL text for a
+// concrete relational backend: identifier quoting, keyword case, bind
+// placeholder style, boolean-constant spelling, and the column type names
+// used by generated DDL.
+//
+// DialectDefault reproduces the paper's presentation style (lowercase
+// clause keywords, bare identifiers) and is what Query.SQL emits; the
+// SQLite and Postgres dialects produce text accepted verbatim by those
+// engines (and by the in-repo fake driver, which parses both).
+type Dialect struct {
+	name string
+	// quoteIdents wraps every identifier in ANSI double quotes.
+	quoteIdents bool
+	// upperKeywords renders clause keywords in upper case.
+	upperKeywords bool
+	// dollarPlaceholders numbers bind parameters $1, $2, … (Postgres)
+	// instead of positional ? (SQLite and database/sql's default).
+	dollarPlaceholders bool
+	// boolAsCmp spells the boolean constants as the portable comparisons
+	// 1=1 / 0=1 instead of the keywords TRUE / FALSE.
+	boolAsCmp bool
+	// intType and textType are the DDL column types for the two value
+	// kinds the shredded relations use.
+	intType, textType string
+}
+
+// The built-in dialects.
+var (
+	// DialectDefault is the paper-style rendering used throughout the
+	// repo's documentation and golden outputs.
+	DialectDefault = &Dialect{
+		name:    "default",
+		intType: "INTEGER", textType: "VARCHAR",
+	}
+	// DialectSQLite renders SQL accepted by SQLite: quoted identifiers,
+	// ? placeholders, TEXT values, and portable 1=1/0=1 boolean
+	// constants (TRUE/FALSE only exist in newer SQLite versions).
+	DialectSQLite = &Dialect{
+		name:        "sqlite",
+		quoteIdents: true, upperKeywords: true, boolAsCmp: true,
+		intType: "INTEGER", textType: "TEXT",
+	}
+	// DialectPostgres renders SQL accepted by PostgreSQL: quoted
+	// identifiers and numbered $N placeholders.
+	DialectPostgres = &Dialect{
+		name:        "postgres",
+		quoteIdents: true, upperKeywords: true, dollarPlaceholders: true,
+		intType: "BIGINT", textType: "TEXT",
+	}
+)
+
+// Dialects returns the built-in dialects in a deterministic order.
+func Dialects() []*Dialect {
+	return []*Dialect{DialectDefault, DialectSQLite, DialectPostgres}
+}
+
+// DialectByName resolves a dialect by its Name.
+func DialectByName(name string) (*Dialect, error) {
+	for _, d := range Dialects() {
+		if d.name == name {
+			return d, nil
+		}
+	}
+	names := make([]string, 0, 3)
+	for _, d := range Dialects() {
+		names = append(names, d.name)
+	}
+	return nil, fmt.Errorf("sqlast: unknown dialect %q (want %s)", name, strings.Join(names, ", "))
+}
+
+// Name returns the dialect's registry name ("default", "sqlite",
+// "postgres").
+func (d *Dialect) Name() string { return d.name }
+
+// or returns the receiver, defaulting a nil dialect to DialectDefault so
+// render paths never have to nil-check.
+func (d *Dialect) or() *Dialect {
+	if d == nil {
+		return DialectDefault
+	}
+	return d
+}
+
+// Ident renders an identifier (table, column, alias, or CTE name).
+func (d *Dialect) Ident(s string) string {
+	if !d.quoteIdents {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// kw renders a clause keyword in the dialect's case.
+func (d *Dialect) kw(s string) string {
+	if d.upperKeywords {
+		return strings.ToUpper(s)
+	}
+	return s
+}
+
+// Placeholder renders the i-th (1-based) bind parameter.
+func (d *Dialect) Placeholder(i int) string {
+	if d.dollarPlaceholders {
+		return "$" + strconv.Itoa(i)
+	}
+	return "?"
+}
+
+// trueSQL and falseSQL spell the boolean constants produced by empty
+// conjunctions and disjunctions.
+func (d *Dialect) trueSQL() string {
+	if d.boolAsCmp {
+		return "1=1"
+	}
+	return "TRUE"
+}
+
+func (d *Dialect) falseSQL() string {
+	if d.boolAsCmp {
+		return "0=1"
+	}
+	return "FALSE"
+}
+
+// Literal renders a value as a SQL literal. Unlike Value.String (the
+// paper-style default), non-default dialects escape embedded single
+// quotes so the text is safe to feed to a real engine.
+func (d *Dialect) Literal(v relational.Value) string {
+	if v.Kind() == relational.KindString && d != DialectDefault {
+		return "'" + strings.ReplaceAll(v.AsString(), "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// TypeName returns the DDL column type for a value kind.
+func (d *Dialect) TypeName(k relational.Kind) (string, error) {
+	switch k {
+	case relational.KindInt:
+		return d.intType, nil
+	case relational.KindString:
+		return d.textType, nil
+	}
+	return "", fmt.Errorf("sqlast: dialect %s: no column type for kind %v", d.name, k)
+}

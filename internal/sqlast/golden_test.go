@@ -1,0 +1,122 @@
+package sqlast_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xmlsql/internal/core"
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/translate"
+	"xmlsql/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden SQL files")
+
+// goldenCase pins the rendered SQL of one query shape the translators emit.
+// Together the cases cover the full rendering surface: plain scans, multiway
+// join chains, UNION ALL, and recursive CTEs, each rendered in every dialect.
+type goldenCase struct {
+	name   string
+	schema *schema.Schema
+	query  string
+	// naive selects the baseline translator (UNION of root-to-leaf chains)
+	// instead of the pruning translator.
+	naive bool
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		// The paper's flagship result: Q1 prunes to a single scan of InCat.
+		{name: "single-scan", schema: workloads.XMark(), query: workloads.QueryQ1},
+		// A fully specified path keeps a multiway join chain in one block.
+		{name: "multiway-join", schema: workloads.XMark(), query: workloads.QueryQ2, naive: true},
+		// The baseline on //Item enumerates every continent: UNION ALL.
+		{name: "union-all", schema: workloads.XMark(), query: workloads.QueryQ1, naive: true},
+		// S3's cyclic mapping forces a WITH RECURSIVE program.
+		{name: "recursive-cte", schema: workloads.S3(), query: workloads.QueryQ6, naive: true},
+		// The pruning translator on a DAG merges branches disjunctively.
+		{name: "dag-merged", schema: workloads.S2(), query: "//s/t1"},
+	}
+}
+
+func buildQuery(t *testing.T, tc goldenCase) *sqlast.Query {
+	t.Helper()
+	path, err := pathexpr.Parse(tc.query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", tc.query, err)
+	}
+	g, err := pathid.Build(tc.schema, path)
+	if err != nil {
+		t.Fatalf("pathid %q: %v", tc.query, err)
+	}
+	if tc.naive {
+		q, err := translate.Naive(g)
+		if err != nil {
+			t.Fatalf("naive %q: %v", tc.query, err)
+		}
+		return q
+	}
+	res, err := core.Translate(g)
+	if err != nil {
+		t.Fatalf("translate %q: %v", tc.query, err)
+	}
+	return res.Query
+}
+
+// TestRenderGolden locks the renderer's exact output for every translated
+// query shape in every dialect. Run with -update after an intentional
+// rendering change.
+func TestRenderGolden(t *testing.T) {
+	for _, tc := range goldenCases() {
+		q := buildQuery(t, tc)
+		for _, d := range sqlast.Dialects() {
+			t.Run(tc.name+"/"+d.Name(), func(t *testing.T) {
+				got := q.SQLFor(d) + "\n"
+				path := filepath.Join("testdata", tc.name+"."+d.Name()+".golden")
+				if *update {
+					if err := os.MkdirAll("testdata", 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run go test ./internal/sqlast -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("rendered SQL diverged from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenShapes guards against the cases silently degenerating (e.g. the
+// pruning translator regressing to a union, which would leave the single-scan
+// golden pinning the wrong shape).
+func TestGoldenShapes(t *testing.T) {
+	shapes := map[string]func(sqlast.Shape) bool{
+		"single-scan":   func(s sqlast.Shape) bool { return s.Branches == 1 && s.Joins == 0 && !s.Recursive },
+		"multiway-join": func(s sqlast.Shape) bool { return s.Branches == 1 && s.Joins >= 2 },
+		"union-all":     func(s sqlast.Shape) bool { return s.Branches >= 2 },
+		"recursive-cte": func(s sqlast.Shape) bool { return s.Recursive && s.CTEs >= 1 },
+		"dag-merged":    func(s sqlast.Shape) bool { return !s.Recursive },
+	}
+	for _, tc := range goldenCases() {
+		check := shapes[tc.name]
+		if check == nil {
+			t.Fatalf("no shape expectation for case %s", tc.name)
+		}
+		if sh := buildQuery(t, tc).Shape(); !check(sh) {
+			t.Errorf("%s: unexpected shape %s", tc.name, sh)
+		}
+	}
+}

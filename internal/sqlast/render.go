@@ -4,16 +4,21 @@ import "strings"
 
 // SQL renders the query as SQL text in the paper's style: lowercase keywords,
 // one clause per line, UNION ALL between branches.
-func (q *Query) SQL() string {
+func (q *Query) SQL() string { return q.SQLFor(DialectDefault) }
+
+// SQLFor renders the query as SQL text for a concrete dialect: identifier
+// quoting, keyword case, and literal escaping follow the dialect, while the
+// clause-per-line layout stays the same.
+func (q *Query) SQLFor(d *Dialect) string {
 	var b strings.Builder
-	q.renderInto(&b, "")
+	q.renderInto(&b, "", d.or())
 	return b.String()
 }
 
-func (q *Query) renderInto(b *strings.Builder, indent string) {
+func (q *Query) renderInto(b *strings.Builder, indent string, d *Dialect) {
 	if len(q.With) > 0 {
 		b.WriteString(indent)
-		b.WriteString("with ")
+		b.WriteString(d.kw("with "))
 		recursive := false
 		for _, c := range q.With {
 			if c.Recursive {
@@ -21,16 +26,17 @@ func (q *Query) renderInto(b *strings.Builder, indent string) {
 			}
 		}
 		if recursive {
-			b.WriteString("recursive ")
+			b.WriteString(d.kw("recursive "))
 		}
 		for i, c := range q.With {
 			if i > 0 {
 				b.WriteString(",\n")
 				b.WriteString(indent)
 			}
-			b.WriteString(c.Name)
-			b.WriteString(" as (\n")
-			c.Body.renderInto(b, indent+"  ")
+			b.WriteString(d.Ident(c.Name))
+			b.WriteString(d.kw(" as ("))
+			b.WriteString("\n")
+			c.Body.renderInto(b, indent+"  ", d)
 			b.WriteString("\n")
 			b.WriteString(indent)
 			b.WriteString(")")
@@ -41,42 +47,43 @@ func (q *Query) renderInto(b *strings.Builder, indent string) {
 		if i > 0 {
 			b.WriteString("\n")
 			b.WriteString(indent)
-			b.WriteString("union all\n")
+			b.WriteString(d.kw("union all"))
+			b.WriteString("\n")
 		}
-		s.renderInto(b, indent)
+		s.renderInto(b, indent, d)
 	}
 }
 
-func (s *Select) renderInto(b *strings.Builder, indent string) {
+func (s *Select) renderInto(b *strings.Builder, indent string, d *Dialect) {
 	b.WriteString(indent)
-	b.WriteString("select ")
+	b.WriteString(d.kw("select "))
 	for i, c := range s.Cols {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		c.render(b)
+		c.render(b, d)
 	}
 	b.WriteString("\n")
 	b.WriteString(indent)
-	b.WriteString("from   ")
+	b.WriteString(d.kw("from   "))
 	for i, f := range s.From {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		f.render(b)
+		f.render(b, d)
 	}
 	if s.Where != nil {
 		b.WriteString("\n")
 		b.WriteString(indent)
-		b.WriteString("where  ")
-		s.Where.render(b)
+		b.WriteString(d.kw("where  "))
+		s.Where.render(b, d)
 	}
 }
 
 // SQL renders a single select block.
 func (s *Select) SQL() string {
 	var b strings.Builder
-	s.renderInto(&b, "")
+	s.renderInto(&b, "", DialectDefault)
 	return b.String()
 }
 
@@ -87,7 +94,7 @@ func ExprString(e Expr) string {
 		return "TRUE"
 	}
 	var b strings.Builder
-	e.render(&b)
+	e.render(&b, DialectDefault)
 	return b.String()
 }
 

@@ -17,10 +17,13 @@
 package xmlsql
 
 import (
+	"database/sql"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 
+	"xmlsql/internal/backend"
 	"xmlsql/internal/core"
 	"xmlsql/internal/engine"
 	"xmlsql/internal/infer"
@@ -72,7 +75,50 @@ type (
 	ShredOptions = shred.Options
 	// CrossProduct is the PathId stage's output (S_CP).
 	CrossProduct = pathid.Graph
+	// Backend abstracts where shredded tuples live and where SQL runs: the
+	// in-memory engine or any database/sql connection.
+	Backend = backend.Backend
+	// Dialect controls how SQL text is rendered for a concrete engine:
+	// identifier quoting, keyword case, placeholders, and DDL type names.
+	Dialect = sqlast.Dialect
 )
+
+// The built-in rendering dialects.
+var (
+	// DialectDefault is the paper-style rendering used by SQL.SQL().
+	DialectDefault = sqlast.DialectDefault
+	// DialectSQLite renders SQL accepted by SQLite.
+	DialectSQLite = sqlast.DialectSQLite
+	// DialectPostgres renders SQL accepted by PostgreSQL.
+	DialectPostgres = sqlast.DialectPostgres
+)
+
+// DialectByName resolves "default", "sqlite", or "postgres".
+func DialectByName(name string) (*Dialect, error) { return sqlast.DialectByName(name) }
+
+// NewMemBackend creates the in-process backend: tuples in a fresh Store,
+// queries through the built-in engine.
+func NewMemBackend() *backend.Mem { return backend.NewMem() }
+
+// NewMemBackendOn serves an existing (possibly already shredded) store
+// through the Backend interface.
+func NewMemBackendOn(store *Store) *backend.Mem { return backend.NewMemOn(store) }
+
+// NewDBBackend runs shredded storage and query execution over a database/sql
+// connection, rendering all SQL in the given dialect (nil = DialectDefault).
+// The caller owns opening the *sql.DB; the backend's Close closes it.
+func NewDBBackend(db *sql.DB, d *Dialect) *backend.DB { return backend.NewDB(db, d) }
+
+// GenerateDDL renders the CREATE TABLE / CREATE INDEX script for the
+// shredded relations derived from the mapping annotations of s.
+func GenerateDDL(s *Schema, d *Dialect) (string, error) { return backend.DDL(s, d) }
+
+// GenerateLoadScript renders the store's rows as literal INSERT statements
+// executable on any engine speaking the dialect.
+func GenerateLoadScript(store *Store, d *Dialect) string { return backend.LoadScript(store, d) }
+
+// ExecuteOn evaluates a generated SQL statement on any backend.
+func ExecuteOn(b Backend, q *SQL) (*Result, error) { return b.Execute(q) }
 
 // NewSchemaBuilder starts a programmatic schema definition.
 func NewSchemaBuilder(name string) *SchemaBuilder { return schema.NewBuilder(name) }
@@ -207,6 +253,10 @@ type PlannerConfig struct {
 	// Translate tunes the pruning translator. Plans translated under
 	// different options never alias in the cache.
 	Translate TranslateOptions
+	// Backend, when non-nil, is where Exec runs cached plans. Eval against
+	// an explicit store ignores it. Execute options apply only to the
+	// in-memory engine; a DB backend executes however its database does.
+	Backend Backend
 }
 
 // Planner is the concurrent query-serving fast path: a plan cache composed
@@ -222,10 +272,11 @@ type PlannerConfig struct {
 // change, install it with SetSchema — its fingerprint differs, so every
 // cached plan for the old mapping stops being hit and ages out of the LRU.
 type Planner struct {
-	schema atomic.Pointer[Schema]
-	cfg    PlannerConfig
-	cache  *plancache.Cache
-	optKey string
+	schema      atomic.Pointer[Schema]
+	cfg         PlannerConfig
+	cache       *plancache.Cache
+	optKey      string
+	backendOnce sync.Once
 }
 
 // NewPlanner creates a Planner for the schema with default configuration.
@@ -280,18 +331,49 @@ func (p *Planner) Eval(store *Store, query string) (*Result, error) {
 	return engine.ExecuteOpts(store, tr.Query, p.cfg.Execute)
 }
 
+// Exec translates (with caching) and executes query on the configured
+// backend. A Planner whose config names no backend gets a fresh in-memory
+// one on first use, so Exec works out of the box; point cfg.Backend at a
+// DB backend to serve the same cached plans from a real database.
+func (p *Planner) Exec(query string) (*Result, error) {
+	tr, err := p.Plan(query)
+	if err != nil {
+		return nil, err
+	}
+	return p.backend().Execute(tr.Query)
+}
+
+// Backend returns the backend Exec uses, creating the default in-memory one
+// if the config left it nil.
+func (p *Planner) Backend() Backend { return p.backend() }
+
+func (p *Planner) backend() Backend {
+	p.backendOnce.Do(func() {
+		if p.cfg.Backend == nil {
+			m := backend.NewMem()
+			m.SetEngineOptions(p.cfg.Execute)
+			p.cfg.Backend = m
+		}
+	})
+	return p.cfg.Backend
+}
+
 // PlannerStats is a point-in-time snapshot of the plan cache counters.
 type PlannerStats struct {
 	// Hits and Misses count cache lookups since the planner was created.
 	Hits, Misses int64
+	// Evictions counts plans dropped by LRU capacity pressure; a growing
+	// rate under a steady workload means CacheSize is too small for the
+	// hot query set.
+	Evictions int64
 	// Entries is the number of plans currently cached.
 	Entries int
 }
 
-// Stats returns the planner's cache hit/miss counters and size.
+// Stats returns the planner's cache hit/miss/eviction counters and size.
 func (p *Planner) Stats() PlannerStats {
 	st := p.cache.Stats()
-	return PlannerStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+	return PlannerStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Entries: st.Entries}
 }
 
 // InvalidatePlans drops every cached plan (counters are preserved). Normal
