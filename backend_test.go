@@ -1,6 +1,7 @@
 package xmlsql_test
 
 import (
+	"context"
 	"testing"
 
 	"xmlsql"
@@ -42,11 +43,11 @@ func TestBackendAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := xmlsql.ExecuteOn(mem, tr.Query)
+	want, err := xmlsql.ExecuteOn(context.Background(), mem, tr.Query)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := xmlsql.ExecuteOn(db, tr.Query)
+	got, err := xmlsql.ExecuteOn(context.Background(), db, tr.Query)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestPlannerExecOnBackend(t *testing.T) {
 	}
 	p := xmlsql.NewPlannerWith(s, xmlsql.PlannerConfig{Backend: db})
 	for i := 0; i < 3; i++ {
-		res, err := p.Exec("//Item/Name")
+		res, err := p.Exec(context.Background(), "//Item/Name")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestPlannerExecDefaultsToMem(t *testing.T) {
 	if _, err := b.Load(s, parseTestDoc(t)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Exec("//Item/Name")
+	res, err := p.Exec(context.Background(), "//Item/Name")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestGenerateDDLAndLoadScript(t *testing.T) {
 			t.Fatalf("%s: exec load: %v", d.Name(), err)
 		}
 		db := xmlsql.NewDBBackend(raw, d)
-		res, err := db.Execute(mustTranslate(t, s, "//Item/Name"))
+		res, err := db.Execute(context.Background(), mustTranslate(t, s, "//Item/Name"))
 		if err != nil {
 			t.Fatalf("%s: %v", d.Name(), err)
 		}

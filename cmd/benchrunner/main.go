@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	benchrunner [-scale N] [-backend mem|fakedb] [-details] [-ablations] [-serving=false] [-json FILE]
+//	benchrunner [-scale N] [-backend mem|fakedb] [-details] [-ablations] [-serving=false] [-chaos=false] [-json FILE]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	scaling := flag.Bool("scaling", false, "also run the Q1 speedup-vs-size scaling series")
 	serving := flag.Bool("serving", true, "also measure the serving fast path (plan cache, parallel unions)")
+	chaos := flag.Bool("chaos", true, "also run the resilience chaos suite (injected faults, retries, breaker, degradation)")
 	backendName := flag.String("backend", "mem", "where measured queries run: mem (in-memory engine) or fakedb (database/sql over the in-repo fake driver)")
 	jsonPath := flag.String("json", "", "write the comparison table as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
@@ -69,8 +70,25 @@ func main() {
 		fmt.Print(bench.FormatServing(srv))
 	}
 
+	var chz []*bench.ChaosComparison
+	if *chaos {
+		chz, err = bench.RunChaos(1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(bench.FormatChaos(chz))
+		for _, c := range chz {
+			if !c.Verified {
+				fmt.Fprintf(os.Stderr, "benchrunner: CHAOS VERIFICATION FAILED for %s/%s\n", c.Scenario, c.Workload)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *jsonPath != "" {
-		report := bench.BuildReport("xmlsql", *scale, cmps, srv)
+		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz)
 		out := os.Stdout
 		if *jsonPath != "-" {
 			f, err := os.Create(*jsonPath)

@@ -10,6 +10,7 @@
 //	xml2sql -workload xmarkfull-edge -query '/Site//Item/InCategory/Category'
 //	xml2sql -workload xmark -dialect sqlite -ddl
 //	xml2sql -workload xmark -dialect postgres -ddl -load > setup.sql
+//	xml2sql -workload s3 -query '//t4' -execute -timeout 5s -max-rows 1000000
 //
 // Built-in workloads: xmark, xmarkfull, s1, s2, s3, adex, plus an "-edge"
 // suffix for the schema-oblivious Edge mapping of any of them.
@@ -23,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +53,9 @@ func main() {
 	dialectName := flag.String("dialect", "default", "SQL dialect for all emitted text (default, sqlite, postgres)")
 	emitDDL := flag.Bool("ddl", false, "print the CREATE TABLE / CREATE INDEX script for the mapping's shredded relations")
 	emitLoad := flag.Bool("load", false, "generate a workload document, shred it, and print the INSERT script (built-in workloads only)")
+	timeout := flag.Duration("timeout", 0, "deadline for each -execute run (e.g. 5s); 0 means none")
+	maxRows := flag.Int("max-rows", 0, "abort -execute runs that materialize more than this many rows; 0 means unlimited")
+	maxCTEIter := flag.Int("max-cte-iterations", 0, "abort -execute runs whose recursive CTE exceeds this many rounds; 0 means the engine default")
 	flag.Parse()
 
 	if *query == "" && !*emitDDL && !*emitLoad {
@@ -121,7 +126,8 @@ func main() {
 	}
 	fmt.Printf("-- %s (%s):\n%s\n", label, pruned.Query.Shape(), pruned.Query.SQLFor(dialect))
 	if *execute {
-		if err := runBoth(s, *workload, naive, pruned.Query); err != nil {
+		opts := engine.Options{MaxRows: *maxRows, MaxCTEIterations: *maxCTEIter}
+		if err := runBoth(s, *workload, naive, pruned.Query, *timeout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "xml2sql: %v\n", err)
 			os.Exit(1)
 		}
@@ -154,9 +160,10 @@ func emitLoadScript(s *schema.Schema, workload string, d *sqlast.Dialect) error 
 	return nil
 }
 
-// runBoth shreds a generated document and executes both translations,
-// verifying multiset equality and printing timings.
-func runBoth(s *schema.Schema, workload string, naive, pruned *sqlast.Query) error {
+// runBoth shreds a generated document and executes both translations under
+// the requested timeout and resource guards, verifying multiset equality and
+// printing timings.
+func runBoth(s *schema.Schema, workload string, naive, pruned *sqlast.Query, timeout time.Duration, opts engine.Options) error {
 	if workload == "" {
 		return fmt.Errorf("-execute requires a built-in -workload")
 	}
@@ -168,14 +175,20 @@ func runBoth(s *schema.Schema, workload string, naive, pruned *sqlast.Query) err
 	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	time1 := time.Now()
-	nres, err := engine.Execute(store, naive)
+	nres, err := engine.ExecuteCtx(ctx, store, naive, opts)
 	if err != nil {
 		return fmt.Errorf("baseline execution: %w", err)
 	}
 	naiveDur := time.Since(time1)
 	time2 := time.Now()
-	pres, err := engine.Execute(store, pruned)
+	pres, err := engine.ExecuteCtx(ctx, store, pruned, opts)
 	if err != nil {
 		return fmt.Errorf("pruned execution: %w", err)
 	}

@@ -23,6 +23,8 @@
 package backend
 
 import (
+	"context"
+
 	"xmlsql/internal/engine"
 	"xmlsql/internal/schema"
 	"xmlsql/internal/shred"
@@ -45,10 +47,15 @@ type Backend interface {
 	EnsureSchema(s *schema.Schema) error
 	// Load shreds the documents under the mapping of s and stores the
 	// resulting tuples. The returned per-document results report tuple
-	// counts and element-to-id alignment, as shred.ShredAll does.
+	// counts and element-to-id alignment, as shred.ShredAll does. A failed
+	// load must not leave a partially-populated store: implementations load
+	// atomically (the DB backend wraps the batch in a transaction).
 	Load(s *schema.Schema, docs ...*xmltree.Document) ([]*shred.Result, error)
-	// Execute runs a translated query and returns its multiset of rows.
-	Execute(q *sqlast.Query) (*engine.Result, error)
+	// Execute runs a translated query under ctx and returns its multiset of
+	// rows. Cancelling ctx (or exceeding its deadline) aborts the execution
+	// promptly with ctx.Err(); both built-in backends honor this
+	// cooperatively down to the row-loop level.
+	Execute(ctx context.Context, q *sqlast.Query) (*engine.Result, error)
 	// Close releases whatever the backend holds (connections, stores).
 	Close() error
 }

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"database/sql"
 	"fmt"
 
@@ -58,21 +59,35 @@ func (b *DB) EnsureSchema(s *schema.Schema) error {
 // store first — the shredder needs random access to assign ids and maintain
 // alignment — and the staged tuples are then streamed to the database in
 // batched prepared INSERTs.
+//
+// The whole batch runs inside one transaction: a mid-batch failure (a flaky
+// connection, a constraint violation halfway through a table) rolls back
+// every row already sent, so a failed shred load can never leave a
+// partially-populated store that would silently violate the lossless-from-XML
+// constraint on the next query.
 func (b *DB) Load(s *schema.Schema, docs ...*xmltree.Document) ([]*shred.Result, error) {
 	staging := relational.NewStore()
 	results, err := shred.ShredAll(s, staging, shred.Options{}, docs...)
 	if err != nil {
 		return nil, err
 	}
+	tx, err := b.db.Begin()
+	if err != nil {
+		return nil, fmt.Errorf("backend: begin load transaction: %w", err)
+	}
 	for _, name := range staging.TableNames() {
-		if err := b.copyTable(staging.Table(name)); err != nil {
+		if err := b.copyTable(tx, staging.Table(name)); err != nil {
+			tx.Rollback()
 			return nil, err
 		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, fmt.Errorf("backend: commit load transaction: %w", err)
 	}
 	return results, nil
 }
 
-func (b *DB) copyTable(t *relational.Table) error {
+func (b *DB) copyTable(tx *sql.Tx, t *relational.Table) error {
 	ts := t.Schema()
 	rows := t.SortedRows()
 	if len(rows) == 0 {
@@ -83,7 +98,7 @@ func (b *DB) copyTable(t *relational.Table) error {
 	// Full batches share one prepared statement; the tail gets its own.
 	full := len(rows) / loadBatchRows * loadBatchRows
 	if full > 0 {
-		stmt, err := b.db.Prepare(insertPlaceholderSQL(ts, loadBatchRows, b.dialect))
+		stmt, err := tx.Prepare(insertPlaceholderSQL(ts, loadBatchRows, b.dialect))
 		if err != nil {
 			return fmt.Errorf("backend: prepare load for %s: %w", ts.Name, err)
 		}
@@ -105,7 +120,7 @@ func (b *DB) copyTable(t *relational.Table) error {
 		for _, row := range tail {
 			args = appendArgs(args, row)
 		}
-		if _, err := b.db.Exec(insertPlaceholderSQL(ts, len(tail), b.dialect), args...); err != nil {
+		if _, err := tx.Exec(insertPlaceholderSQL(ts, len(tail), b.dialect), args...); err != nil {
 			return fmt.Errorf("backend: load %s tail: %w", ts.Name, err)
 		}
 	}
@@ -126,10 +141,14 @@ func appendArgs(args []any, row relational.Row) []any {
 	return args
 }
 
-// Execute implements Backend: render, send, scan back.
-func (b *DB) Execute(q *sqlast.Query) (*engine.Result, error) {
+// Execute implements Backend: render, send, scan back. The context rides
+// database/sql's QueryContext; with a driver that implements
+// driver.QueryerContext (the in-repo fakedb does, real drivers do),
+// cancellation interrupts the query server-side rather than merely
+// abandoning the connection.
+func (b *DB) Execute(ctx context.Context, q *sqlast.Query) (*engine.Result, error) {
 	text := q.SQLFor(b.dialect)
-	rows, err := b.db.Query(text)
+	rows, err := b.db.QueryContext(ctx, text)
 	if err != nil {
 		return nil, fmt.Errorf("backend: query failed: %w\nsql:\n%s", err, text)
 	}

@@ -1,6 +1,7 @@
 package backend_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -134,11 +135,11 @@ func TestDBBackendMatchesMem(t *testing.T) {
 								t.Errorf("%s %s: recursive plan lacks WITH RECURSIVE", query, mode)
 							}
 						}
-						want, err := mem.Execute(q)
+						want, err := mem.Execute(context.Background(), q)
 						if err != nil {
 							t.Fatalf("%s %s on mem: %v", query, mode, err)
 						}
-						got, err := db.Execute(q)
+						got, err := db.Execute(context.Background(), q)
 						if err != nil {
 							t.Fatalf("%s %s on %s: %v", query, mode, db.Name(), err)
 						}
@@ -187,11 +188,11 @@ func TestDDLScriptRoundTrip(t *testing.T) {
 
 			for _, query := range []string{workloads.QueryQ1, workloads.QueryQ2} {
 				for mode, q := range translations(t, s, query) {
-					want, err := mem.Execute(q)
+					want, err := mem.Execute(context.Background(), q)
 					if err != nil {
 						t.Fatalf("%s %s on mem: %v", query, mode, err)
 					}
-					got, err := db.Execute(q)
+					got, err := db.Execute(context.Background(), q)
 					if err != nil {
 						t.Fatalf("%s %s on scripted db: %v", query, mode, err)
 					}

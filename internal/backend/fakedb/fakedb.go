@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"xmlsql/internal/engine"
 	"xmlsql/internal/relational"
@@ -33,8 +34,14 @@ const DriverName = "xmlsql-fakedb"
 // DB is one fake database instance: a relational store plus the engine that
 // serves queries over it. It is safe for concurrent use through any number
 // of database/sql connections.
+//
+// An instance can also be programmed to misbehave: SetFaults installs a
+// deterministic fault plan (error rates, fail-N-then-succeed, latency,
+// mid-resultset errors — see FaultConfig) so resilience layers can be tested
+// against a backend that fails like a real one, offline.
 type DB struct {
-	store *relational.Store
+	store  *relational.Store
+	faults atomic.Pointer[faultInjector]
 }
 
 // New creates an empty fake database.
@@ -96,6 +103,10 @@ func (d connDriver) Open(string) (driver.Conn, error) { return &conn{db: d.db}, 
 
 type conn struct {
 	db *DB
+	// tx is the connection's open transaction, if any. database/sql pins a
+	// transaction to one connection and serializes use of it, so no lock is
+	// needed here.
+	tx *fakeTx
 }
 
 // Prepare parses the statement text once; Exec/Query replay it with args.
@@ -107,23 +118,87 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	if len(stmts) > 1 && numInput > 0 {
 		return nil, fmt.Errorf("fakedb: multi-statement scripts cannot carry bind parameters")
 	}
-	return &stmt{db: c.db, stmts: stmts, numInput: numInput}, nil
+	return &stmt{conn: c, stmts: stmts, numInput: numInput}, nil
 }
 
 func (c *conn) Close() error { return nil }
 
-// Begin returns a pass-through transaction: the fake database applies
-// statements immediately and Commit/Rollback are no-ops. Bulk loading does
-// not rely on transactional atomicity, only on statement execution.
-func (c *conn) Begin() (driver.Tx, error) { return nopTx{}, nil }
+// Begin starts a real (buffering) transaction: INSERTs executed inside it
+// are validated immediately but staged, becoming visible only on Commit;
+// Rollback discards them. This gives the DB backend's transactional bulk
+// load honest all-or-nothing semantics to test against — a mid-batch fault
+// leaves the store exactly as it was. DDL inside a transaction applies
+// immediately (as in engines that auto-commit DDL).
+func (c *conn) Begin() (driver.Tx, error) {
+	if c.tx != nil {
+		return nil, fmt.Errorf("fakedb: connection already has an open transaction")
+	}
+	c.tx = &fakeTx{conn: c}
+	return c.tx, nil
+}
 
-type nopTx struct{}
+// fakeTx buffers inserts until Commit.
+type fakeTx struct {
+	conn    *conn
+	pending []pendingInsert
+}
 
-func (nopTx) Commit() error   { return nil }
-func (nopTx) Rollback() error { return nil }
+type pendingInsert struct {
+	table *relational.Table
+	row   relational.Row
+}
+
+// Commit applies the staged inserts to the shared store, in order.
+func (tx *fakeTx) Commit() error {
+	defer func() { tx.conn.tx = nil }()
+	for _, p := range tx.pending {
+		if err := p.table.Insert(p.row); err != nil {
+			return fmt.Errorf("fakedb: commit: %w", err)
+		}
+	}
+	return nil
+}
+
+// Rollback discards the staged inserts; the store is untouched.
+func (tx *fakeTx) Rollback() error {
+	tx.conn.tx = nil
+	return nil
+}
+
+// QueryContext implements driver.QueryerContext, so unprepared
+// db.QueryContext calls skip the Prepare round trip and carry their context
+// all the way into the engine.
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	st, err := c.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return st.(*stmt).query(ctx, namedToValues(args))
+}
+
+// ExecContext implements driver.ExecerContext for unprepared Exec calls.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	st, err := c.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return st.(*stmt).exec(ctx, namedToValues(args))
+}
+
+// namedToValues flattens driver.NamedValue args (fakedb supports only
+// ordinal parameters) to plain driver.Values.
+func namedToValues(args []driver.NamedValue) []driver.Value {
+	out := make([]driver.Value, len(args))
+	for i, a := range args {
+		out[i] = a.Value
+	}
+	return out
+}
 
 type stmt struct {
-	db       *DB
+	conn     *conn
 	stmts    []*statement
 	numInput int
 }
@@ -131,8 +206,23 @@ type stmt struct {
 func (s *stmt) Close() error  { return nil }
 func (s *stmt) NumInput() int { return s.numInput }
 
+func (s *stmt) db() *DB { return s.conn.db }
+
 // Exec runs DDL and INSERT statements (and tolerates scripts mixing them).
 func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.exec(nil, args)
+}
+
+// ExecContext implements driver.StmtExecContext, making injected latency and
+// cancellation deadline-aware for prepared statements.
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	return s.exec(ctx, namedToValues(args))
+}
+
+func (s *stmt) exec(ctx context.Context, args []driver.Value) (driver.Result, error) {
+	if err := s.db().faults.Load().before(ctx, "exec"); err != nil {
+		return nil, err
+	}
 	vals, err := toValues(args)
 	if err != nil {
 		return nil, err
@@ -149,12 +239,13 @@ func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
 }
 
 func (s *stmt) execOne(st *statement, args []relational.Value) (int64, error) {
+	db := s.db()
 	switch st.kind {
 	case stmtCreateTable:
-		_, err := s.db.store.CreateTable(st.create)
+		_, err := db.store.CreateTable(st.create)
 		return 0, err
 	case stmtCreateIndex:
-		t := s.db.store.Table(st.index.table)
+		t := db.store.Table(st.index.table)
 		if t == nil {
 			return 0, fmt.Errorf("fakedb: create index: no table %s", st.index.table)
 		}
@@ -163,14 +254,14 @@ func (s *stmt) execOne(st *statement, args []relational.Value) (int64, error) {
 		return s.runInsert(st.insert, args)
 	case stmtSelect:
 		// Exec on a SELECT: evaluate and discard (mirrors real drivers).
-		_, err := engine.Execute(s.db.store, st.query)
+		_, err := engine.Execute(db.store, st.query)
 		return 0, err
 	}
 	return 0, fmt.Errorf("fakedb: unknown statement kind %d", st.kind)
 }
 
 func (s *stmt) runInsert(op *insertOp, args []relational.Value) (int64, error) {
-	t := s.db.store.Table(op.table)
+	t := s.db().store.Table(op.table)
 	if t == nil {
 		return 0, fmt.Errorf("fakedb: insert into unknown table %s", op.table)
 	}
@@ -199,7 +290,11 @@ func (s *stmt) runInsert(op *insertOp, args []relational.Value) (int64, error) {
 			}
 			out[colIdx[i]] = val
 		}
-		if err := t.Insert(out); err != nil {
+		if tx := s.conn.tx; tx != nil {
+			// Inside a transaction: stage instead of inserting, so Rollback
+			// can discard the whole batch.
+			tx.pending = append(tx.pending, pendingInsert{table: t, row: out})
+		} else if err := t.Insert(out); err != nil {
 			return n, err
 		}
 		n++
@@ -209,28 +304,53 @@ func (s *stmt) runInsert(op *insertOp, args []relational.Value) (int64, error) {
 
 // Query runs the (single) SELECT statement through the engine.
 func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.query(context.Background(), args)
+}
+
+// QueryContext implements driver.StmtQueryContext: the context reaches the
+// engine, so cancellation interrupts the evaluation itself (between union
+// branches, CTE rounds, and inside join loops) rather than waiting for it.
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	return s.query(ctx, namedToValues(args))
+}
+
+func (s *stmt) query(ctx context.Context, args []driver.Value) (driver.Rows, error) {
 	if len(s.stmts) != 1 || s.stmts[0].kind != stmtSelect {
 		return nil, fmt.Errorf("fakedb: Query requires a single SELECT statement")
 	}
 	if len(args) > 0 {
 		return nil, fmt.Errorf("fakedb: bind parameters are not supported in SELECT")
 	}
-	res, err := engine.Execute(s.db.store, s.stmts[0].query)
+	inj := s.db().faults.Load()
+	if err := inj.before(ctx, "query"); err != nil {
+		return nil, err
+	}
+	res, err := engine.ExecuteCtx(ctx, s.db().store, s.stmts[0].query, engine.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return &rows{res: res}, nil
+	r := &rows{res: res, failAt: -1}
+	if at, ok := inj.rowFailure(len(res.Rows)); ok {
+		r.failAt = at
+	}
+	return r, nil
 }
 
 type rows struct {
 	res *engine.Result
 	i   int
+	// failAt, when >= 0, is the row index at which Next returns an injected
+	// mid-resultset error instead of the row.
+	failAt int
 }
 
 func (r *rows) Columns() []string { return r.res.Cols }
 func (r *rows) Close() error      { return nil }
 
 func (r *rows) Next(dest []driver.Value) error {
+	if r.failAt >= 0 && r.i == r.failAt {
+		return &InjectedError{Op: "row"}
+	}
 	if r.i >= len(r.res.Rows) {
 		return io.EOF
 	}

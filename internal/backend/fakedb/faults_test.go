@@ -1,0 +1,251 @@
+package fakedb
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"testing"
+	"time"
+)
+
+// openFaulty opens a handle while keeping the DB instance for SetFaults.
+func openFaulty(t *testing.T) (*DB, *sql.DB) {
+	t.Helper()
+	inst := New()
+	db := sql.OpenDB(inst.Connector())
+	t.Cleanup(func() { db.Close() })
+	return inst, db
+}
+
+func seedSmallTable(t *testing.T, db *sql.DB) {
+	t.Helper()
+	mustExec(t, db, `CREATE TABLE r (id INTEGER PRIMARY KEY, v TEXT)`)
+	mustExec(t, db, `INSERT INTO r (id, v) VALUES (1, 'a'), (2, 'b'), (3, 'c')`)
+}
+
+func TestFaultFailFirstThenSucceed(t *testing.T) {
+	inst, db := openFaulty(t)
+	seedSmallTable(t, db)
+
+	inst.SetFaults(FaultConfig{FailFirst: 2})
+	for i := 0; i < 2; i++ {
+		var injected *InjectedError
+		if _, err := db.Query(`SELECT a.v FROM r a`); !errors.As(err, &injected) {
+			t.Fatalf("attempt %d: err = %v, want *InjectedError", i+1, err)
+		} else if !injected.Temporary() {
+			t.Fatal("injected fault must classify as temporary")
+		}
+	}
+	rows, err := db.Query(`SELECT a.v FROM r a`)
+	if err != nil {
+		t.Fatalf("third attempt should succeed, got %v", err)
+	}
+	rows.Close()
+	if n := inst.InjectedFaults(); n != 2 {
+		t.Fatalf("InjectedFaults = %d, want 2", n)
+	}
+}
+
+func TestFaultRateDeterministicBySeed(t *testing.T) {
+	run := func() int64 {
+		inst, db := openFaulty(t)
+		seedSmallTable(t, db)
+		inst.SetFaults(FaultConfig{Seed: 42, ExecErrorRate: 0.3})
+		for i := 0; i < 200; i++ {
+			if rows, err := db.Query(`SELECT a.v FROM r a`); err == nil {
+				rows.Close()
+			}
+		}
+		return inst.InjectedFaults()
+	}
+	first, second := run(), run()
+	if first == 0 {
+		t.Fatal("a 30% rate over 200 operations injected nothing")
+	}
+	if first != second {
+		t.Fatalf("same seed produced different fault schedules: %d vs %d", first, second)
+	}
+}
+
+func TestFaultMidResultset(t *testing.T) {
+	inst, db := openFaulty(t)
+	seedSmallTable(t, db)
+
+	inst.SetFaults(FaultConfig{RowErrorRate: 1})
+	rows, err := db.Query(`SELECT a.v FROM r a`)
+	if err != nil {
+		t.Fatalf("Query itself should start cleanly, got %v", err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	var injected *InjectedError
+	if err := rows.Err(); !errors.As(err, &injected) || injected.Op != "row" {
+		t.Fatalf("rows.Err() = %v, want mid-resultset *InjectedError", err)
+	}
+
+	// Clearing the plan restores clean scans.
+	inst.ClearFaults()
+	rows2, err := db.Query(`SELECT a.v FROM r a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows2.Next() {
+		n++
+	}
+	rows2.Close()
+	if err := rows2.Err(); err != nil || n != 3 {
+		t.Fatalf("after ClearFaults: %d rows, err %v; want 3 clean rows", n, err)
+	}
+}
+
+func TestFaultLatencyHonorsContext(t *testing.T) {
+	inst, db := openFaulty(t)
+	seedSmallTable(t, db)
+
+	inst.SetFaults(FaultConfig{Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := db.QueryContext(ctx, `SELECT a.v FROM r a`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to land; the latency sleep ignored the context", elapsed)
+	}
+}
+
+// TestQueryContextReachesEngine cancels a query mid-evaluation: the fake
+// driver implements the context-aware driver interfaces, so the deadline
+// must interrupt the engine's own join loops, not just the driver shim.
+func TestQueryContextReachesEngine(t *testing.T) {
+	_, db := openFaulty(t)
+	mustExec(t, db, `CREATE TABLE big (n INTEGER PRIMARY KEY)`)
+	for i := 0; i < 40; i++ {
+		mustExec(t, db, `INSERT INTO big (n) VALUES (?)`, i*50)
+		for j := 1; j < 50; j++ {
+			mustExec(t, db, `INSERT INTO big (n) VALUES (?)`, i*50+j)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := db.QueryContext(ctx, `SELECT a.n FROM big a, big b, big c`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded from inside the engine", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("engine cancellation took %v; not prompt", elapsed)
+	}
+}
+
+func TestTxCommitAppliesRollbackDiscards(t *testing.T) {
+	_, db := openFaulty(t)
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)`)
+
+	count := func() int {
+		var n int
+		rows, err := db.Query(`SELECT a.id FROM t a`)
+		if err != nil {
+			t.Fatalf("count: %v", err)
+		}
+		for rows.Next() {
+			n++
+		}
+		rows.Close()
+		return n
+	}
+
+	// Rollback: staged inserts never reach the store.
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t (id, v) VALUES (1, 'x'), (2, 'y')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(); n != 0 {
+		t.Fatalf("store has %d rows after rollback, want 0", n)
+	}
+
+	// Commit: the same batch becomes visible.
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t (id, v) VALUES (1, 'x'), (2, 'y')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(); n != 2 {
+		t.Fatalf("store has %d rows after commit, want 2", n)
+	}
+}
+
+func TestTxCommitDuplicateKeyLeavesStoreClean(t *testing.T) {
+	_, db := openFaulty(t)
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY)`)
+	mustExec(t, db, `INSERT INTO t (id) VALUES (1)`)
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate of an existing key: staged fine, rejected at commit.
+	if _, err := tx.Exec(`INSERT INTO t (id) VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit of a duplicate key should fail")
+	}
+	var n int
+	rows, err := db.Query(`SELECT a.id FROM t a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	if n != 1 {
+		t.Fatalf("store has %d rows after failed commit, want the original 1", n)
+	}
+}
+
+func TestTxExecFaultInsideTransaction(t *testing.T) {
+	inst, db := openFaulty(t)
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY)`)
+
+	inst.SetFaults(FaultConfig{FailFirst: 1})
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected *InjectedError
+	if _, err := tx.Exec(`INSERT INTO t (id) VALUES (1)`); !errors.As(err, &injected) {
+		t.Fatalf("err = %v, want *InjectedError", err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	inst.ClearFaults()
+	rows, err := db.Query(`SELECT a.id FROM t a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	if n != 0 {
+		t.Fatalf("store has %d rows after mid-batch fault + rollback, want 0", n)
+	}
+}

@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"context"
+
 	"xmlsql/internal/engine"
 	"xmlsql/internal/relational"
 	"xmlsql/internal/schema"
@@ -57,9 +59,11 @@ func (m *Mem) Load(s *schema.Schema, docs ...*xmltree.Document) ([]*shred.Result
 	return shred.ShredAll(s, m.store, shred.Options{}, docs...)
 }
 
-// Execute implements Backend.
-func (m *Mem) Execute(q *sqlast.Query) (*engine.Result, error) {
-	return engine.ExecuteOpts(m.store, q, m.opts)
+// Execute implements Backend. The engine polls ctx between union branches,
+// between recursive-CTE rounds, and inside join loops, so cancellation is
+// prompt even mid-query.
+func (m *Mem) Execute(ctx context.Context, q *sqlast.Query) (*engine.Result, error) {
+	return engine.ExecuteCtx(ctx, m.store, q, m.opts)
 }
 
 // Close implements Backend; the store is garbage-collected.

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -101,7 +102,9 @@ func RunOn(c Case, backendName string) (*Comparison, error) {
 		}
 		db := backend.NewDB(raw, d)
 		defer db.Close()
-		exec = db.Execute
+		exec = func(q *sqlast.Query) (*engine.Result, error) {
+			return db.Execute(context.Background(), q)
+		}
 		label = db.Name()
 	default:
 		return nil, fmt.Errorf("bench: unknown backend %q (want mem or fakedb)", backendName)

@@ -70,7 +70,7 @@ func TestRunOnFakeDBBackend(t *testing.T) {
 	if cmp.Backend != "db(sqlite)" {
 		t.Errorf("backend label = %q, want db(sqlite)", cmp.Backend)
 	}
-	rep := bench.BuildReport("xmlsql", 1, []*bench.Comparison{cmp}, nil)
+	rep := bench.BuildReport("xmlsql", 1, []*bench.Comparison{cmp}, nil, nil)
 	if rep.Backend != "db(sqlite)" {
 		t.Errorf("report backend = %q, want db(sqlite)", rep.Backend)
 	}
@@ -109,6 +109,35 @@ func TestRunSuiteSmall(t *testing.T) {
 	}
 	if det := bench.FormatDetails(cmps[:1]); !strings.Contains(det, "baseline [9]") {
 		t.Error("details formatting broken")
+	}
+}
+
+func TestRunChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	cmps, err := bench.RunChaos(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults, retries, trips, fallbacks int64
+	for _, c := range cmps {
+		if !c.Verified {
+			t.Errorf("%s/%s: chaos verification failed", c.Scenario, c.Workload)
+		}
+		faults += c.Faults
+		retries += c.Retries
+		trips += c.BreakerTrips
+		fallbacks += c.Fallbacks
+	}
+	if faults == 0 || retries == 0 {
+		t.Fatalf("chaos suite injected %d faults / %d retries; the faults scenario is vacuous", faults, retries)
+	}
+	if trips == 0 || fallbacks == 0 {
+		t.Fatalf("chaos suite recorded %d trips / %d fallbacks; the outage scenario is vacuous", trips, fallbacks)
+	}
+	if out := bench.FormatChaos(cmps); !strings.Contains(out, "outage") || !strings.Contains(out, "fallbacks") {
+		t.Error("chaos table formatting broken")
 	}
 }
 

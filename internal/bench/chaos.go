@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"strings"
+	"time"
+
+	"xmlsql/internal/backend"
+	"xmlsql/internal/backend/fakedb"
+	"xmlsql/internal/core"
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/resilient"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/translate"
+	"xmlsql/internal/workloads"
+	"xmlsql/internal/xmltree"
+)
+
+// ChaosComparison is one workload's outcome under an injected-fault regime:
+// how much resilience machinery (retries, breaker trips, degraded fallbacks)
+// the serving layer spent, and whether every answer still matched the
+// fault-free in-memory reference. Scenario is "faults" (30% transient
+// injection, retry absorbs) or "outage" (primary hard down, breaker trips
+// and the mirror-loaded Mem fallback serves).
+type ChaosComparison struct {
+	Scenario     string `json:"scenario"`
+	Workload     string `json:"workload"`
+	Queries      int    `json:"queries"`
+	Executes     int64  `json:"executes"`
+	Retries      int64  `json:"retries"`
+	BreakerTrips int64  `json:"breaker_trips"`
+	Fallbacks    int64  `json:"fallbacks"`
+	Faults       int64  `json:"faults_injected"`
+	Verified     bool   `json:"verified"`
+}
+
+// chaosWorkload is one (schema, document, queries) unit of the chaos suite:
+// the same tree / DAG / recursive-CTE coverage the differential tests use,
+// at fixed small sizes (chaos measures counters, not throughput).
+type chaosWorkload struct {
+	name    string
+	schema  *schema.Schema
+	doc     *xmltree.Document
+	queries []string
+}
+
+func chaosWorkloads() []chaosWorkload {
+	return []chaosWorkload{
+		{"s1", workloads.S1(), workloads.GenerateS1(25, 1), []string{workloads.QueryQ3, "//b/x"}},
+		{"s2-dag", workloads.S2(), workloads.GenerateS2(10, 2), []string{"//s/t1", "//t2"}},
+		{"s3-recursive", workloads.S3(), workloads.GenerateS3(workloads.DefaultS3Config()), []string{workloads.QueryQ4, workloads.QueryQ6}},
+		{"xmark", workloads.XMark(), workloads.GenerateXMark(workloads.DefaultXMarkConfig()), []string{workloads.QueryQ1, workloads.QueryQ2}},
+	}
+}
+
+// chaosTranslations returns both translations of query under wl's schema.
+func chaosTranslations(s *schema.Schema, query string) ([]*sqlast.Query, error) {
+	path, err := pathexpr.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	g, err := pathid.Build(s, path)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := translate.Naive(g)
+	if err != nil {
+		return nil, err
+	}
+	pruned, err := core.Translate(g)
+	if err != nil {
+		return nil, err
+	}
+	return []*sqlast.Query{naive, pruned.Query}, nil
+}
+
+// chaosRetry: negligible backoff wall-clock, generous attempts so the seeded
+// 30% fault schedule always converges.
+var chaosBenchRetry = resilient.RetryPolicy{
+	MaxAttempts: 12,
+	BaseDelay:   time.Microsecond,
+	MaxDelay:    50 * time.Microsecond,
+}
+
+// RunChaos runs every chaos workload through a resilient-wrapped DB backend
+// (over the fake driver) in two scenarios — transient faults absorbed by
+// retry, and a hard primary outage degraded to the Mem mirror — and reports
+// the resilience counters alongside differential verification against the
+// fault-free in-memory reference.
+func RunChaos(seed int64) ([]*ChaosComparison, error) {
+	ctx := context.Background()
+	var out []*ChaosComparison
+	for i, wl := range chaosWorkloads() {
+		mem := backend.NewMem()
+		if err := mem.EnsureSchema(wl.schema); err != nil {
+			return nil, fmt.Errorf("chaos %s: %w", wl.name, err)
+		}
+		if _, err := mem.Load(wl.schema, wl.doc); err != nil {
+			return nil, fmt.Errorf("chaos %s: %w", wl.name, err)
+		}
+
+		faults, err := runChaosScenario(ctx, wl, mem, "faults", seed+int64(i), fakedb.FaultConfig{
+			Seed:          seed + int64(i),
+			ExecErrorRate: 0.3,
+			RowErrorRate:  0.1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		outage, err := runChaosScenario(ctx, wl, mem, "outage", seed+int64(i), fakedb.FaultConfig{
+			FailFirst: 1 << 30,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, faults, outage)
+	}
+	return out, nil
+}
+
+func runChaosScenario(ctx context.Context, wl chaosWorkload, ref *backend.Mem, scenario string, seed int64, faults fakedb.FaultConfig) (*ChaosComparison, error) {
+	inst := fakedb.New()
+	primary := backend.NewDB(sql.OpenDB(inst.Connector()), sqlast.DialectSQLite)
+	opts := resilient.Options{Retry: chaosBenchRetry}
+	if scenario == "outage" {
+		// Outage scenario: a tripping breaker plus a mirror-loaded fallback —
+		// the degradation path is what is being counted.
+		opts.Breaker = resilient.BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour}
+		opts.Fallback = backend.NewMem()
+		opts.MirrorLoads = true
+	} else {
+		// Faults scenario: retries only; a huge threshold keeps the breaker
+		// from short-circuiting what retry should absorb.
+		opts.Breaker = resilient.BreakerConfig{FailureThreshold: 1 << 30}
+	}
+	wrapped := resilient.Wrap(primary, opts)
+	defer wrapped.Close()
+	if err := wrapped.EnsureSchema(wl.schema); err != nil {
+		return nil, fmt.Errorf("chaos %s/%s: %w", wl.name, scenario, err)
+	}
+	if _, err := wrapped.Load(wl.schema, wl.doc); err != nil {
+		return nil, fmt.Errorf("chaos %s/%s: %w", wl.name, scenario, err)
+	}
+
+	// Loads ran clean; faults arm only for the query phase.
+	inst.SetFaults(faults)
+	cmp := &ChaosComparison{Scenario: scenario, Workload: wl.name, Verified: true}
+	for _, query := range wl.queries {
+		qs, err := chaosTranslations(wl.schema, query)
+		if err != nil {
+			return nil, fmt.Errorf("chaos %s: translate %s: %w", wl.name, query, err)
+		}
+		for _, q := range qs {
+			want, err := ref.Execute(ctx, q)
+			if err != nil {
+				return nil, fmt.Errorf("chaos %s: reference %s: %w", wl.name, query, err)
+			}
+			got, err := wrapped.Execute(ctx, q)
+			if err != nil {
+				return nil, fmt.Errorf("chaos %s/%s: %s under faults: %w", wl.name, scenario, query, err)
+			}
+			if !want.MultisetEqual(got) {
+				cmp.Verified = false
+			}
+			cmp.Queries++
+		}
+	}
+	st := wrapped.Stats()
+	cmp.Executes = st.Executes
+	cmp.Retries = st.Retries
+	cmp.BreakerTrips = st.BreakerTrips
+	cmp.Fallbacks = st.Fallbacks
+	cmp.Faults = inst.InjectedFaults()
+	return cmp, nil
+}
+
+// FormatChaos renders the chaos table for the benchrunner's stdout report.
+func FormatChaos(cmps []*ChaosComparison) string {
+	var b strings.Builder
+	b.WriteString("Chaos suite: resilient serving under injected faults (fakedb primary)\n")
+	fmt.Fprintf(&b, "%-9s %-14s %8s %9s %8s %6s %10s %7s %9s\n",
+		"scenario", "workload", "queries", "executes", "retries", "trips", "fallbacks", "faults", "verified")
+	for _, c := range cmps {
+		fmt.Fprintf(&b, "%-9s %-14s %8d %9d %8d %6d %10d %7d %9v\n",
+			c.Scenario, c.Workload, c.Queries, c.Executes, c.Retries, c.BreakerTrips, c.Fallbacks, c.Faults, c.Verified)
+	}
+	return b.String()
+}

@@ -18,7 +18,11 @@ type Report struct {
 	GoMaxProcs int                  `json:"gomaxprocs"`
 	Cases      []ReportCase         `json:"cases"`
 	Serving    []*ServingComparison `json:"serving,omitempty"`
-	Summary    ReportSummary        `json:"summary"`
+	// Chaos records the resilience counters (retries, breaker trips,
+	// degraded fallbacks) of the injected-fault suite, so the robustness
+	// trajectory is tracked alongside the perf one.
+	Chaos   []*ChaosComparison `json:"chaos,omitempty"`
+	Summary ReportSummary      `json:"summary"`
 }
 
 // ReportCase is one experiment case's measurements.
@@ -48,13 +52,14 @@ type ReportSummary struct {
 }
 
 // BuildReport assembles the JSON report from measured comparisons.
-func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison) *Report {
+func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison) *Report {
 	r := &Report{
 		Name:       name,
 		Scale:      scale,
 		Backend:    "mem",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Serving:    serving,
+		Chaos:      chaos,
 		Summary:    ReportSummary{AllVerified: true},
 	}
 	for _, c := range cmps {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -34,16 +35,40 @@ type Options struct {
 	// mapping's Q8 — are the workloads with enough independent branch work
 	// to scale with cores.
 	Parallelism int
+	// MaxRows bounds the rows the query may materialize, counting join
+	// outputs, projected results, and recursive-CTE accumulation across all
+	// branches. 0 means unlimited. Exceeding the bound aborts the query with
+	// a *ResourceError instead of exhausting memory — the guard a serving
+	// layer needs against a query whose intermediate results explode.
+	MaxRows int
+	// MaxCTEIterations bounds recursive CTE evaluation rounds; 0 means the
+	// package default MaxRecursionRounds. A cyclic instance (or a cyclic
+	// schema shredded into one) makes the fixpoint loop diverge; the bound
+	// turns that divergence into a typed *ResourceError instead of a hang.
+	MaxCTEIterations int
 }
 
 // Execute evaluates q against the store with default options.
 func Execute(store *relational.Store, q *sqlast.Query) (*Result, error) {
-	return ExecuteOpts(store, q, Options{})
+	return ExecuteCtx(context.Background(), store, q, Options{})
 }
 
 // ExecuteOpts evaluates q against the store.
 func ExecuteOpts(store *relational.Store, q *sqlast.Query, opts Options) (*Result, error) {
-	ex := &executor{store: store, ctes: map[string]*Result{}, opts: opts}
+	return ExecuteCtx(context.Background(), store, q, opts)
+}
+
+// ExecuteCtx evaluates q against the store under a context. Cancellation is
+// cooperative and prompt: the executor polls the context between UNION ALL
+// branches, between recursive-CTE rounds, and every cancelCheckInterval rows
+// inside join and filter loops, so a cancelled or deadline-expired context
+// aborts even a single long-running branch with ctx.Err() rather than running
+// it to completion.
+func ExecuteCtx(ctx context.Context, store *relational.Store, q *sqlast.Query, opts Options) (*Result, error) {
+	ex := &executor{store: store, ctes: map[string]*Result{}, opts: opts, done: ctx.Done(), ctx: ctx}
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
 	return ex.query(q)
 }
 
@@ -51,6 +76,52 @@ type executor struct {
 	store *relational.Store
 	ctes  map[string]*Result
 	opts  Options
+	ctx   context.Context
+	// done is ctx.Done(), captured once: polling a channel in a select is
+	// cheaper than ctx.Err() on hot row loops (and nil for Background, which
+	// a nil-channel select handles for free).
+	done <-chan struct{}
+	// rows counts materialized rows against opts.MaxRows across all branches
+	// (hence atomic: parallel UNION workers all charge it).
+	rows atomic.Int64
+}
+
+// cancelCheckInterval is how many rows a join or filter loop processes
+// between context polls: coarse enough to stay off the profile, fine enough
+// that cancellation lands within microseconds of real work.
+const cancelCheckInterval = 4096
+
+// cancelled reports the context's error once the context is done.
+func (ex *executor) cancelled() error {
+	select {
+	case <-ex.done:
+		return ex.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// tick counts down a loop-local budget and polls for cancellation when it
+// runs out. Loops own their counter (no shared state), so parallel branches
+// poll independently.
+func (ex *executor) tick(countdown *int) error {
+	*countdown--
+	if *countdown > 0 {
+		return nil
+	}
+	*countdown = cancelCheckInterval
+	return ex.cancelled()
+}
+
+// charge counts n newly materialized rows against Options.MaxRows.
+func (ex *executor) charge(n int) error {
+	if ex.opts.MaxRows <= 0 || n == 0 {
+		return nil
+	}
+	if ex.rows.Add(int64(n)) > int64(ex.opts.MaxRows) {
+		return &ResourceError{Resource: ResourceRows, Limit: ex.opts.MaxRows}
+	}
+	return nil
 }
 
 // relation is a uniform row source: a base table or a materialized CTE.
@@ -154,7 +225,7 @@ func (ex *executor) evalSelects(sels []*sqlast.Select) ([]*Result, error) {
 	if len(sels) < 2 || par < 2 {
 		out := make([]*Result, len(sels))
 		for i, s := range sels {
-			r, err := ex.selectBlock(s)
+			r, err := ex.safeSelect(s)
 			if err != nil {
 				return nil, err
 			}
@@ -166,31 +237,56 @@ func (ex *executor) evalSelects(sels []*sqlast.Select) ([]*Result, error) {
 	errs := make([]error, len(sels))
 	// Spawn exactly par workers pulling branch indexes from a shared counter,
 	// so goroutine creation (not just concurrency) is bounded even for
-	// pathological many-branch unions.
+	// pathological many-branch unions. The stop flag makes shutdown prompt:
+	// once any branch fails (or the context is cancelled, which surfaces as a
+	// branch error), workers stop claiming new branches instead of grinding
+	// through the rest of the union.
 	var next atomic.Int64
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= len(sels) {
 					return
 				}
-				results[i], errs[i] = ex.selectBlock(sels[i])
+				results[i], errs[i] = ex.safeSelect(sels[i])
+				if errs[i] != nil {
+					stop.Store(true)
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	// Report the first (branch-order) error deterministically, matching what
-	// serial evaluation would have surfaced.
+	// serial evaluation would have surfaced. Branch claiming is monotonic in
+	// index, so every branch before a failed one has a recorded outcome and
+	// the first non-nil error is well defined despite early stop.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return results, nil
+}
+
+// safeSelect evaluates one UNION branch with the serving-path protections:
+// a cancellation check before starting and panic containment, so one
+// poisoned branch fails the query with an error instead of killing the
+// process (a panic in a bare worker goroutine is fatal to the whole program).
+func (ex *executor) safeSelect(s *sqlast.Select) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: panic evaluating union branch: %v", r)
+		}
+	}()
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
+	return ex.selectBlock(s)
 }
 
 // recursiveCTE evaluates a linear-recursive UNION ALL CTE with standard
@@ -231,10 +327,27 @@ func (ex *executor) recursiveCTE(cte sqlast.CTE) (*Result, error) {
 		return nil, fmt.Errorf("engine: recursive cte %q has no base branch", cte.Name)
 	}
 
+	if err := ex.charge(len(acc.Rows)); err != nil {
+		return nil, err
+	}
+
+	maxRounds := MaxRecursionRounds
+	if ex.opts.MaxCTEIterations > 0 {
+		maxRounds = ex.opts.MaxCTEIterations
+	}
 	delta := acc.Rows
 	for round := 0; len(delta) > 0; round++ {
-		if round >= MaxRecursionRounds {
-			return nil, fmt.Errorf("engine: recursive cte %q exceeded %d rounds", cte.Name, MaxRecursionRounds)
+		if round >= maxRounds {
+			return nil, &ResourceError{
+				Resource: ResourceCTEIterations,
+				Limit:    maxRounds,
+				Detail:   fmt.Sprintf("recursive cte %q", cte.Name),
+			}
+		}
+		// Poll between rounds: a diverging fixpoint (cyclic instance) must
+		// still honor cancellation even when each round is fast.
+		if err := ex.cancelled(); err != nil {
+			return nil, err
 		}
 		// Bind the CTE name to the previous delta only. The binding is
 		// written before the round's branches start and read-only while they
@@ -252,6 +365,10 @@ func (ex *executor) recursiveCTE(cte sqlast.CTE) (*Result, error) {
 				return nil, fmt.Errorf("engine: recursive cte %q: arity mismatch in recursive branch", cte.Name)
 			}
 			next = append(next, r.Rows...)
+		}
+		if err := ex.charge(len(next)); err != nil {
+			delete(ex.ctes, cte.Name)
+			return nil, err
 		}
 		acc.Rows = append(acc.Rows, next...)
 		delta = next
@@ -360,7 +477,11 @@ func (ex *executor) selectBlock(s *sqlast.Select) (*Result, error) {
 	if len(remaining) > 0 {
 		pred := sqlast.Conj(remaining...)
 		filtered := cur.rows[:0:0]
+		countdown := cancelCheckInterval
 		for _, row := range cur.rows {
+			if err := ex.tick(&countdown); err != nil {
+				return nil, err
+			}
 			ok, err := evalPred(pred, cur, row)
 			if err != nil {
 				return nil, err
@@ -418,6 +539,9 @@ func (ex *executor) selectBlock(s *sqlast.Select) (*Result, error) {
 	for i, p := range projs {
 		res.Cols[i] = p.name
 	}
+	if err := ex.charge(len(cur.rows)); err != nil {
+		return nil, err
+	}
 	res.Rows = make([]relational.Row, 0, len(cur.rows))
 	for _, row := range cur.rows {
 		out := make(relational.Row, len(projs))
@@ -469,7 +593,11 @@ func (ex *executor) joinStep(cur *frame, rel *relation, alias string, conjuncts 
 	if len(local) > 0 {
 		pred := sqlast.Conj(local...)
 		filtered := make([]relational.Row, 0, len(rows))
+		countdown := cancelCheckInterval
 		for _, r := range rows {
+			if err := ex.tick(&countdown); err != nil {
+				return nil, nil, err
+			}
 			ok, err := evalPred(pred, solo, r)
 			if err != nil {
 				return nil, nil, err
@@ -495,14 +623,14 @@ func (ex *executor) joinStep(cur *frame, rel *relation, alias string, conjuncts 
 		// table with a persistent index on the join column avoids building
 		// the per-query hash table.
 		if !ex.opts.DisableIndexes && len(joinConds) == 1 && len(local) == 0 && rel.table != nil {
-			if joined, ok, err := indexJoin(cur, rel, alias, joinConds[0], next.width); err != nil {
+			if joined, ok, err := ex.indexJoin(cur, rel, alias, joinConds[0], next.width); err != nil {
 				return nil, nil, err
 			} else if ok {
 				next.rows = joined
 				return ex.applyCovered(next, pending)
 			}
 		}
-		joined, err := hashJoin(cur, rows, rel.cols, alias, joinConds)
+		joined, err := ex.hashJoin(cur, rows, rel.cols, alias, joinConds)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -519,8 +647,12 @@ func (ex *executor) joinStep(cur *frame, rel *relation, alias string, conjuncts 
 		}
 		pred = sqlast.Conj(kids...)
 	}
+	countdown := cancelCheckInterval
 	for _, lrow := range cur.rows {
 		for _, rrow := range rows {
+			if err := ex.tick(&countdown); err != nil {
+				return nil, nil, err
+			}
 			combined := make(relational.Row, 0, next.width)
 			combined = append(combined, lrow...)
 			combined = append(combined, rrow...)
@@ -532,6 +664,9 @@ func (ex *executor) joinStep(cur *frame, rel *relation, alias string, conjuncts 
 				if !ok {
 					continue
 				}
+			}
+			if err := ex.charge(1); err != nil {
+				return nil, nil, err
 			}
 			next.rows = append(next.rows, combined)
 		}
@@ -578,7 +713,7 @@ func (ex *executor) applyCovered(f *frame, pending []sqlast.Expr) (*frame, []sql
 // indexJoin probes a persistent table index for a single equi-join. The
 // second result reports whether an index on the join column exists; when it
 // does not, the caller falls back to the per-query hash join.
-func indexJoin(cur *frame, rel *relation, alias string, cond sqlast.Cmp, width int) ([]relational.Row, bool, error) {
+func (ex *executor) indexJoin(cur *frame, rel *relation, alias string, cond sqlast.Cmp, width int) ([]relational.Row, bool, error) {
 	l := cond.Left.(sqlast.ColRef)
 	r := cond.Right.(sqlast.ColRef)
 	if l.Table == alias { // normalize: l on current frame, r on new alias
@@ -592,12 +727,19 @@ func indexJoin(cur *frame, rel *relation, alias string, cond sqlast.Cmp, width i
 		return nil, false, err
 	}
 	var out []relational.Row
+	countdown := cancelCheckInterval
 	for _, lrow := range cur.rows {
+		if err := ex.tick(&countdown); err != nil {
+			return nil, false, err
+		}
 		v := lrow[li]
 		if v.IsNull() {
 			continue // NULL never joins
 		}
 		matches, _ := rel.table.Lookup(r.Column, v)
+		if err := ex.charge(len(matches)); err != nil {
+			return nil, false, err
+		}
 		for _, rrow := range matches {
 			combined := make(relational.Row, 0, width)
 			combined = append(combined, lrow...)
@@ -611,7 +753,7 @@ func indexJoin(cur *frame, rel *relation, alias string, cond sqlast.Cmp, width i
 // hashJoin builds a hash table over the (usually smaller, pre-filtered)
 // right rows keyed by the equi-join columns and probes it with the current
 // frame's rows.
-func hashJoin(cur *frame, rightRows []relational.Row, rightCols []string, alias string, conds []sqlast.Cmp) ([]relational.Row, error) {
+func (ex *executor) hashJoin(cur *frame, rightRows []relational.Row, rightCols []string, alias string, conds []sqlast.Cmp) ([]relational.Row, error) {
 	type keyPart struct {
 		leftIdx  int
 		rightIdx int
@@ -664,12 +806,20 @@ func hashJoin(cur *frame, rightRows []relational.Row, rightCols []string, alias 
 
 	width := cur.width + len(rightCols)
 	var out []relational.Row
+	countdown := cancelCheckInterval
 	for _, lrow := range cur.rows {
+		if err := ex.tick(&countdown); err != nil {
+			return nil, err
+		}
 		k, ok := buildKey(lrow, false)
 		if !ok {
 			continue
 		}
-		for _, rrow := range buckets[k] {
+		matches := buckets[k]
+		if err := ex.charge(len(matches)); err != nil {
+			return nil, err
+		}
+		for _, rrow := range matches {
 			combined := make(relational.Row, 0, width)
 			combined = append(combined, lrow...)
 			combined = append(combined, rrow...)

@@ -1,0 +1,147 @@
+package resilient
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned (possibly wrapped) when the circuit breaker is
+// refusing traffic to a backend that has been failing. Callers with a
+// fallback never see it; callers without one can errors.Is against it.
+var ErrBreakerOpen = errors.New("resilient: circuit breaker open")
+
+// BreakerState is the breaker's current disposition.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows, consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is in flight; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a Breaker; the zero value means the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the breaker;
+	// values < 1 mean 5.
+	FailureThreshold int
+	// Cooldown is how long an open breaker refuses traffic before allowing
+	// a half-open probe; 0 means 100ms.
+	Cooldown time.Duration
+}
+
+const (
+	defaultFailureThreshold = 5
+	defaultCooldown         = 100 * time.Millisecond
+)
+
+// Breaker is a consecutive-failure circuit breaker, safe for concurrent use.
+// Closed it passes everything; after FailureThreshold consecutive failures
+// it opens and fails fast for Cooldown; then a single half-open probe either
+// closes it (success) or re-opens it (failure). Failing fast matters twice
+// over: callers degrade to their fallback immediately instead of paying a
+// full retry cycle per query, and the sick backend gets quiet time to
+// recover instead of a retry storm.
+type Breaker struct {
+	mu        sync.Mutex
+	cfg       BreakerConfig
+	state     BreakerState
+	failures  int
+	openUntil time.Time
+	trips     int64
+	// now is stubbed by tests to drive the cooldown clock.
+	now func() time.Time
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return NewBreakerAt(cfg, time.Now)
+}
+
+// NewBreakerAt creates a closed breaker on an explicit clock, letting tests
+// step the cooldown without sleeping.
+func NewBreakerAt(cfg BreakerConfig, now func() time.Time) *Breaker {
+	if cfg.FailureThreshold < 1 {
+		cfg.FailureThreshold = defaultFailureThreshold
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = defaultCooldown
+	}
+	return &Breaker{cfg: cfg, now: now}
+}
+
+// Allow reports whether a request may proceed. In the open state it starts
+// returning true again (transitioning to half-open) once the cooldown has
+// elapsed; in half-open only the single in-flight probe was admitted, so
+// further requests are refused until Record settles the probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Before(b.openUntil) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		return true
+	default: // half-open, probe already admitted
+		return false
+	}
+}
+
+// Record settles one allowed request's outcome. failed=true counts toward
+// (or confirms) tripping; failed=false resets the failure streak and closes
+// a half-open breaker.
+func (b *Breaker) Record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !failed {
+		b.state = BreakerClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.cfg.FailureThreshold {
+		b.trip()
+	}
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openUntil = b.now().Add(b.cfg.Cooldown)
+	b.failures = 0
+	b.trips++
+}
+
+// State returns the breaker's current state (open decays to half-open only
+// via Allow, so State may report open after the cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

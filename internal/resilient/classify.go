@@ -1,0 +1,88 @@
+// Package resilient makes query serving survive a misbehaving backend.
+//
+// The translation pipeline is pure, but the backend that executes its SQL is
+// not: a real database stalls, drops connections, and fails queries halfway
+// through their resultsets. This package supplies the serving-side defenses,
+// composable but designed to stack into one wrapper (Wrap):
+//
+//   - Classify sorts errors into transient (retry), permanent (don't),
+//     budget-exceeded (the query itself is too expensive — retrying cannot
+//     help), and canceled (the caller gave up).
+//   - Retry re-runs transient failures under exponential backoff with
+//     jitter, respecting the caller's context.
+//   - Breaker is a per-backend circuit breaker: after enough consecutive
+//     failures it fails fast instead of piling more work on a sick backend,
+//     probing again after a cooldown.
+//   - Wrap composes the above around any backend.Backend and optionally
+//     degrades to a fallback backend (typically the in-memory Mem with a
+//     resident shredded copy) when the primary is tripped or exhausted.
+package resilient
+
+import (
+	"context"
+	"database/sql/driver"
+	"errors"
+
+	"xmlsql/internal/engine"
+)
+
+// Class is the retry-relevant category of an execution error.
+type Class int
+
+const (
+	// ClassPermanent errors fail the same way every time (SQL errors,
+	// missing tables, arity mismatches): retrying is waste, and they count
+	// against the backend's breaker because a backend returning them for
+	// translated queries is misconfigured.
+	ClassPermanent Class = iota
+	// ClassTransient errors are flaky-infrastructure failures (connection
+	// resets, injected faults, timeouts inside the backend): retrying with
+	// backoff is the correct response.
+	ClassTransient
+	// ClassBudget errors mean the query exceeded a resource guard
+	// (engine.ResourceError): the query is the problem, not the backend, so
+	// it is neither retried nor counted against the breaker.
+	ClassBudget
+	// ClassCanceled errors mean the caller's context was cancelled or its
+	// deadline passed: propagate immediately, never retry, never fall back
+	// (the caller is gone either way).
+	ClassCanceled
+)
+
+// String names the class for logs and reports.
+func (c Class) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassBudget:
+		return "budget"
+	case ClassCanceled:
+		return "canceled"
+	default:
+		return "permanent"
+	}
+}
+
+// temporary is the net.Error-style convention drivers use to mark
+// retry-worthy failures; fakedb's InjectedError implements it.
+type temporary interface{ Temporary() bool }
+
+// Classify sorts err into its Class, walking the wrapped-error chain.
+// nil classifies as ClassTransient-free success and must not be passed.
+func Classify(err error) Class {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassCanceled
+	}
+	var re *engine.ResourceError
+	if errors.As(err, &re) {
+		return ClassBudget
+	}
+	if errors.Is(err, driver.ErrBadConn) {
+		return ClassTransient
+	}
+	var tmp temporary
+	if errors.As(err, &tmp) && tmp.Temporary() {
+		return ClassTransient
+	}
+	return ClassPermanent
+}

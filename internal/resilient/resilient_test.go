@@ -1,0 +1,334 @@
+package resilient_test
+
+import (
+	"context"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"xmlsql/internal/backend"
+	"xmlsql/internal/engine"
+	"xmlsql/internal/resilient"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/xmltree"
+)
+
+// tempErr is a transient failure in the net.Error Temporary() convention.
+type tempErr struct{ msg string }
+
+func (e *tempErr) Error() string   { return e.msg }
+func (e *tempErr) Temporary() bool { return true }
+
+// scripted is a backend whose Execute pops errors from a script; nil entries
+// succeed. After the script is exhausted every call succeeds. It lets the
+// wrapper's control flow be tested without a driver stack underneath.
+type scripted struct {
+	name    string
+	script  []error
+	calls   int
+	rows    int
+	loads   int
+	schemas int
+	closed  bool
+}
+
+func (s *scripted) Name() string { return s.name }
+
+func (s *scripted) EnsureSchema(*schema.Schema) error {
+	s.schemas++
+	return nil
+}
+
+func (s *scripted) Load(_ *schema.Schema, docs ...*xmltree.Document) ([]*shred.Result, error) {
+	s.loads++
+	out := make([]*shred.Result, len(docs))
+	for i := range out {
+		out[i] = &shred.Result{Tuples: 7}
+	}
+	return out, nil
+}
+
+func (s *scripted) Execute(ctx context.Context, q *sqlast.Query) (*engine.Result, error) {
+	s.calls++
+	if s.calls-1 < len(s.script) {
+		if err := s.script[s.calls-1]; err != nil {
+			return nil, err
+		}
+	}
+	s.rows++
+	return &engine.Result{Cols: []string{"v"}}, nil
+}
+
+func (s *scripted) Close() error {
+	s.closed = true
+	return nil
+}
+
+// fastRetry keeps test wall-clock negligible.
+var fastRetry = resilient.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want resilient.Class
+	}{
+		{context.Canceled, resilient.ClassCanceled},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), resilient.ClassCanceled},
+		{&engine.ResourceError{Resource: engine.ResourceRows, Limit: 10}, resilient.ClassBudget},
+		{fmt.Errorf("exec: %w", &engine.ResourceError{Resource: engine.ResourceCTEIterations, Limit: 5}), resilient.ClassBudget},
+		{driver.ErrBadConn, resilient.ClassTransient},
+		{&tempErr{"flaky"}, resilient.ClassTransient},
+		{fmt.Errorf("sql: %w", &tempErr{"flaky"}), resilient.ClassTransient},
+		{errors.New("syntax error"), resilient.ClassPermanent},
+	}
+	for _, c := range cases {
+		if got := resilient.Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryTransientUntilSuccess(t *testing.T) {
+	calls := 0
+	retries, err := resilient.Retry(context.Background(), fastRetry, func() error {
+		calls++
+		if calls < 3 {
+			return &tempErr{"not yet"}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls = %d retries = %d, want 3 calls / 2 retries", calls, retries)
+	}
+}
+
+func TestRetryPermanentImmediately(t *testing.T) {
+	calls := 0
+	perm := errors.New("no such table")
+	_, err := resilient.Retry(context.Background(), fastRetry, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("err = %v calls = %d, want the permanent error after 1 call", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	retries, err := resilient.Retry(context.Background(), fastRetry, func() error {
+		calls++
+		return &tempErr{"always"}
+	})
+	if err == nil || calls != fastRetry.MaxAttempts || retries != fastRetry.MaxAttempts-1 {
+		t.Fatalf("err = %v calls = %d retries = %d, want exhaustion at %d attempts",
+			err, calls, retries, fastRetry.MaxAttempts)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	_, err := resilient.Retry(ctx, resilient.RetryPolicy{MaxAttempts: 10, BaseDelay: time.Hour}, func() error {
+		calls++
+		return &tempErr{"flaky"}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled from the backoff sleep", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry after cancellation)", calls)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	br := resilient.NewBreakerAt(resilient.BreakerConfig{FailureThreshold: 3, Cooldown: time.Second},
+		func() time.Time { return now })
+
+	// Closed: failures below the threshold keep it closed; a success resets.
+	for i := 0; i < 2; i++ {
+		if !br.Allow() {
+			t.Fatal("closed breaker refused traffic")
+		}
+		br.Record(true)
+	}
+	br.Record(false)
+	for i := 0; i < 2; i++ {
+		br.Record(true)
+	}
+	if br.State() != resilient.BreakerClosed {
+		t.Fatalf("state = %v, want closed (streak was reset)", br.State())
+	}
+
+	// Third consecutive failure trips it.
+	br.Record(true)
+	if br.State() != resilient.BreakerOpen {
+		t.Fatalf("state = %v, want open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("open breaker allowed traffic inside cooldown")
+	}
+
+	// After the cooldown one probe is admitted (half-open); a second is not.
+	now = now.Add(2 * time.Second)
+	if !br.Allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if br.State() != resilient.BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("half-open breaker admitted a second request before the probe settled")
+	}
+
+	// Probe failure re-opens; probe success closes.
+	br.Record(true)
+	if br.State() != resilient.BreakerOpen {
+		t.Fatalf("state = %v, want re-opened after failed probe", br.State())
+	}
+	now = now.Add(2 * time.Second)
+	if !br.Allow() {
+		t.Fatal("second probe refused")
+	}
+	br.Record(false)
+	if br.State() != resilient.BreakerClosed {
+		t.Fatalf("state = %v, want closed after successful probe", br.State())
+	}
+	if br.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", br.Trips())
+	}
+}
+
+func q() *sqlast.Query { return &sqlast.Query{} }
+
+func TestWrapRetriesTransient(t *testing.T) {
+	primary := &scripted{name: "flaky", script: []error{&tempErr{"1"}, &tempErr{"2"}, nil}}
+	b := resilient.Wrap(primary, resilient.Options{Retry: fastRetry})
+	res, err := b.Execute(context.Background(), q())
+	if err != nil || res == nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	st := b.Stats()
+	if st.Executes != 1 || st.Retries != 2 || st.PrimaryFailures != 0 || st.Fallbacks != 0 {
+		t.Fatalf("stats = %+v, want 1 execute / 2 retries / 0 failures", st)
+	}
+}
+
+func TestWrapPermanentFallsBack(t *testing.T) {
+	perm := errors.New("no such table")
+	primary := &scripted{name: "broken", script: []error{perm}}
+	fallback := &scripted{name: "mem"}
+	b := resilient.Wrap(primary, resilient.Options{Retry: fastRetry, Fallback: fallback})
+	res, err := b.Execute(context.Background(), q())
+	if err != nil || res == nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if primary.calls != 1 {
+		t.Fatalf("primary called %d times for a permanent error, want 1", primary.calls)
+	}
+	st := b.Stats()
+	if st.PrimaryFailures != 1 || st.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 primary failure / 1 fallback", st)
+	}
+}
+
+func TestWrapNoFallbackSurfacesCause(t *testing.T) {
+	perm := errors.New("no such table")
+	primary := &scripted{name: "broken", script: []error{perm}}
+	b := resilient.Wrap(primary, resilient.Options{Retry: fastRetry})
+	_, err := b.Execute(context.Background(), q())
+	if !errors.Is(err, perm) {
+		t.Fatalf("err = %v, want the primary's error wrapped", err)
+	}
+}
+
+func TestWrapCanceledAndBudgetDoNotFallBack(t *testing.T) {
+	for _, cause := range []error{
+		context.Canceled,
+		&engine.ResourceError{Resource: engine.ResourceRows, Limit: 9},
+	} {
+		primary := &scripted{name: "p", script: []error{cause}}
+		fallback := &scripted{name: "mem"}
+		b := resilient.Wrap(primary, resilient.Options{Retry: fastRetry, Fallback: fallback})
+		_, err := b.Execute(context.Background(), q())
+		if !errors.Is(err, cause) && !errors.As(err, new(*engine.ResourceError)) {
+			t.Fatalf("%v: err = %v, want the caller-owned error back", cause, err)
+		}
+		if fallback.calls != 0 {
+			t.Fatalf("%v: fallback executed %d times, want 0", cause, fallback.calls)
+		}
+		if st := b.Stats(); st.Fallbacks != 0 || st.PrimaryFailures != 0 {
+			t.Fatalf("%v: stats = %+v, want no failure accounting", cause, st)
+		}
+		if b.Breaker().State() != resilient.BreakerClosed {
+			t.Fatalf("%v: breaker heard about a caller-owned error", cause)
+		}
+	}
+}
+
+func TestWrapBreakerTripsAndDegrades(t *testing.T) {
+	// Enough permanent failures to trip a threshold-2 breaker, then the
+	// breaker itself should short-circuit the primary entirely.
+	perm := errors.New("down")
+	primary := &scripted{name: "down", script: []error{perm, perm, perm}}
+	fallback := &scripted{name: "mem"}
+	b := resilient.Wrap(primary, resilient.Options{
+		Retry:    fastRetry,
+		Breaker:  resilient.BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour},
+		Fallback: fallback,
+	})
+	for i := 0; i < 4; i++ {
+		if _, err := b.Execute(context.Background(), q()); err != nil {
+			t.Fatalf("degraded execute %d: %v", i, err)
+		}
+	}
+	if primary.calls != 2 {
+		t.Fatalf("primary called %d times, want 2 (breaker open after trip)", primary.calls)
+	}
+	st := b.Stats()
+	if st.BreakerTrips != 1 || st.Fallbacks != 4 {
+		t.Fatalf("stats = %+v, want 1 trip / 4 fallbacks", st)
+	}
+	if fallback.calls != 4 {
+		t.Fatalf("fallback served %d queries, want 4", fallback.calls)
+	}
+}
+
+func TestWrapMirrorLoads(t *testing.T) {
+	primary := &scripted{name: "p"}
+	fallback := &scripted{name: "mem"}
+	b := resilient.Wrap(primary, resilient.Options{Fallback: fallback, MirrorLoads: true})
+	if err := b.EnsureSchema(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Load(nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if primary.schemas != 1 || fallback.schemas != 1 {
+		t.Fatalf("EnsureSchema mirrored %d/%d, want 1/1", primary.schemas, fallback.schemas)
+	}
+	if primary.loads != 1 || fallback.loads != 1 {
+		t.Fatalf("Load mirrored %d/%d, want 1/1", primary.loads, fallback.loads)
+	}
+	if b.Name() != "resilient(p)" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !primary.closed || !fallback.closed {
+		t.Fatal("Close did not reach both backends")
+	}
+}
+
+// Compile-time check: the wrapper is a drop-in backend.
+var _ backend.Backend = (*resilient.Backend)(nil)

@@ -1,0 +1,85 @@
+package resilient
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy tunes Retry's exponential backoff. The zero value means the
+// defaults below, so callers can leave it empty.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first;
+	// values < 1 mean the default (8 — generous, because under injected 30%
+	// fault rates the chaos suite must converge deterministically).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; 0 means 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff; 0 means 250ms.
+	MaxDelay time.Duration
+	// Multiplier grows the delay each retry; values <= 1 mean 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized (0..1);
+	// negative means the default 0.5. Jitter prevents synchronized retry
+	// storms when many serving goroutines hit the same backend hiccup.
+	Jitter float64
+}
+
+const (
+	defaultMaxAttempts = 8
+	defaultBaseDelay   = time.Millisecond
+	defaultMaxDelay    = 250 * time.Millisecond
+	defaultMultiplier  = 2.0
+	defaultJitter      = 0.5
+)
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = defaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = defaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = defaultMaxDelay
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = defaultMultiplier
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = defaultJitter
+	}
+	return p
+}
+
+// Retry runs fn until it succeeds, fails non-transiently, exhausts the
+// policy's attempts, or the context ends. Only ClassTransient errors are
+// retried; permanent, budget, and canceled errors return immediately. It
+// reports how many retries ran (attempts beyond the first) alongside fn's
+// final error, so callers can account retry volume.
+func Retry(ctx context.Context, p RetryPolicy, fn func() error) (retries int, err error) {
+	p = p.withDefaults()
+	delay := p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil || Classify(err) != ClassTransient || attempt >= p.MaxAttempts {
+			return attempt - 1, err
+		}
+		// Jittered sleep: delay*(1-J) .. delay, bounded by the context.
+		d := delay
+		if p.Jitter > 0 {
+			d -= time.Duration(p.Jitter * rand.Float64() * float64(delay))
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return attempt - 1, ctx.Err()
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}

@@ -17,11 +17,13 @@
 package xmlsql
 
 import (
+	"context"
 	"database/sql"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xmlsql/internal/backend"
 	"xmlsql/internal/core"
@@ -31,6 +33,7 @@ import (
 	"xmlsql/internal/pathid"
 	"xmlsql/internal/plancache"
 	"xmlsql/internal/relational"
+	"xmlsql/internal/resilient"
 	"xmlsql/internal/schema"
 	"xmlsql/internal/shred"
 	"xmlsql/internal/sqlast"
@@ -64,9 +67,23 @@ type (
 	Translation = core.Result
 	// TranslateOptions tunes the pruning translator (ablations).
 	TranslateOptions = core.Options
-	// ExecuteOptions tunes query execution: join algorithm selection and
-	// the UNION ALL branch parallelism.
+	// ExecuteOptions tunes query execution: join algorithm selection, the
+	// UNION ALL branch parallelism, and the resource guards (MaxRows,
+	// MaxCTEIterations) that convert runaway queries into typed errors.
 	ExecuteOptions = engine.Options
+	// ResourceError is the typed error a query returns when it exceeds an
+	// execution resource guard.
+	ResourceError = engine.ResourceError
+	// ResilientOptions configures NewResilientBackend: retry policy,
+	// circuit-breaker thresholds, and the degraded-mode fallback backend.
+	ResilientOptions = resilient.Options
+	// RetryPolicy tunes transient-failure retries (backoff and jitter).
+	RetryPolicy = resilient.RetryPolicy
+	// BreakerConfig tunes the per-backend circuit breaker.
+	BreakerConfig = resilient.BreakerConfig
+	// ResilientStats snapshots a resilient backend's retry/breaker/fallback
+	// counters.
+	ResilientStats = resilient.Stats
 	// ShredResult reports one document's shredding, including the elemid
 	// assigned to every tuple-producing element.
 	ShredResult = shred.Result
@@ -117,8 +134,18 @@ func GenerateDDL(s *Schema, d *Dialect) (string, error) { return backend.DDL(s, 
 // executable on any engine speaking the dialect.
 func GenerateLoadScript(store *Store, d *Dialect) string { return backend.LoadScript(store, d) }
 
-// ExecuteOn evaluates a generated SQL statement on any backend.
-func ExecuteOn(b Backend, q *SQL) (*Result, error) { return b.Execute(q) }
+// ExecuteOn evaluates a generated SQL statement on any backend under ctx:
+// cancelling the context (or passing one with a deadline) aborts the
+// execution promptly on both built-in backends.
+func ExecuteOn(ctx context.Context, b Backend, q *SQL) (*Result, error) { return b.Execute(ctx, q) }
+
+// NewResilientBackend wraps a backend with transient-failure retries, a
+// circuit breaker, and optional graceful degradation to a fallback backend
+// (see ResilientOptions). The result implements Backend, so it can be
+// handed straight to PlannerConfig.Backend.
+func NewResilientBackend(primary Backend, opts ResilientOptions) *resilient.Backend {
+	return resilient.Wrap(primary, opts)
+}
 
 // NewSchemaBuilder starts a programmatic schema definition.
 func NewSchemaBuilder(name string) *SchemaBuilder { return schema.NewBuilder(name) }
@@ -226,6 +253,14 @@ func ExecuteWithOptions(store *Store, q *SQL, opts ExecuteOptions) (*Result, err
 	return engine.ExecuteOpts(store, q, opts)
 }
 
+// ExecuteContext evaluates a generated SQL statement under a context with
+// explicit execution options. Cancellation is cooperative and prompt — the
+// engine polls the context between UNION branches, between recursive-CTE
+// rounds, and inside join loops.
+func ExecuteContext(ctx context.Context, store *Store, q *SQL, opts ExecuteOptions) (*Result, error) {
+	return engine.ExecuteCtx(ctx, store, q, opts)
+}
+
 // Eval is the end-to-end convenience: translate with the lossless
 // constraint and execute.
 func Eval(s *Schema, store *Store, query string) (*Result, error) {
@@ -256,7 +291,14 @@ type PlannerConfig struct {
 	// Backend, when non-nil, is where Exec runs cached plans. Eval against
 	// an explicit store ignores it. Execute options apply only to the
 	// in-memory engine; a DB backend executes however its database does.
+	// Wrap it with NewResilientBackend to add retries, a circuit breaker,
+	// and degraded-mode fallback without touching the planner.
 	Backend Backend
+	// Timeout, when positive, is the per-query deadline Exec and
+	// EvalContext apply on top of the caller's context. A query that
+	// exceeds it aborts with context.DeadlineExceeded instead of holding a
+	// serving goroutine hostage.
+	Timeout time.Duration
 }
 
 // Planner is the concurrent query-serving fast path: a plan cache composed
@@ -324,23 +366,44 @@ func (p *Planner) Plan(query string) (*Translation, error) {
 
 // Eval translates (with caching) and executes query against the store.
 func (p *Planner) Eval(store *Store, query string) (*Result, error) {
+	return p.EvalContext(context.Background(), store, query)
+}
+
+// EvalContext is Eval under a caller context plus the configured Timeout:
+// cancellation and deadline expiry abort the execution promptly with
+// ctx.Err().
+func (p *Planner) EvalContext(ctx context.Context, store *Store, query string) (*Result, error) {
 	tr, err := p.Plan(query)
 	if err != nil {
 		return nil, err
 	}
-	return engine.ExecuteOpts(store, tr.Query, p.cfg.Execute)
+	ctx, cancel := p.queryCtx(ctx)
+	defer cancel()
+	return engine.ExecuteCtx(ctx, store, tr.Query, p.cfg.Execute)
 }
 
 // Exec translates (with caching) and executes query on the configured
-// backend. A Planner whose config names no backend gets a fresh in-memory
-// one on first use, so Exec works out of the box; point cfg.Backend at a
-// DB backend to serve the same cached plans from a real database.
-func (p *Planner) Exec(query string) (*Result, error) {
+// backend under ctx plus the configured Timeout. A Planner whose config
+// names no backend gets a fresh in-memory one on first use, so Exec works
+// out of the box; point cfg.Backend at a DB backend to serve the same
+// cached plans from a real database, or at a NewResilientBackend wrapper to
+// add retries and degradation.
+func (p *Planner) Exec(ctx context.Context, query string) (*Result, error) {
 	tr, err := p.Plan(query)
 	if err != nil {
 		return nil, err
 	}
-	return p.backend().Execute(tr.Query)
+	ctx, cancel := p.queryCtx(ctx)
+	defer cancel()
+	return p.backend().Execute(ctx, tr.Query)
+}
+
+// queryCtx applies the per-query deadline, if configured.
+func (p *Planner) queryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.cfg.Timeout > 0 {
+		return context.WithTimeout(ctx, p.cfg.Timeout)
+	}
+	return ctx, func() {}
 }
 
 // Backend returns the backend Exec uses, creating the default in-memory one
