@@ -61,6 +61,72 @@ func TestCLIShredder(t *testing.T) {
 	}
 }
 
+// runCLIExpectError runs a command expecting a non-zero exit and returns its
+// combined output.
+func runCLIExpectError(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go run %v: expected a non-zero exit\n%s", args, out)
+	}
+	return string(out)
+}
+
+func TestCLIXml2sqlAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	out := runCLI(t, "./cmd/xml2sql", "-workload", "xmark", "-audit")
+	for _, want := range []string{
+		"audit of a generated xmark instance",
+		"constraint holds: trust unverified -> verified",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("xml2sql -audit output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIXml2sqlAuditCorrupt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	out := runCLI(t, "./cmd/xml2sql", "-workload", "xmark", "-audit", "-corrupt")
+	for _, want := range []string{
+		"injected an orphan tuple into InCat",
+		"[P2] InCat",
+		"trust unverified -> violated",
+		"safe-mode",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("xml2sql -audit -corrupt output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIXml2sqlRejectsInvalidFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-workload", "xmark", "-query", "//Item", "-timeout", "-5s"}, "-timeout must be a positive duration"},
+		{[]string{"-workload", "xmark", "-query", "//Item", "-timeout", "0s"}, "-timeout must be a positive duration"},
+		{[]string{"-workload", "xmark", "-query", "//Item", "-max-rows", "-1"}, "-max-rows must be >= 0"},
+		{[]string{"-workload", "xmark", "-query", "//Item", "-max-cte-iterations", "-2"}, "-max-cte-iterations must be >= 0"},
+		{[]string{"-workload", "xmark", "-query", "//Item", "-dialect", "oracle"}, `unknown dialect "oracle"`},
+	}
+	for _, tc := range cases {
+		out := runCLIExpectError(t, append([]string{"./cmd/xml2sql"}, tc.args...)...)
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("xml2sql %v: output missing %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+}
+
 func TestCLIShredderEdgeWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compiles the binary")

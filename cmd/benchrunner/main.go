@@ -29,6 +29,7 @@ func main() {
 	scaling := flag.Bool("scaling", false, "also run the Q1 speedup-vs-size scaling series")
 	serving := flag.Bool("serving", true, "also measure the serving fast path (plan cache, parallel unions)")
 	chaos := flag.Bool("chaos", true, "also run the resilience chaos suite (injected faults, retries, breaker, degradation)")
+	audit := flag.Bool("audit", true, "also run the integrity sentinel suite (lossless-constraint audit, corruption detection, safe-mode degradation)")
 	backendName := flag.String("backend", "mem", "where measured queries run: mem (in-memory engine) or fakedb (database/sql over the in-repo fake driver)")
 	jsonPath := flag.String("json", "", "write the comparison table as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
@@ -87,8 +88,25 @@ func main() {
 		}
 	}
 
+	var adt []*bench.AuditComparison
+	if *audit {
+		adt, err = bench.RunAudit()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: audit: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(bench.FormatAudit(adt))
+		for _, c := range adt {
+			if !c.Verified {
+				fmt.Fprintf(os.Stderr, "benchrunner: AUDIT VERIFICATION FAILED for %s\n", c.Workload)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *jsonPath != "" {
-		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz)
+		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt)
 		out := os.Stdout
 		if *jsonPath != "-" {
 			f, err := os.Create(*jsonPath)

@@ -28,12 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"xmlsql/internal/backend"
 	"xmlsql/internal/cli"
 	"xmlsql/internal/core"
 	"xmlsql/internal/engine"
+	"xmlsql/internal/integrity"
 	"xmlsql/internal/pathexpr"
 	"xmlsql/internal/pathid"
 	"xmlsql/internal/relational"
@@ -56,9 +58,15 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "deadline for each -execute run (e.g. 5s); 0 means none")
 	maxRows := flag.Int("max-rows", 0, "abort -execute runs that materialize more than this many rows; 0 means unlimited")
 	maxCTEIter := flag.Int("max-cte-iterations", 0, "abort -execute runs whose recursive CTE exceeds this many rounds; 0 means the engine default")
+	audit := flag.Bool("audit", false, "generate a workload document, shred it, and audit the instance against the lossless-from-XML constraint (built-in workloads only)")
+	corrupt := flag.Bool("corrupt", false, "with -audit: inject an orphan tuple first, demonstrating detection and safe-mode degradation")
 	flag.Parse()
 
-	if *query == "" && !*emitDDL && !*emitLoad {
+	if err := validateFlags(*timeout, *maxRows, *maxCTEIter); err != nil {
+		fmt.Fprintf(os.Stderr, "xml2sql: %v\n", err)
+		os.Exit(2)
+	}
+	if *query == "" && !*emitDDL && !*emitLoad && !*audit {
 		fmt.Fprintln(os.Stderr, "xml2sql: -query is required (unless emitting scripts with -ddl/-load)")
 		flag.Usage()
 		os.Exit(2)
@@ -84,6 +92,12 @@ func main() {
 	if *emitLoad {
 		if err := emitLoadScript(s, *workload, dialect); err != nil {
 			fmt.Fprintf(os.Stderr, "xml2sql: load: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *audit {
+		if err := runAudit(s, *workload, *corrupt); err != nil {
+			fmt.Fprintf(os.Stderr, "xml2sql: audit: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -138,6 +152,102 @@ func main() {
 			fmt.Printf("--   %s\n", c)
 		}
 	}
+}
+
+// validateFlags rejects explicitly-set flag values that make no sense, with
+// a one-line error and usage exit. The zero defaults mean "off", so only
+// flags the user actually passed are checked.
+func validateFlags(timeout time.Duration, maxRows, maxCTEIter int) error {
+	var err error
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "timeout":
+			if timeout <= 0 {
+				err = fmt.Errorf("-timeout must be a positive duration, got %v", timeout)
+			}
+		case "max-rows":
+			if maxRows < 0 {
+				err = fmt.Errorf("-max-rows must be >= 0, got %d", maxRows)
+			}
+		case "max-cte-iterations":
+			if maxCTEIter < 0 {
+				err = fmt.Errorf("-max-cte-iterations must be >= 0, got %d", maxCTEIter)
+			}
+		}
+	})
+	return err
+}
+
+// runAudit shreds a generated workload document and audits the instance
+// against the lossless-from-XML constraint (P1–P3 of §3.2), printing the
+// violation report and the trust-state transition a planner would take. With
+// corrupt it first injects an orphan tuple, so the command demonstrates the
+// full detect-and-degrade lifecycle; in that mode a clean audit is the
+// failure.
+func runAudit(s *schema.Schema, workload string, corrupt bool) error {
+	if workload == "" {
+		return fmt.Errorf("-audit requires a built-in -workload to generate an instance for")
+	}
+	doc, err := cli.GenerateDoc(workload)
+	if err != nil {
+		return err
+	}
+	store := relational.NewStore()
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		return err
+	}
+	if corrupt {
+		rel := orphanTarget(s)
+		if err := shred.InjectOrphan(s, store, rel, 999999999); err != nil {
+			return err
+		}
+		fmt.Printf("-- injected an orphan tuple into %s\n", rel)
+	}
+	rep, err := integrity.Audit(context.Background(), integrity.StoreSource(store), s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- audit of a generated %s instance: %d relations, %d tuples checked in %v\n",
+		workload, rep.Relations, rep.Tuples, rep.Elapsed.Round(time.Microsecond))
+	if rep.Clean() {
+		fmt.Printf("-- constraint holds: trust %s -> %s; pruned translations are sound on this instance\n",
+			integrity.TrustUnverified, integrity.TrustVerified)
+		if corrupt {
+			return fmt.Errorf("corrupted instance unexpectedly audited clean")
+		}
+		return nil
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("-- %s\n", v)
+	}
+	if rep.Truncated {
+		fmt.Printf("-- ... %d further violation(s) truncated\n", rep.Total-len(rep.Violations))
+	}
+	fmt.Printf("-- %d violation(s): trust %s -> %s; a planner now serves baseline (safe-mode) translations\n",
+		rep.Total, integrity.TrustUnverified, integrity.TrustViolated)
+	if !corrupt {
+		return fmt.Errorf("instance violates the lossless-from-XML constraint")
+	}
+	return nil
+}
+
+// orphanTarget picks a deterministic non-root relation to corrupt.
+func orphanTarget(s *schema.Schema) string {
+	rootRel := s.RootNode().Relation
+	defs, err := s.DeriveRelations()
+	if err == nil {
+		names := make([]string, 0, len(defs))
+		for name := range defs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if name != rootRel {
+				return name
+			}
+		}
+	}
+	return rootRel
 }
 
 // emitLoadScript shreds a generated workload document and prints its rows as

@@ -70,7 +70,7 @@ func TestRunOnFakeDBBackend(t *testing.T) {
 	if cmp.Backend != "db(sqlite)" {
 		t.Errorf("backend label = %q, want db(sqlite)", cmp.Backend)
 	}
-	rep := bench.BuildReport("xmlsql", 1, []*bench.Comparison{cmp}, nil, nil)
+	rep := bench.BuildReport("xmlsql", 1, []*bench.Comparison{cmp}, nil, nil, nil)
 	if rep.Backend != "db(sqlite)" {
 		t.Errorf("report backend = %q, want db(sqlite)", rep.Backend)
 	}
@@ -138,6 +138,27 @@ func TestRunChaos(t *testing.T) {
 	}
 	if out := bench.FormatChaos(cmps); !strings.Contains(out, "outage") || !strings.Contains(out, "fallbacks") {
 		t.Error("chaos table formatting broken")
+	}
+}
+
+func TestRunAudit(t *testing.T) {
+	cmps, err := bench.RunAudit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmps) < 5 {
+		t.Fatalf("audit suite covered %d workloads", len(cmps))
+	}
+	for _, c := range cmps {
+		if !c.Verified {
+			t.Errorf("%s: audit verification failed", c.Workload)
+		}
+		if c.Tuples == 0 || c.Injected == 0 || c.Violations < c.Injected || c.Degradations == 0 {
+			t.Errorf("%s: vacuous audit numbers: %+v", c.Workload, c)
+		}
+	}
+	if out := bench.FormatAudit(cmps); !strings.Contains(out, "violations") || !strings.Contains(out, "degradations") {
+		t.Error("audit table formatting broken")
 	}
 }
 

@@ -21,7 +21,11 @@ type Report struct {
 	// Chaos records the resilience counters (retries, breaker trips,
 	// degraded fallbacks) of the injected-fault suite, so the robustness
 	// trajectory is tracked alongside the perf one.
-	Chaos   []*ChaosComparison `json:"chaos,omitempty"`
+	Chaos []*ChaosComparison `json:"chaos,omitempty"`
+	// Audit records the integrity sentinel's numbers (audit durations,
+	// violations detected on corrupted copies, safe-mode degradations), so
+	// the constraint-checking trajectory is tracked too.
+	Audit   []*AuditComparison `json:"audit,omitempty"`
 	Summary ReportSummary      `json:"summary"`
 }
 
@@ -52,7 +56,7 @@ type ReportSummary struct {
 }
 
 // BuildReport assembles the JSON report from measured comparisons.
-func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison) *Report {
+func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison) *Report {
 	r := &Report{
 		Name:       name,
 		Scale:      scale,
@@ -60,6 +64,7 @@ func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingC
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Serving:    serving,
 		Chaos:      chaos,
+		Audit:      audit,
 		Summary:    ReportSummary{AllVerified: true},
 	}
 	for _, c := range cmps {

@@ -1,0 +1,220 @@
+// Package integrity audits a shredded relational instance against the
+// "lossless from XML" integrity constraint of §3.2 — the precondition that
+// makes the pruned translation of §4 sound. The paper's properties:
+//
+//	P1: every tuple corresponds to exactly one schema-node position — its
+//	    condition columns (the materialized edge annotations, "parentcode"
+//	    etc.) select exactly one schema child of its parent's position.
+//	P2: parent/child referential integrity along the mapping edges — every
+//	    non-root tuple's parentid resolves to a tuple of a relation the
+//	    mapping places above it, and every tuple is reachable from a
+//	    document root.
+//	P3: column conformance for LeafNodes(R.C) — condition columns hold only
+//	    values the mapping declares (or NULL, when the mapping leaves the
+//	    edge unspecified), and value columns hold element text of the
+//	    declared kind; a value column stored by every schema node of its
+//	    relation must be non-NULL.
+//
+// Unlike shred.CheckLossless's reconstruction witness, the auditor runs
+// against any query Source — the in-memory Store, the fake driver, or a real
+// database — using only plain per-relation SELECT probes (the sqlast
+// fragment has no aggregates or anti-joins, so the set logic happens
+// client-side). Violations stream into a typed Report; offending tuples can
+// be quarantined into shadow relations (see Quarantine).
+//
+// The constraint is a statement about provenance, not a property decidable
+// from the instance alone: a duplicated subtree re-inserted with fresh ids
+// is indistinguishable from a legitimately repeated element, so a clean
+// report means "no violation is detectable", exactly like CheckLossless.
+package integrity
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Property identifies which lossless-from-XML property a violation breaks.
+type Property string
+
+// The §3.2 properties.
+const (
+	// P1: the tuple's condition columns do not select exactly one schema
+	// position under its parent's position.
+	P1 Property = "P1"
+	// P2: parentid referential integrity or root-reachability is broken.
+	P2 Property = "P2"
+	// P3: a column holds a value outside its declared domain or kind, or a
+	// mandatory leaf value is missing.
+	P3 Property = "P3"
+)
+
+// Describe returns the property's one-line meaning.
+func (p Property) Describe() string {
+	switch p {
+	case P1:
+		return "tuple must align to exactly one schema-node position"
+	case P2:
+		return "parentid links must form trees rooted at document roots"
+	case P3:
+		return "columns must conform to the mapping's declared domains"
+	default:
+		return "unknown property"
+	}
+}
+
+// Violation is one detected breach of the constraint, pinned to a tuple.
+type Violation struct {
+	Property Property `json:"property"`
+	Relation string   `json:"relation"`
+	TupleID  int64    `json:"tuple_id"`
+	// Column names the offending column for column-level (P3) violations.
+	Column string `json:"column,omitempty"`
+	// Detail says what is wrong with this tuple.
+	Detail string `json:"detail"`
+	// Hint suggests a repair.
+	Hint string `json:"hint,omitempty"`
+}
+
+// String renders the violation as one report line.
+func (v Violation) String() string {
+	loc := fmt.Sprintf("%s.id=%d", v.Relation, v.TupleID)
+	if v.Column != "" {
+		loc += "." + v.Column
+	}
+	s := fmt.Sprintf("[%s] %s: %s", v.Property, loc, v.Detail)
+	if v.Hint != "" {
+		s += "; repair: " + v.Hint
+	}
+	return s
+}
+
+// Report is the outcome of one audit run.
+type Report struct {
+	// Schema is the audited mapping's name.
+	Schema string `json:"schema"`
+	// Relations and Tuples count what the probes covered.
+	Relations int `json:"relations"`
+	Tuples    int `json:"tuples"`
+	// Violations are the detected breaches, in deterministic discovery
+	// order (relations sorted, tuples in id order within a relation's
+	// pass). When Total exceeds len(Violations) the list was truncated by
+	// Options.MaxViolations.
+	Violations []Violation `json:"violations,omitempty"`
+	// Total counts every violation found, including truncated ones.
+	Total int `json:"total_violations"`
+	// Truncated reports that the Violations list was capped.
+	Truncated bool `json:"truncated,omitempty"`
+	// Elapsed is the audit's wall-clock duration.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Clean reports whether the audit found no violation.
+func (r *Report) Clean() bool { return r.Total == 0 }
+
+// Err returns nil for a clean report, or an *Error wrapping it.
+func (r *Report) Err() error {
+	if r.Clean() {
+		return nil
+	}
+	return &Error{Report: r}
+}
+
+// ByProperty returns the recorded violations of one property.
+func (r *Report) ByProperty(p Property) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Property == p {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Find returns the recorded violations pinned to one tuple.
+func (r *Report) Find(relation string, id int64) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Relation == relation && v.TupleID == id {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the whole report, one line per violation.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "integrity audit of schema %s: %d tuples across %d relations in %v: ",
+		r.Schema, r.Tuples, r.Relations, r.Elapsed.Round(time.Microsecond))
+	if r.Clean() {
+		b.WriteString("clean")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d violation(s)", r.Total)
+	if r.Truncated {
+		fmt.Fprintf(&b, " (%d shown)", len(r.Violations))
+	}
+	for _, v := range r.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Error is the error form of an unclean Report, so callers can errors.As
+// their way back to the full violation list.
+type Error struct {
+	Report *Report
+}
+
+// maxErrViolations bounds how many violations Error lists inline.
+const maxErrViolations = 8
+
+// Error implements error with every violation (up to a cap) on one line each.
+func (e *Error) Error() string {
+	r := e.Report
+	var b strings.Builder
+	fmt.Fprintf(&b, "integrity: schema %s: %d violation(s) of the lossless-from-XML constraint", r.Schema, r.Total)
+	n := len(r.Violations)
+	if n > maxErrViolations {
+		n = maxErrViolations
+	}
+	for _, v := range r.Violations[:n] {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	if r.Total > n {
+		fmt.Fprintf(&b, "\n  ... and %d more", r.Total-n)
+	}
+	return b.String()
+}
+
+// TrustState is a schema instance's audit disposition, as tracked by the
+// serving planner: pruned translations are only provably correct on
+// instances satisfying the constraint, so serving keys its plan choice off
+// this state.
+type TrustState int32
+
+const (
+	// TrustUnverified: no audit has run. The optimistic policy serves
+	// pruned plans (the shredder establishes the constraint by
+	// construction); the strict policy serves safe-mode plans.
+	TrustUnverified TrustState = iota
+	// TrustVerified: the latest audit came back clean.
+	TrustVerified
+	// TrustViolated: the latest audit found violations; only the baseline
+	// (unpruned) translation is safe to serve.
+	TrustViolated
+)
+
+func (s TrustState) String() string {
+	switch s {
+	case TrustVerified:
+		return "verified"
+	case TrustViolated:
+		return "violated"
+	default:
+		return "unverified"
+	}
+}

@@ -1,0 +1,459 @@
+package integrity_test
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"strings"
+	"testing"
+
+	"xmlsql/internal/backend"
+	"xmlsql/internal/backend/fakedb"
+	"xmlsql/internal/integrity"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/workloads"
+	"xmlsql/internal/xmltree"
+)
+
+func shredded(t *testing.T, s *schema.Schema, doc *xmltree.Document) *relational.Store {
+	t.Helper()
+	store := relational.NewStore()
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func audit(t *testing.T, s *schema.Schema, store *relational.Store) *integrity.Report {
+	t.Helper()
+	rep, err := integrity.Audit(context.Background(), integrity.StoreSource(store), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// idIdx returns the id-column ordinal of a relation's table.
+func idIdx(t *testing.T, store *relational.Store, rel string) int {
+	t.Helper()
+	tbl := store.Table(rel)
+	if tbl == nil {
+		t.Fatalf("relation %s missing", rel)
+	}
+	return tbl.Schema().ColumnIndex(schema.IDColumn)
+}
+
+func TestAuditCleanWorkloads(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *schema.Schema
+		doc  *xmltree.Document
+	}{
+		{"xmark", workloads.XMark(), workloads.GenerateXMark(workloads.DefaultXMarkConfig())},
+		{"xmarkfull", workloads.XMarkFull(), workloads.GenerateXMarkFull(workloads.DefaultXMarkConfig())},
+		{"s1", workloads.S1(), workloads.GenerateS1(25, 1)},
+		{"s2", workloads.S2(), workloads.GenerateS2(10, 2)},
+		{"s3", workloads.S3(), workloads.GenerateS3(workloads.DefaultS3Config())},
+		{"adex", workloads.ADEX(), workloads.GenerateADEX(workloads.DefaultADEXConfig())},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			store := shredded(t, tc.s, tc.doc)
+			rep := audit(t, tc.s, store)
+			if !rep.Clean() {
+				t.Fatalf("clean instance reported violations:\n%s", rep)
+			}
+			if rep.Tuples != store.TotalRows() {
+				t.Errorf("audited %d tuples, store has %d", rep.Tuples, store.TotalRows())
+			}
+			if rep.Err() != nil {
+				t.Errorf("clean report Err = %v", rep.Err())
+			}
+		})
+	}
+}
+
+func TestAuditCleanEdgeMapping(t *testing.T) {
+	s := workloads.XMark()
+	es, err := shred.EdgeSchemaFor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := shredded(t, es, workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	if rep := audit(t, es, store); !rep.Clean() {
+		t.Fatalf("edge mapping instance reported violations:\n%s", rep)
+	}
+}
+
+func TestAuditDetectsDanglingParent(t *testing.T) {
+	s := workloads.XMark()
+	store := shredded(t, s, workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	if err := shred.InjectOrphan(s, store, "InCat", 99999999); err != nil {
+		t.Fatal(err)
+	}
+	rep := audit(t, s, store)
+	if rep.Total != 1 {
+		t.Fatalf("want exactly 1 violation, got:\n%s", rep)
+	}
+	v := rep.Violations[0]
+	if v.Property != integrity.P2 || v.Relation != "InCat" {
+		t.Errorf("violation = %+v, want P2 on InCat", v)
+	}
+	if !strings.Contains(v.Detail, "resolves to no tuple") {
+		t.Errorf("detail = %q", v.Detail)
+	}
+}
+
+func TestAuditDetectsMisparentedTuple(t *testing.T) {
+	s := workloads.XMark()
+	store := shredded(t, s, workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	// Re-parent one InCat tuple under another InCat tuple: the mapping only
+	// places InCat below Item.
+	tbl := store.Table("InCat")
+	ii := idIdx(t, store, "InCat")
+	pi := tbl.Schema().ColumnIndex(schema.ParentIDColumn)
+	victim := tbl.Rows()[0][ii].AsInt()
+	other := tbl.Rows()[1][ii].AsInt()
+	if _, err := tbl.UpdateWhere(
+		func(r relational.Row) bool { return r[ii].AsInt() == victim },
+		func(r relational.Row) relational.Row { r[pi] = relational.Int(other); return r },
+	); err != nil {
+		t.Fatal(err)
+	}
+	rep := audit(t, s, store)
+	vs := rep.Find("InCat", victim)
+	if len(vs) != 1 || vs[0].Property != integrity.P2 {
+		t.Fatalf("want one P2 violation on InCat.id=%d, got:\n%s", victim, rep)
+	}
+	if !strings.Contains(vs[0].Detail, "never places InCat below InCat") {
+		t.Errorf("detail = %q", vs[0].Detail)
+	}
+}
+
+func TestAuditDetectsOutOfDomainCondition(t *testing.T) {
+	s := workloads.S1()
+	store := shredded(t, s, workloads.GenerateS1(10, 1))
+	// Flip one y tuple's pc from 2 to 3: R3's declared domain is {1, 2}, so
+	// this is P3, and the tuple no longer aligns to any child of b, so P1.
+	tbl := store.Table("R3")
+	ii := idIdx(t, store, "R3")
+	ci := tbl.Schema().ColumnIndex("pc")
+	var victim int64 = -1
+	for _, r := range tbl.Rows() {
+		if !r[ci].IsNull() && r[ci].AsInt() == 2 {
+			victim = r[ii].AsInt()
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no pc=2 tuple found")
+	}
+	if _, err := tbl.UpdateWhere(
+		func(r relational.Row) bool { return r[ii].AsInt() == victim },
+		func(r relational.Row) relational.Row { r[ci] = relational.Int(3); return r },
+	); err != nil {
+		t.Fatal(err)
+	}
+	rep := audit(t, s, store)
+	vs := rep.Find("R3", victim)
+	props := map[integrity.Property]bool{}
+	for _, v := range vs {
+		props[v.Property] = true
+	}
+	if !props[integrity.P3] || !props[integrity.P1] {
+		t.Fatalf("want P3 (domain) and P1 (no position) on R3.id=%d, got:\n%s", victim, rep)
+	}
+	if rep.Total != len(vs) {
+		t.Errorf("violations leaked beyond the corrupted tuple:\n%s", rep)
+	}
+}
+
+func TestAuditDetectsAmbiguousFlip(t *testing.T) {
+	// S2: flipping a t1 tuple's pc from 1 to 2 re-aligns it to the t2
+	// position — structurally consistent but now ambiguous with its sibling
+	// only if both match; here it simply moves position, so instead flip to
+	// a value matching no child (P1) and outside the domain (P3).
+	s := workloads.S2()
+	store := shredded(t, s, workloads.GenerateS2(5, 1))
+	tbl := store.Table("T1")
+	ii := idIdx(t, store, "T1")
+	ci := tbl.Schema().ColumnIndex("pc")
+	victim := tbl.Rows()[0][ii].AsInt()
+	if _, err := tbl.UpdateWhere(
+		func(r relational.Row) bool { return r[ii].AsInt() == victim },
+		func(r relational.Row) relational.Row { r[ci] = relational.Int(9); return r },
+	); err != nil {
+		t.Fatal(err)
+	}
+	rep := audit(t, s, store)
+	if len(rep.Find("T1", victim)) == 0 {
+		t.Fatalf("flipped T1.id=%d not reported:\n%s", victim, rep)
+	}
+}
+
+func TestAuditDetectsMissingMandatoryLeaf(t *testing.T) {
+	s := workloads.XMarkFull()
+	store := shredded(t, s, workloads.GenerateXMarkFull(workloads.DefaultXMarkConfig()))
+	// Cat.name is stored by every schema node of Cat, so NULLing it is
+	// detectable; Item.name is optional in principle (audit must not flag
+	// clean NULLs elsewhere).
+	tbl := store.Table("Cat")
+	ii := idIdx(t, store, "Cat")
+	ni := tbl.Schema().ColumnIndex("name")
+	victim := tbl.Rows()[0][ii].AsInt()
+	if _, err := tbl.UpdateWhere(
+		func(r relational.Row) bool { return r[ii].AsInt() == victim },
+		func(r relational.Row) relational.Row { r[ni] = relational.Null; return r },
+	); err != nil {
+		t.Fatal(err)
+	}
+	rep := audit(t, s, store)
+	vs := rep.Find("Cat", victim)
+	if len(vs) != 1 || vs[0].Property != integrity.P3 || vs[0].Column != "name" {
+		t.Fatalf("want one P3 violation on Cat.id=%d.name, got:\n%s", victim, rep)
+	}
+}
+
+func TestAuditDetectsDroppedMidTuple(t *testing.T) {
+	s := workloads.XMark()
+	store := shredded(t, s, workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	// Drop one Item: its InCat children dangle. Expect one P2 per child.
+	itemTbl := store.Table("Item")
+	ii := idIdx(t, store, "Item")
+	victim := itemTbl.Rows()[0][ii].AsInt()
+	if n := itemTbl.DeleteWhere(func(r relational.Row) bool { return r[ii].AsInt() == victim }); n != 1 {
+		t.Fatalf("deleted %d items", n)
+	}
+	rep := audit(t, s, store)
+	if rep.Clean() {
+		t.Fatal("dropped Item went undetected")
+	}
+	for _, v := range rep.Violations {
+		if v.Property != integrity.P2 || v.Relation != "InCat" {
+			t.Errorf("unexpected violation %s", v)
+		}
+	}
+	if rep.Total != workloads.DefaultXMarkConfig().CategoriesPerItem {
+		t.Errorf("want %d dangling children, got %d", workloads.DefaultXMarkConfig().CategoriesPerItem, rep.Total)
+	}
+}
+
+func TestAuditDetectsParentIDCycle(t *testing.T) {
+	s := workloads.S3()
+	store := shredded(t, s, workloads.GenerateS3(workloads.DefaultS3Config()))
+	// Point a mid-level tuple's parentid at one of its own descendants'
+	// ids — every tuple's parent exists, but the loop detaches from the root.
+	// Simplest cycle: a tuple adopting itself as parent.
+	var rel string
+	for _, r := range s.Relations() {
+		if r != s.RootNode().Relation && store.Table(r) != nil && store.Table(r).Len() > 0 {
+			rel = r
+			break
+		}
+	}
+	tbl := store.Table(rel)
+	ii := idIdx(t, store, rel)
+	pi := tbl.Schema().ColumnIndex(schema.ParentIDColumn)
+	victim := tbl.Rows()[0][ii].AsInt()
+	if _, err := tbl.UpdateWhere(
+		func(r relational.Row) bool { return r[ii].AsInt() == victim },
+		func(r relational.Row) relational.Row { r[pi] = relational.Int(victim); return r },
+	); err != nil {
+		t.Fatal(err)
+	}
+	rep := audit(t, s, store)
+	found := false
+	for _, v := range rep.Find(rel, victim) {
+		if v.Property == integrity.P2 && strings.Contains(v.Detail, "cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("self-cycle on %s.id=%d not reported:\n%s", rel, victim, rep)
+	}
+}
+
+func TestAuditOverDBBackend(t *testing.T) {
+	// The same probes must work through the dialect layer: load a corrupted
+	// instance into the fake database/sql driver and audit the DB backend.
+	s := workloads.XMark()
+	store := shredded(t, s, workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	if err := shred.InjectOrphan(s, store, "InCat", 424242); err != nil {
+		t.Fatal(err)
+	}
+	inst := fakedb.New()
+	sqldb := sql.OpenDB(inst.Connector())
+	db := backend.NewDB(sqldb, sqlast.DialectSQLite)
+	defer db.Close()
+	if err := db.EnsureSchema(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sqldb.Exec(backend.LoadScript(store, sqlast.DialectSQLite)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := integrity.Audit(context.Background(), db, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 1 || rep.Violations[0].Property != integrity.P2 {
+		t.Fatalf("db-backend audit = %s", rep)
+	}
+	if rep.Tuples != store.TotalRows() {
+		t.Errorf("audited %d tuples, want %d", rep.Tuples, store.TotalRows())
+	}
+}
+
+func TestAuditErrorWrapsReport(t *testing.T) {
+	s := workloads.XMark()
+	store := shredded(t, s, workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	if err := shred.InjectOrphan(s, store, "InCat", 77777); err != nil {
+		t.Fatal(err)
+	}
+	err := shred.CheckLossless(s, store)
+	if err == nil {
+		t.Fatal("corrupted instance passed CheckLossless")
+	}
+	var ie *integrity.Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("CheckLossless error does not wrap *integrity.Error: %v", err)
+	}
+	if ie.Report.Total != 1 {
+		t.Errorf("report total = %d", ie.Report.Total)
+	}
+}
+
+func TestCheckLosslessReportsAllViolations(t *testing.T) {
+	s := workloads.XMark()
+	store := shredded(t, s, workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	// Three independent corruptions; the old fail-first checker stopped at
+	// one, the report must carry all three.
+	if err := shred.InjectOrphan(s, store, "InCat", 555001); err != nil {
+		t.Fatal(err)
+	}
+	if err := shred.InjectOrphan(s, store, "Item", 555002); err != nil {
+		t.Fatal(err)
+	}
+	tbl := store.Table("Item")
+	ii := idIdx(t, store, "Item")
+	ci := tbl.Schema().ColumnIndex("parentcode")
+	// The freshly injected Item orphan has a NULL parentcode; corrupt a
+	// healthy tuple's parentcode out of domain instead.
+	var victim int64 = -1
+	for _, r := range tbl.Rows() {
+		if !r[ci].IsNull() {
+			victim = r[ii].AsInt()
+			break
+		}
+	}
+	if _, err := tbl.UpdateWhere(
+		func(r relational.Row) bool { return r[ii].AsInt() == victim },
+		func(r relational.Row) relational.Row { r[ci] = relational.Int(99); return r },
+	); err != nil {
+		t.Fatal(err)
+	}
+	err := shred.CheckLossless(s, store)
+	var ie *integrity.Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *integrity.Error, got %v", err)
+	}
+	rep := ie.Report
+	if len(rep.Find("InCat", 0)) != 0 {
+		t.Errorf("unexpected violations pinned to id 0:\n%s", rep)
+	}
+	rels := map[string]bool{}
+	for _, v := range rep.Violations {
+		rels[v.Relation] = true
+	}
+	if rep.Total < 3 || !rels["InCat"] || !rels["Item"] {
+		t.Fatalf("want >=3 violations spanning InCat and Item, got:\n%s", rep)
+	}
+}
+
+func TestAuditTruncation(t *testing.T) {
+	s := workloads.XMark()
+	store := shredded(t, s, workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	for i := 0; i < 5; i++ {
+		if err := shred.InjectOrphan(s, store, "InCat", int64(900000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := integrity.AuditOpts(context.Background(), integrity.StoreSource(store), s, integrity.Options{MaxViolations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || len(rep.Violations) != 2 || rep.Total != 5 {
+		t.Fatalf("truncation: shown=%d total=%d truncated=%v", len(rep.Violations), rep.Total, rep.Truncated)
+	}
+	if !strings.Contains(rep.Err().Error(), "5 violation(s)") {
+		t.Errorf("error text = %q", rep.Err().Error())
+	}
+}
+
+func TestAuditCancelled(t *testing.T) {
+	s := workloads.XMark()
+	store := shredded(t, s, workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := integrity.Audit(ctx, integrity.StoreSource(store), s); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled audit error = %v", err)
+	}
+}
+
+func TestQuarantineConvergesToClean(t *testing.T) {
+	s := workloads.XMark()
+	store := shredded(t, s, workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	// Drop an Item so its InCat children dangle, and add a free-floating
+	// orphan: the loop must quarantine all of them and converge.
+	itemTbl := store.Table("Item")
+	ii := idIdx(t, store, "Item")
+	victim := itemTbl.Rows()[0][ii].AsInt()
+	itemTbl.DeleteWhere(func(r relational.Row) bool { return r[ii].AsInt() == victim })
+	if err := shred.InjectOrphan(s, store, "InCat", 31337); err != nil {
+		t.Fatal(err)
+	}
+	before := store.Table("InCat").Len()
+	rep, moved, err := integrity.QuarantineLoop(store, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("quarantine did not converge:\n%s", rep)
+	}
+	wantMoved := workloads.DefaultXMarkConfig().CategoriesPerItem + 1
+	if moved != wantMoved {
+		t.Errorf("moved %d tuples, want %d", moved, wantMoved)
+	}
+	shadow := store.Table("InCat" + integrity.QuarantineSuffix)
+	if shadow == nil || shadow.Len() != wantMoved {
+		t.Fatalf("shadow relation holds %v rows, want %d", shadow, wantMoved)
+	}
+	if store.Table("InCat").Len() != before-wantMoved {
+		t.Errorf("InCat len = %d, want %d", store.Table("InCat").Len(), before-wantMoved)
+	}
+	if err := shred.CheckLossless(s, store); err != nil {
+		t.Errorf("post-quarantine instance fails CheckLossless: %v", err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := workloads.XMark()
+	store := shredded(t, s, workloads.GenerateXMark(workloads.DefaultXMarkConfig()))
+	rep := audit(t, s, store)
+	if got := rep.String(); !strings.Contains(got, "clean") {
+		t.Errorf("clean report string = %q", got)
+	}
+	if err := shred.InjectOrphan(s, store, "InCat", 11111); err != nil {
+		t.Fatal(err)
+	}
+	rep = audit(t, s, store)
+	got := rep.String()
+	if !strings.Contains(got, "[P2]") || !strings.Contains(got, "repair:") {
+		t.Errorf("dirty report string = %q", got)
+	}
+	if integrity.P1.Describe() == integrity.P2.Describe() {
+		t.Error("property descriptions collapsed")
+	}
+}

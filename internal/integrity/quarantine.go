@@ -1,0 +1,107 @@
+package integrity
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+)
+
+// QuarantineSuffix names the shadow relation violating tuples are moved
+// into: relation R's quarantined tuples live in R + QuarantineSuffix.
+const QuarantineSuffix = "_quarantine"
+
+// Quarantine moves every tuple the report pins a violation on out of its
+// relation and into a shadow relation with the same columns, creating the
+// shadow table on first use. It returns how many tuples moved.
+//
+// Quarantining an orphan subtree's head leaves its descendants dangling, so
+// repair is a fixpoint: re-audit and re-quarantine until the report comes
+// back clean (QuarantineLoop does exactly that). Quarantine mutates the
+// in-memory store directly; for database backends, use the report to drive
+// repairs in the owning system instead.
+func Quarantine(store *relational.Store, rep *Report) (int, error) {
+	byRel := map[string]map[int64]bool{}
+	for _, v := range rep.Violations {
+		if v.Relation == "" {
+			continue
+		}
+		if byRel[v.Relation] == nil {
+			byRel[v.Relation] = map[int64]bool{}
+		}
+		byRel[v.Relation][v.TupleID] = true
+	}
+	rels := make([]string, 0, len(byRel))
+	for rel := range byRel {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+
+	moved := 0
+	for _, rel := range rels {
+		t := store.Table(rel)
+		if t == nil {
+			continue
+		}
+		shadowName := rel + QuarantineSuffix
+		shadow := store.Table(shadowName)
+		if shadow == nil {
+			ts := t.Schema().Clone()
+			ts.Name = shadowName
+			var err error
+			if shadow, err = store.CreateTable(ts); err != nil {
+				return moved, fmt.Errorf("integrity: creating %s: %w", shadowName, err)
+			}
+		}
+		ids := byRel[rel]
+		idIdx := t.Schema().ColumnIndex(schema.IDColumn)
+		if idIdx < 0 {
+			continue
+		}
+		hit := func(r relational.Row) bool {
+			return !r[idIdx].IsNull() && r[idIdx].Kind() == relational.KindInt && ids[r[idIdx].AsInt()]
+		}
+		for _, r := range t.Rows() {
+			if hit(r) {
+				if err := shadow.Insert(r); err != nil {
+					return moved, fmt.Errorf("integrity: quarantining %s.id=%s: %w", rel, r[idIdx], err)
+				}
+			}
+		}
+		moved += t.DeleteWhere(hit)
+	}
+	return moved, nil
+}
+
+// QuarantineLoop audits the store and quarantines violating tuples until
+// the audit comes back clean or maxRounds is exhausted (quarantining a
+// subtree head exposes its children as new orphans, so repair converges by
+// iteration). It returns the final report and the total tuples moved.
+func QuarantineLoop(store *relational.Store, s *schema.Schema, maxRounds int) (*Report, int, error) {
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	moved := 0
+	var rep *Report
+	for round := 0; round < maxRounds; round++ {
+		var err error
+		rep, err = Audit(context.Background(), StoreSource(store), s)
+		if err != nil {
+			return nil, moved, err
+		}
+		if rep.Clean() {
+			return rep, moved, nil
+		}
+		n, err := Quarantine(store, rep)
+		moved += n
+		if err != nil {
+			return rep, moved, err
+		}
+		if n == 0 {
+			break // nothing quarantinable (e.g. violations without tuple ids)
+		}
+	}
+	return rep, moved, nil
+}

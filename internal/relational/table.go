@@ -156,6 +156,97 @@ func (t *Table) Rows() []Row {
 	return t.rows
 }
 
+// DeleteWhere removes every row for which pred returns true and returns how
+// many were removed, rebuilding the primary-key and hash indexes. Unlike
+// Insert it replaces the row slice (snapshots held by concurrent readers
+// keep the old rows); quiesce serving before mutating tables it reads.
+func (t *Table) DeleteWhere(pred func(Row) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := make([]Row, 0, len(t.rows))
+	for _, r := range t.rows {
+		if !pred(r) {
+			kept = append(kept, r)
+		}
+	}
+	n := len(t.rows) - len(kept)
+	if n == 0 {
+		return 0
+	}
+	t.rows = kept
+	t.reindexLocked()
+	return n
+}
+
+// UpdateWhere replaces every row for which pred returns true with fn(copy)
+// and returns how many changed. The replacement rows are validated like
+// inserts (arity, kinds, non-NULL unique primary keys); on any invalid
+// replacement the table is left untouched and an error returned. The same
+// reader caveat as DeleteWhere applies.
+func (t *Table) UpdateWhere(pred func(Row) bool, fn func(Row) Row) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pi := -1
+	if t.pkIndex != nil {
+		pi = t.schema.ColumnIndex(t.schema.PrimaryKey)
+	}
+	next := make([]Row, 0, len(t.rows))
+	seenPK := map[string]bool{}
+	n := 0
+	for _, r := range t.rows {
+		if pred(r) {
+			r = fn(r.Clone())
+			n++
+			if len(r) != len(t.schema.Columns) {
+				return 0, fmt.Errorf("relational: table %s: update arity %d, want %d", t.schema.Name, len(r), len(t.schema.Columns))
+			}
+			for i, v := range r {
+				if !v.IsNull() && v.Kind() != t.schema.Columns[i].Kind {
+					return 0, fmt.Errorf("relational: table %s: column %s: updated %v, want %v",
+						t.schema.Name, t.schema.Columns[i].Name, v.Kind(), t.schema.Columns[i].Kind)
+				}
+			}
+		}
+		if pi >= 0 {
+			v := r[pi]
+			if v.IsNull() {
+				return 0, fmt.Errorf("relational: table %s: NULL primary key", t.schema.Name)
+			}
+			if seenPK[v.Key()] {
+				return 0, fmt.Errorf("relational: table %s: duplicate primary key %v", t.schema.Name, v)
+			}
+			seenPK[v.Key()] = true
+		}
+		next = append(next, r)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	t.rows = next
+	t.reindexLocked()
+	return n, nil
+}
+
+// reindexLocked rebuilds the primary-key map and every hash index from the
+// current rows; callers hold t.mu.
+func (t *Table) reindexLocked() {
+	if t.pkIndex != nil {
+		pi := t.schema.ColumnIndex(t.schema.PrimaryKey)
+		t.pkIndex = make(map[string]int, len(t.rows))
+		for i, r := range t.rows {
+			t.pkIndex[r[pi].Key()] = i
+		}
+	}
+	for col, idx := range t.indexes {
+		fresh := &hashIdx{col: idx.col, buckets: map[string][]int{}}
+		for i, r := range t.rows {
+			k := r[idx.col].Key()
+			fresh.buckets[k] = append(fresh.buckets[k], i)
+		}
+		t.indexes[col] = fresh
+	}
+}
+
 // BuildIndex builds (or rebuilds) a hash index on the named column. Once
 // built, the index is maintained incrementally by Insert. Build indexes
 // before serving reads: the build itself takes the write lock, but readers

@@ -1,0 +1,143 @@
+package resilient
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an atomically advanced clock shared between the test and
+// concurrent breaker probes.
+type fakeClock struct {
+	ns atomic.Int64
+}
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// trip drives a closed breaker into the open state.
+func (c *fakeClock) trip(t *testing.T, b *Breaker, threshold int) {
+	t.Helper()
+	for i := 0; i < threshold; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Record(true)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker state after %d failures = %v, want open", threshold, b.State())
+	}
+}
+
+// TestBreakerHalfOpenAdmitsSingleProbe hammers an open breaker with
+// concurrent Allow calls right after the cooldown elapses: exactly one
+// goroutine may win the half-open probe slot, everyone else must be refused
+// until the probe settles. Run under -race this also exercises the lock
+// discipline of the open -> half-open transition.
+func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
+	clock := &fakeClock{}
+	cfg := BreakerConfig{FailureThreshold: 3, Cooldown: time.Second}
+	b := NewBreakerAt(cfg, clock.now)
+	clock.trip(t, b, cfg.FailureThreshold)
+
+	// Cooldown not yet elapsed: all concurrent callers are refused.
+	var admitted atomic.Int64
+	race := func(goroutines int) int64 {
+		admitted.Store(0)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		return admitted.Load()
+	}
+	if n := race(16); n != 0 {
+		t.Fatalf("open breaker admitted %d requests before cooldown", n)
+	}
+
+	// Cooldown elapsed: exactly one probe slot, no matter how many race.
+	clock.advance(cfg.Cooldown)
+	if n := race(16); n != 1 {
+		t.Fatalf("half-open transition admitted %d probes, want 1", n)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// While the probe is unsettled, further waves get nothing.
+	if n := race(8); n != 0 {
+		t.Fatalf("half-open breaker admitted %d extra requests", n)
+	}
+
+	// Probe succeeds: breaker closes and admits everyone again.
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if n := race(8); n != 8 {
+		t.Fatalf("closed breaker admitted %d/8 requests", n)
+	}
+
+	// Trip again; this time the probe fails and the breaker re-opens for a
+	// fresh cooldown.
+	clock.trip(t, b, cfg.FailureThreshold)
+	clock.advance(cfg.Cooldown)
+	if n := race(16); n != 1 {
+		t.Fatalf("second half-open transition admitted %d probes, want 1", n)
+	}
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if n := race(8); n != 0 {
+		t.Fatalf("re-opened breaker admitted %d requests before cooldown", n)
+	}
+	clock.advance(cfg.Cooldown)
+	if n := race(16); n != 1 {
+		t.Fatalf("third half-open transition admitted %d probes, want 1", n)
+	}
+	b.Record(false)
+	if got := b.Trips(); got != 3 {
+		t.Fatalf("trips = %d, want 3", got)
+	}
+}
+
+// TestBreakerConcurrentAllowRecord interleaves Allow/Record from many
+// goroutines while the clock advances, checking the breaker never deadlocks
+// or panics and ends in a valid state. It is a race-detector workout more
+// than an assertion-heavy test.
+func TestBreakerConcurrentAllowRecord(t *testing.T) {
+	clock := &fakeClock{}
+	b := NewBreakerAt(BreakerConfig{FailureThreshold: 2, Cooldown: time.Millisecond}, clock.now)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() {
+					b.Record((i+g)%3 == 0)
+				}
+				if i%10 == 0 {
+					clock.advance(time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	switch st := b.State(); st {
+	case BreakerClosed, BreakerOpen, BreakerHalfOpen:
+	default:
+		t.Fatalf("invalid final state %v", st)
+	}
+}

@@ -1,8 +1,10 @@
 package shred
 
 import (
+	"context"
 	"fmt"
 
+	"xmlsql/internal/integrity"
 	"xmlsql/internal/relational"
 	"xmlsql/internal/schema"
 )
@@ -14,7 +16,21 @@ import (
 // exactly "the data could have been produced by a shredding algorithm that
 // respects the mapping" (§3.2); instances with orphan tuples, duplicated
 // shreds, or schema-violating structure are rejected.
+//
+// The check runs the integrity auditor first, so a dirty instance is
+// reported with every detectable violation (relation, tuple id, violated
+// property P1–P3, repair hint) rather than just the first one; errors.As
+// with *integrity.Error recovers the full typed report. A clean audit is
+// then witnessed end to end by reconstructing the stored documents and
+// checking schema conformance, exactly as before.
 func CheckLossless(s *schema.Schema, store *relational.Store) error {
+	rep, err := AuditStore(s, store)
+	if err != nil {
+		return fmt.Errorf("lossless check failed: %w", err)
+	}
+	if !rep.Clean() {
+		return fmt.Errorf("lossless check failed: %w", rep.Err())
+	}
 	docs, err := Reconstruct(s, store)
 	if err != nil {
 		return fmt.Errorf("lossless check failed: %w", err)
@@ -26,6 +42,12 @@ func CheckLossless(s *schema.Schema, store *relational.Store) error {
 		}
 	}
 	return nil
+}
+
+// AuditStore runs the integrity auditor (P1–P3 of §3.2) over an in-memory
+// store and returns the full violation report.
+func AuditStore(s *schema.Schema, store *relational.Store) (*integrity.Report, error) {
+	return integrity.Audit(context.Background(), integrity.StoreSource(store), s)
 }
 
 // InjectOrphan inserts a tuple with a dangling parentid into the named

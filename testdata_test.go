@@ -1,10 +1,12 @@
 package xmlsql_test
 
 import (
+	"context"
 	"os"
 	"testing"
 
 	"xmlsql"
+	"xmlsql/internal/shred"
 )
 
 // The testdata mappings double as user-facing samples; these tests keep them
@@ -57,6 +59,44 @@ func TestTestdataLibrary(t *testing.T) {
 	}
 	if err := xmlsql.CheckLossless(s, store); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestAuditTestdataCorpora runs the integrity auditor over every shredded
+// testdata corpus: freshly shredded instances must audit clean, and an
+// injected orphan must be pinpointed (the CI audit job runs this alongside
+// the corruption differential suite).
+func TestAuditTestdataCorpora(t *testing.T) {
+	ctx := context.Background()
+	corpora := []struct{ dsl, xml string }{
+		{"testdata/library.dsl", "testdata/library.xml"},
+		{"testdata/parts.dsl", "testdata/parts.xml"},
+	}
+	for _, c := range corpora {
+		s, store, _ := loadTestdata(t, c.dsl, c.xml)
+		rep, err := xmlsql.AuditStore(ctx, store, s)
+		if err != nil {
+			t.Fatalf("%s: %v", c.dsl, err)
+		}
+		if !rep.Clean() {
+			t.Errorf("%s: fresh shred audited dirty:\n%s", c.dsl, rep)
+			continue
+		}
+		if rep.Tuples != store.TotalRows() {
+			t.Errorf("%s: audit covered %d of %d tuples", c.dsl, rep.Tuples, store.TotalRows())
+		}
+		// Corrupt a copy: the audit must notice.
+		rel := store.TableNames()[0]
+		if err := shred.InjectOrphan(s, store, rel, 1<<50); err != nil {
+			t.Fatalf("%s: %v", c.dsl, err)
+		}
+		rep, err = xmlsql.AuditStore(ctx, store, s)
+		if err != nil {
+			t.Fatalf("%s: %v", c.dsl, err)
+		}
+		if rep.Clean() || len(rep.ByProperty(xmlsql.PropertyP2)) == 0 {
+			t.Errorf("%s: injected orphan went undetected:\n%s", c.dsl, rep)
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"xmlsql/internal/core"
 	"xmlsql/internal/engine"
 	"xmlsql/internal/infer"
+	"xmlsql/internal/integrity"
 	"xmlsql/internal/pathexpr"
 	"xmlsql/internal/pathid"
 	"xmlsql/internal/plancache"
@@ -95,6 +96,23 @@ type (
 	// Backend abstracts where shredded tuples live and where SQL runs: the
 	// in-memory engine or any database/sql connection.
 	Backend = backend.Backend
+	// IntegrityReport is the typed outcome of an integrity audit: how much
+	// was probed and every detected violation of the lossless-from-XML
+	// constraint (relation, tuple id, violated property P1–P3, repair
+	// hint).
+	IntegrityReport = integrity.Report
+	// IntegrityViolation is one detected breach, pinned to a tuple.
+	IntegrityViolation = integrity.Violation
+	// IntegrityProperty identifies which §3.2 property a violation breaks.
+	IntegrityProperty = integrity.Property
+	// IntegrityError is the error form of an unclean report; errors.As
+	// recovers it from CheckLossless and audit failures.
+	IntegrityError = integrity.Error
+	// AuditOptions tunes an integrity audit run.
+	AuditOptions = integrity.Options
+	// TrustState is a schema instance's audit disposition (unverified /
+	// verified / violated), tracked per Planner.
+	TrustState = integrity.TrustState
 	// Dialect controls how SQL text is rendered for a concrete engine:
 	// identifier quoting, keyword case, placeholders, and DDL type names.
 	Dialect = sqlast.Dialect
@@ -112,6 +130,68 @@ var (
 
 // DialectByName resolves "default", "sqlite", or "postgres".
 func DialectByName(name string) (*Dialect, error) { return sqlast.DialectByName(name) }
+
+// The §3.2 properties an IntegrityViolation can break.
+const (
+	// PropertyP1: every tuple aligns to exactly one schema-node position.
+	PropertyP1 = integrity.P1
+	// PropertyP2: parentid links form trees rooted at document roots.
+	PropertyP2 = integrity.P2
+	// PropertyP3: columns conform to the mapping's declared domains.
+	PropertyP3 = integrity.P3
+)
+
+// The trust states a Planner tracks per installed schema.
+const (
+	// TrustUnverified: no audit has run since the schema was installed.
+	TrustUnverified = integrity.TrustUnverified
+	// TrustVerified: the latest audit came back clean.
+	TrustVerified = integrity.TrustVerified
+	// TrustViolated: the latest audit found violations; only safe-mode
+	// (baseline) translations are served.
+	TrustViolated = integrity.TrustViolated
+)
+
+// TrustPolicy decides which trust states a Planner serves pruned plans
+// under.
+type TrustPolicy int
+
+const (
+	// TrustOptimistic (the default) serves pruned plans unless an audit has
+	// found violations: the shredder establishes the constraint by
+	// construction, so unaudited instances are presumed clean.
+	TrustOptimistic TrustPolicy = iota
+	// TrustStrict serves pruned plans only after a clean audit; unverified
+	// instances get the always-correct baseline translation.
+	TrustStrict
+)
+
+// Audit verifies the lossless-from-XML constraint (P1–P3 of §3.2) for s
+// against the instance behind any backend, via per-relation SQL probes
+// through the backend's dialect. It reports every detectable violation; the
+// error return is reserved for audits that could not run.
+func Audit(ctx context.Context, b Backend, s *Schema) (*IntegrityReport, error) {
+	return integrity.Audit(ctx, b, s)
+}
+
+// AuditStore audits an in-memory store directly.
+func AuditStore(ctx context.Context, store *Store, s *Schema) (*IntegrityReport, error) {
+	return integrity.Audit(ctx, integrity.StoreSource(store), s)
+}
+
+// Quarantine moves every tuple the report pins a violation on into a shadow
+// relation (R + "_quarantine"), returning how many tuples moved. See
+// QuarantineDirty for the audit-quarantine fixpoint.
+func Quarantine(store *Store, rep *IntegrityReport) (int, error) {
+	return integrity.Quarantine(store, rep)
+}
+
+// QuarantineDirty repeatedly audits and quarantines until the instance
+// comes back clean (or maxRounds is exhausted; 0 means a sensible default),
+// returning the final report and the total tuples moved.
+func QuarantineDirty(store *Store, s *Schema, maxRounds int) (*IntegrityReport, int, error) {
+	return integrity.QuarantineLoop(store, s, maxRounds)
+}
 
 // NewMemBackend creates the in-process backend: tuples in a fresh Store,
 // queries through the built-in engine.
@@ -196,6 +276,13 @@ func Reconstruct(s *Schema, store *Store) ([]*Document, error) {
 // shredding that respects the mapping, reporting orphan, ambiguous, or
 // structurally invalid tuples.
 func CheckLossless(s *Schema, store *Store) error { return shred.CheckLossless(s, store) }
+
+// InjectOrphan inserts a tuple with a dangling parentid into the named
+// relation — a deliberate lossless-constraint violation for exercising the
+// integrity auditor and safe-mode serving in tests and demos.
+func InjectOrphan(s *Schema, store *Store, rel string, fakeParent int64) error {
+	return shred.InjectOrphan(s, store, rel, fakeParent)
+}
 
 // EdgeMapping derives the schema-oblivious Edge-storage mapping of §5.3 for
 // a schema: every element in one generic Edge(id, parentid, tag, value)
@@ -299,6 +386,11 @@ type PlannerConfig struct {
 	// exceeds it aborts with context.DeadlineExceeded instead of holding a
 	// serving goroutine hostage.
 	Timeout time.Duration
+	// Trust selects when Exec may serve pruned plans (see TrustPolicy).
+	// Either way, once an audit reports violations the planner transparently
+	// re-plans every query with the baseline translation — correct on any
+	// instance — until a later audit comes back clean.
+	Trust TrustPolicy
 }
 
 // Planner is the concurrent query-serving fast path: a plan cache composed
@@ -319,6 +411,16 @@ type Planner struct {
 	cache       *plancache.Cache
 	optKey      string
 	backendOnce sync.Once
+
+	// Trust machinery: the latest audit's verdict for the installed
+	// schema, the report behind it, and the degradation counters. All
+	// atomic, so a background re-audit (any goroutine calling Audit) flips
+	// serving between pruned and safe mode without locking the hot path.
+	trust      atomic.Int32
+	lastAudit  atomic.Pointer[IntegrityReport]
+	audits     atomic.Int64
+	violations atomic.Int64
+	safeServes atomic.Int64
 }
 
 // NewPlanner creates a Planner for the schema with default configuration.
@@ -342,13 +444,33 @@ func (p *Planner) Schema() *Schema { return p.schema.Load() }
 
 // SetSchema atomically installs a new mapping. In-flight Evals finish under
 // the schema they started with; subsequent Evals translate (and cache) under
-// the new fingerprint, so stale plans are never served.
-func (p *Planner) SetSchema(s *Schema) { p.schema.Store(s) }
+// the new fingerprint, so stale plans are never served. The trust state
+// resets to TrustUnverified: whatever the last audit said, it said it about
+// a different mapping.
+func (p *Planner) SetSchema(s *Schema) {
+	p.schema.Store(s)
+	p.trust.Store(int32(TrustUnverified))
+	p.lastAudit.Store(nil)
+}
 
-// Plan returns the translation for query, from the cache when possible.
+// Plan returns the pruned translation for query, from the cache when
+// possible. Serving (Exec) consults the trust state and may substitute the
+// safe-mode plan instead; Plan itself always answers with the pruned one so
+// diagnostics and tests can inspect it.
 func (p *Planner) Plan(query string) (*Translation, error) {
+	return p.planMode(query, false)
+}
+
+// planMode translates query in either pruned or safe (baseline) mode, with
+// both kinds cached under mode-distinct keys so flipping trust state never
+// serves a plan produced under the other mode.
+func (p *Planner) planMode(query string, safe bool) (*Translation, error) {
 	s := p.schema.Load()
-	k := plancache.Key{SchemaFP: s.Fingerprint(), Query: query, Options: p.optKey}
+	optKey := p.optKey
+	if safe {
+		optKey = safeModeKey
+	}
+	k := plancache.Key{SchemaFP: s.Fingerprint(), Query: query, Options: optKey}
 	if v, ok := p.cache.Get(k); ok {
 		return v.(*Translation), nil
 	}
@@ -356,13 +478,83 @@ func (p *Planner) Plan(query string) (*Translation, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := TranslateWithOptions(s, q, p.cfg.Translate)
-	if err != nil {
-		return nil, err
+	var tr *Translation
+	if safe {
+		// Safe mode: the baseline translation of [9], correct on any
+		// instance, lossless or not. Fallback marks the pruning as unused.
+		nq, err := TranslateNaive(s, q)
+		if err != nil {
+			return nil, err
+		}
+		tr = &Translation{Query: nq, Fallback: true}
+	} else {
+		if tr, err = TranslateWithOptions(s, q, p.cfg.Translate); err != nil {
+			return nil, err
+		}
 	}
 	p.cache.Put(k, tr)
 	return tr, nil
 }
+
+// safeModeKey is the plan-cache options key for safe-mode (baseline) plans;
+// the baseline translator takes no options, so one key covers them all.
+const safeModeKey = "safe-mode"
+
+// safeMode reports whether Exec must serve the baseline translation right
+// now: always under TrustViolated, and under TrustStrict also while the
+// instance is merely unverified.
+func (p *Planner) safeMode() bool {
+	switch TrustState(p.trust.Load()) {
+	case TrustViolated:
+		return true
+	case TrustVerified:
+		return false
+	default:
+		return p.cfg.Trust == TrustStrict
+	}
+}
+
+// TrustState returns the planner's current audit disposition.
+func (p *Planner) TrustState() TrustState { return TrustState(p.trust.Load()) }
+
+// SetTrustState overrides the trust state without running an audit — for
+// tests, or for operators who repaired (or deliberately distrust) the
+// instance out of band. Transitioning into TrustViolated purges the plan
+// cache, dropping the pruned plans the verdict invalidated.
+func (p *Planner) SetTrustState(st TrustState) { p.setTrust(st) }
+
+func (p *Planner) setTrust(st TrustState) {
+	if TrustState(p.trust.Swap(int32(st))) != st && st == TrustViolated {
+		p.cache.Purge()
+	}
+}
+
+// Audit probes the planner's backend for violations of the lossless-from-XML
+// constraint and installs the verdict: clean flips the trust state to
+// TrustVerified (pruned plans serve), violations flip it to TrustViolated
+// (Exec transparently re-plans with the baseline translation and the
+// invalidated pruned plans are dropped from the cache). Run it after loads,
+// after fault recovery, or periodically from a background goroutine — the
+// state is atomic, so serving picks the new verdict up immediately.
+func (p *Planner) Audit(ctx context.Context) (*IntegrityReport, error) {
+	rep, err := integrity.Audit(ctx, p.backend(), p.schema.Load())
+	if err != nil {
+		return nil, err
+	}
+	p.audits.Add(1)
+	p.lastAudit.Store(rep)
+	if rep.Clean() {
+		p.setTrust(TrustVerified)
+	} else {
+		p.violations.Add(int64(rep.Total))
+		p.setTrust(TrustViolated)
+	}
+	return rep, nil
+}
+
+// LastAudit returns the most recent audit's report, or nil if none has run
+// since the schema was installed.
+func (p *Planner) LastAudit() *IntegrityReport { return p.lastAudit.Load() }
 
 // Eval translates (with caching) and executes query against the store.
 func (p *Planner) Eval(store *Store, query string) (*Result, error) {
@@ -388,10 +580,18 @@ func (p *Planner) EvalContext(ctx context.Context, store *Store, query string) (
 // out of the box; point cfg.Backend at a DB backend to serve the same
 // cached plans from a real database, or at a NewResilientBackend wrapper to
 // add retries and degradation.
+// Exec consults the trust state first: under TrustViolated (or TrustStrict
+// with an unverified instance) it serves the safe-mode baseline plan, whose
+// answers are correct on dirty data, and counts the degradation in
+// Stats().SafeModeServes.
 func (p *Planner) Exec(ctx context.Context, query string) (*Result, error) {
-	tr, err := p.Plan(query)
+	safe := p.safeMode()
+	tr, err := p.planMode(query, safe)
 	if err != nil {
 		return nil, err
+	}
+	if safe {
+		p.safeServes.Add(1)
 	}
 	ctx, cancel := p.queryCtx(ctx)
 	defer cancel()
@@ -431,12 +631,28 @@ type PlannerStats struct {
 	Evictions int64
 	// Entries is the number of plans currently cached.
 	Entries int
+	// Audits counts completed integrity audits; ViolationsFound sums the
+	// violations they reported.
+	Audits, ViolationsFound int64
+	// SafeModeServes counts Exec calls answered with the baseline
+	// translation because the instance was not trusted — the integrity
+	// counterpart of the resilience layer's Fallbacks counter.
+	SafeModeServes int64
+	// Trust is the planner's current audit disposition.
+	Trust TrustState
 }
 
-// Stats returns the planner's cache hit/miss/eviction counters and size.
+// Stats returns the planner's cache hit/miss/eviction counters and size,
+// plus the integrity-degradation counters.
 func (p *Planner) Stats() PlannerStats {
 	st := p.cache.Stats()
-	return PlannerStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Entries: st.Entries}
+	return PlannerStats{
+		Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Entries: st.Entries,
+		Audits:          p.audits.Load(),
+		ViolationsFound: p.violations.Load(),
+		SafeModeServes:  p.safeServes.Load(),
+		Trust:           TrustState(p.trust.Load()),
+	}
 }
 
 // InvalidatePlans drops every cached plan (counters are preserved). Normal
