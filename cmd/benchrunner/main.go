@@ -30,6 +30,8 @@ func main() {
 	serving := flag.Bool("serving", true, "also measure the serving fast path (plan cache, parallel unions)")
 	chaos := flag.Bool("chaos", true, "also run the resilience chaos suite (injected faults, retries, breaker, degradation)")
 	audit := flag.Bool("audit", true, "also run the integrity sentinel suite (lossless-constraint audit, corruption detection, safe-mode degradation)")
+	sharedWork := flag.Bool("sharedwork", true, "also run the shared-work suite (prefix factoring + subplan memo vs the parallel-union baseline)")
+	sharedWorkGate := flag.Float64("sharedwork-max-regression", 2.0, "fail if factored execution is slower than the parallel baseline by more than this factor on any shared-work case")
 	backendName := flag.String("backend", "mem", "where measured queries run: mem (in-memory engine) or fakedb (database/sql over the in-repo fake driver)")
 	jsonPath := flag.String("json", "", "write the comparison table as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
@@ -105,8 +107,30 @@ func main() {
 		}
 	}
 
+	var sw []*bench.SharedWorkComparison
+	if *sharedWork {
+		sw, err = bench.RunSharedWork(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: sharedwork: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(bench.FormatSharedWork(sw))
+		for _, c := range sw {
+			if !c.Verified {
+				fmt.Fprintf(os.Stderr, "benchrunner: SHARED-WORK VERIFICATION FAILED for %s %s\n", c.Workload, c.Query)
+				os.Exit(1)
+			}
+			if c.FactoredNs > *sharedWorkGate*c.UnfactoredNs {
+				fmt.Fprintf(os.Stderr, "benchrunner: SHARED-WORK REGRESSION for %s %s: factored %.0fns vs baseline %.0fns (> %.1fx)\n",
+					c.Workload, c.Query, c.FactoredNs, c.UnfactoredNs, *sharedWorkGate)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *jsonPath != "" {
-		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt)
+		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt, sw)
 		out := os.Stdout
 		if *jsonPath != "-" {
 			f, err := os.Create(*jsonPath)

@@ -58,6 +58,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "deadline for each -execute run (e.g. 5s); 0 means none")
 	maxRows := flag.Int("max-rows", 0, "abort -execute runs that materialize more than this many rows; 0 means unlimited")
 	maxCTEIter := flag.Int("max-cte-iterations", 0, "abort -execute runs whose recursive CTE exceeds this many rounds; 0 means the engine default")
+	factor := flag.Bool("factor-prefixes", false, "apply the shared-work rewrite to both translations: collapse literal-only branch differences into IN and hoist common join prefixes into a WITH CTE")
 	audit := flag.Bool("audit", false, "generate a workload document, shred it, and audit the instance against the lossless-from-XML constraint (built-in workloads only)")
 	corrupt := flag.Bool("corrupt", false, "with -audit: inject an orphan tuple first, demonstrating detection and safe-mode degradation")
 	flag.Parse()
@@ -131,8 +132,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xml2sql: lossless translation: %v\n", err)
 		os.Exit(1)
 	}
+	factorNote := ""
+	if *factor {
+		var changedN, changedP bool
+		naive, changedN = translate.FactorSharedPrefixes(naive, s)
+		pruned.Query, changedP = translate.FactorSharedPrefixes(pruned.Query, s)
+		factorNote = fmt.Sprintf(" [shared-work rewrite: baseline %s, lossless %s]",
+			factoredLabel(changedN), factoredLabel(changedP))
+	}
 
-	fmt.Printf("-- query: %s over schema %s (%s)\n\n", q, s.Name, s.Classify())
+	fmt.Printf("-- query: %s over schema %s (%s)%s\n\n", q, s.Name, s.Classify(), factorNote)
 	fmt.Printf("-- baseline translation [9] (%s):\n%s\n\n", naive.Shape(), naive.SQLFor(dialect))
 	label := "exploiting the lossless-from-XML constraint"
 	if pruned.Fallback {
@@ -152,6 +161,13 @@ func main() {
 			fmt.Printf("--   %s\n", c)
 		}
 	}
+}
+
+func factoredLabel(changed bool) string {
+	if changed {
+		return "rewritten"
+	}
+	return "unchanged"
 }
 
 // validateFlags rejects explicitly-set flag values that make no sense, with

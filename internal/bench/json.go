@@ -25,8 +25,12 @@ type Report struct {
 	// Audit records the integrity sentinel's numbers (audit durations,
 	// violations detected on corrupted copies, safe-mode degradations), so
 	// the constraint-checking trajectory is tracked too.
-	Audit   []*AuditComparison `json:"audit,omitempty"`
-	Summary ReportSummary      `json:"summary"`
+	Audit []*AuditComparison `json:"audit,omitempty"`
+	// SharedWork records the shared-work execution numbers: the PR-1
+	// parallel baseline vs the subplan memo vs prefix factoring, with the
+	// memo's hit/miss/saved-rows counters.
+	SharedWork []*SharedWorkComparison `json:"shared_work,omitempty"`
+	Summary    ReportSummary           `json:"summary"`
 }
 
 // ReportCase is one experiment case's measurements.
@@ -56,7 +60,7 @@ type ReportSummary struct {
 }
 
 // BuildReport assembles the JSON report from measured comparisons.
-func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison) *Report {
+func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison, sharedWork []*SharedWorkComparison) *Report {
 	r := &Report{
 		Name:       name,
 		Scale:      scale,
@@ -65,6 +69,7 @@ func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingC
 		Serving:    serving,
 		Chaos:      chaos,
 		Audit:      audit,
+		SharedWork: sharedWork,
 		Summary:    ReportSummary{AllVerified: true},
 	}
 	for _, c := range cmps {

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"xmlsql/internal/core"
+	"xmlsql/internal/engine"
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/translate"
+	"xmlsql/internal/workloads"
+	"xmlsql/internal/xmltree"
+)
+
+// SharedWorkComparison measures the shared-work execution stack on one
+// branch-heavy naive translation: the PR-1 parallel-union baseline (memo
+// off, unfactored SQL) against engine-level subplan memoization and against
+// the translation-time factoring rewrite, all under the same parallel
+// executor.
+type SharedWorkComparison struct {
+	Workload string `json:"workload"`
+	Query    string `json:"query"`
+
+	// Branches/Joins describe the unfactored naive translation;
+	// FactoredShape is the rewrite's output.
+	Branches      int    `json:"branches"`
+	Joins         int    `json:"joins"`
+	FactoredShape string `json:"factored_shape"`
+	FactorChanged bool   `json:"factor_changed"`
+
+	// UnfactoredNs is the PR-1 baseline: parallel UNION ALL, memo disabled.
+	// MemoNs keeps the SQL unfactored but turns the subplan memo on.
+	// FactoredNs runs the factored SQL with the memo on.
+	UnfactoredNs    float64 `json:"unfactored_ns"`
+	MemoNs          float64 `json:"memo_ns"`
+	FactoredNs      float64 `json:"factored_ns"`
+	MemoSpeedup     float64 `json:"memo_speedup"`
+	FactoredSpeedup float64 `json:"factored_speedup"`
+
+	// Shared-work counters from single representative executions.
+	MemoHits      int64 `json:"memo_hits"`
+	MemoMisses    int64 `json:"memo_misses"`
+	MemoSavedRows int64 `json:"memo_saved_rows"`
+
+	Rows     int  `json:"rows"`
+	Procs    int  `json:"procs"`
+	Verified bool `json:"verified"`
+}
+
+type sharedWorkCase struct {
+	workload string
+	query    string
+	schema   *schema.Schema
+	doc      *xmltree.Document
+}
+
+// sharedWorkSuite builds the branch-heavy cases the rewrite targets: the
+// naive XMark Q1 union (6 literal-partitioned branches), the S2 DAG over
+// Edge storage (shared-subtree CTE whose body is a 3-branch union), the
+// schema-oblivious Edge mapping's Q8 (6 self-join chains), and the auctions
+// Edge mapping's //ItemRef (structurally distinct suffixes — the prefix-CTE
+// path rather than the IN collapse).
+func sharedWorkSuite(sc Scale) ([]sharedWorkCase, error) {
+	xm := workloads.XMark()
+	xmDoc := workloads.GenerateXMark(workloads.XMarkConfig{
+		ItemsPerContinent: sc.ItemsPerContinent, CategoriesPerItem: 2, NumCategories: 50, Seed: 1,
+	})
+	s2Edge, err := shred.EdgeSchemaFor(workloads.S2())
+	if err != nil {
+		return nil, err
+	}
+	s2Doc := workloads.GenerateS2(sc.S2Groups, 1)
+	xfEdge, err := shred.EdgeSchemaFor(workloads.XMarkFull())
+	if err != nil {
+		return nil, err
+	}
+	xfDoc := workloads.GenerateXMarkFull(workloads.XMarkConfig{
+		ItemsPerContinent: sc.ItemsPerContinent / 2, CategoriesPerItem: 2, NumCategories: 50, Seed: 1,
+	})
+	xaEdge, err := shred.EdgeSchemaFor(workloads.XMarkAuctions())
+	if err != nil {
+		return nil, err
+	}
+	xaDoc := workloads.GenerateXMarkAuctions(workloads.XMarkAuctionsConfig{
+		ItemsPerContinent: sc.ItemsPerContinent / 2,
+		People:            sc.AdsPerSection,
+		OpenAuctions:      sc.AdsPerSection,
+		BiddersPerAuction: 3,
+		ClosedAuctions:    sc.AdsPerSection / 2,
+		Seed:              1,
+	})
+	return []sharedWorkCase{
+		{workload: "xmark", query: workloads.QueryQ1, schema: xm, doc: xmDoc},
+		{workload: "s2-edge", query: "//s/t1", schema: s2Edge, doc: s2Doc},
+		{workload: "xmarkfull-edge", query: workloads.QueryQ8, schema: xfEdge, doc: xfDoc},
+		{workload: "xmarkauctions-edge", query: "//ItemRef", schema: xaEdge, doc: xaDoc},
+	}, nil
+}
+
+// RunSharedWork measures every shared-work case.
+func RunSharedWork(sc Scale) ([]*SharedWorkComparison, error) {
+	cases, err := sharedWorkSuite(sc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*SharedWorkComparison, 0, len(cases))
+	for _, c := range cases {
+		cmp, err := runSharedWork(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}
+
+func runSharedWork(c sharedWorkCase) (*SharedWorkComparison, error) {
+	store := relational.NewStore()
+	if _, err := shred.ShredAll(c.schema, store, shred.Options{}, c.doc); err != nil {
+		return nil, fmt.Errorf("sharedwork %s %s: shred: %w", c.workload, c.query, err)
+	}
+	q, err := pathexpr.Parse(c.query)
+	if err != nil {
+		return nil, err
+	}
+	g, err := pathid.Build(c.schema, q)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := translate.Naive(g)
+	if err != nil {
+		return nil, err
+	}
+	factored, changed := translate.FactorSharedPrefixes(naive, c.schema)
+
+	ctx := context.Background()
+	baseOpts := engine.Options{DisableMemo: true} // PR-1 baseline: parallel only
+	memoOpts := engine.Options{}
+
+	// Correctness gate before timing: every mode must return the same
+	// multiset, serial and parallel, and agree with the pruned translation.
+	baseRes, _, err := engine.ExecuteCtxStats(ctx, store, naive, baseOpts)
+	if err != nil {
+		return nil, fmt.Errorf("sharedwork %s %s: baseline: %w", c.workload, c.query, err)
+	}
+	memoRes, memoStats, err := engine.ExecuteCtxStats(ctx, store, naive, memoOpts)
+	if err != nil {
+		return nil, fmt.Errorf("sharedwork %s %s: memo: %w", c.workload, c.query, err)
+	}
+	factRes, factStats, err := engine.ExecuteCtxStats(ctx, store, factored, memoOpts)
+	if err != nil {
+		return nil, fmt.Errorf("sharedwork %s %s: factored: %w", c.workload, c.query, err)
+	}
+	serialFactRes, _, err := engine.ExecuteCtxStats(ctx, store, factored, engine.Options{Parallelism: 1})
+	if err != nil {
+		return nil, fmt.Errorf("sharedwork %s %s: factored serial: %w", c.workload, c.query, err)
+	}
+	verified := baseRes.MultisetEqual(memoRes) &&
+		baseRes.MultisetEqual(factRes) &&
+		baseRes.MultisetEqual(serialFactRes)
+	if pruned, err := core.Translate(g); err == nil {
+		if pres, err := engine.Execute(store, pruned.Query); err == nil {
+			verified = verified && baseRes.MultisetEqual(pres)
+		}
+	}
+
+	cmp := &SharedWorkComparison{
+		Workload:      c.workload,
+		Query:         c.query,
+		Branches:      naive.Shape().Branches,
+		Joins:         naive.Shape().Joins,
+		FactoredShape: factored.Shape().String(),
+		FactorChanged: changed,
+		MemoHits:      memoStats.SharedHits,
+		MemoMisses:    memoStats.SharedMisses,
+		MemoSavedRows: memoStats.SharedSavedRows,
+		Rows:          baseRes.Len(),
+		Procs:         runtime.GOMAXPROCS(0),
+		Verified:      verified,
+	}
+	// The factored run's counters matter when the rewrite leaves residual
+	// identical prefixes; keep whichever execution actually shared more.
+	if factStats.SharedSavedRows > cmp.MemoSavedRows {
+		cmp.MemoHits = factStats.SharedHits
+		cmp.MemoMisses = factStats.SharedMisses
+		cmp.MemoSavedRows = factStats.SharedSavedRows
+	}
+
+	run := func(q *sqlast.Query, opts engine.Options) float64 {
+		return measureFn(func() error {
+			_, err := engine.ExecuteCtx(ctx, store, q, opts)
+			return err
+		})
+	}
+	cmp.UnfactoredNs = run(naive, baseOpts)
+	cmp.MemoNs = run(naive, memoOpts)
+	cmp.FactoredNs = run(factored, memoOpts)
+	if cmp.MemoNs > 0 {
+		cmp.MemoSpeedup = cmp.UnfactoredNs / cmp.MemoNs
+	}
+	if cmp.FactoredNs > 0 {
+		cmp.FactoredSpeedup = cmp.UnfactoredNs / cmp.FactoredNs
+	}
+	return cmp, nil
+}
+
+// FormatSharedWork renders the shared-work comparisons as a fixed-width
+// table.
+func FormatSharedWork(cmps []*SharedWorkComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shared-work execution: PR-1 parallel baseline vs subplan memo vs prefix factoring (GOMAXPROCS=%d)\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%-19s %-28s %4s %10s %10s %10s %8s %6s %6s %9s %3s\n",
+		"workload", "query", "br", "base/op", "memo/op", "fact/op", "speedup", "hits", "miss", "savedrows", "ok")
+	b.WriteString(strings.Repeat("-", 124))
+	b.WriteString("\n")
+	for _, c := range cmps {
+		ok := "yes"
+		if !c.Verified {
+			ok = "NO"
+		}
+		fmt.Fprintf(&b, "%-19s %-28s %4d %10s %10s %10s %7.2fx %6d %6d %9d %3s\n",
+			c.Workload, truncate(c.Query, 28), c.Branches,
+			fmtNs(c.UnfactoredNs), fmtNs(c.MemoNs), fmtNs(c.FactoredNs),
+			c.FactoredSpeedup, c.MemoHits, c.MemoMisses, c.MemoSavedRows, ok)
+	}
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package bench_test
+
+import (
+	"testing"
+
+	"xmlsql/internal/bench"
+)
+
+func TestRunSharedWorkTiny(t *testing.T) {
+	cmps, err := bench.RunSharedWork(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmps) < 4 {
+		t.Fatalf("expected >= 4 shared-work cases, got %d", len(cmps))
+	}
+	factored := 0
+	for _, c := range cmps {
+		if !c.Verified {
+			t.Errorf("%s %s: verification failed", c.Workload, c.Query)
+		}
+		if c.FactorChanged {
+			factored++
+		}
+		if c.Rows == 0 {
+			t.Errorf("%s %s: no rows returned", c.Workload, c.Query)
+		}
+	}
+	if factored < 3 {
+		t.Errorf("the rewrite should fire on at least 3 of the branch-heavy cases, fired on %d", factored)
+	}
+	out := bench.FormatSharedWork(cmps)
+	if out == "" {
+		t.Fatal("empty table")
+	}
+}

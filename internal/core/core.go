@@ -25,6 +25,11 @@ type Options struct {
 	// NoFallback makes translation fail instead of silently reverting to
 	// the baseline when safe suffixes cannot be established.
 	NoFallback bool
+	// FactorPrefixes applies the shared-work rewrite after translation:
+	// UNION ALL branches differing only in one literal collapse into an IN,
+	// and maximal common join prefixes hoist into a WITH CTE. The flag is
+	// part of the plan-cache key (the cache keys on the printed Options).
+	FactorPrefixes bool
 }
 
 // Result is a completed translation.
@@ -88,7 +93,13 @@ func TranslateOpts(g *pathid.Graph, opts Options) (*Result, error) {
 		if nerr != nil {
 			return nil, nerr
 		}
+		if opts.FactorPrefixes {
+			naive, _ = translate.FactorSharedPrefixes(naive, g.Schema)
+		}
 		return &Result{Query: naive, Fallback: true}, nil
+	}
+	if opts.FactorPrefixes {
+		query, _ = translate.FactorSharedPrefixes(query, g.Schema)
 	}
 	return &Result{Query: query, Classes: classes}, nil
 }

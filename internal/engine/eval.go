@@ -46,6 +46,13 @@ type Options struct {
 	// schema shredded into one) makes the fixpoint loop diverge; the bound
 	// turns that divergence into a typed *ResourceError instead of a hang.
 	MaxCTEIterations int
+	// DisableMemo turns off the shared-work subplan memo (see Stats): every
+	// UNION ALL branch then recomputes its join prefixes from scratch, as
+	// the pre-memo engine did. Used by benchmarks to measure the memo's
+	// contribution and by tests as a differential oracle. Note that rows a
+	// branch reuses from the memo are charged against MaxRows once, when
+	// first materialized, not once per reusing branch.
+	DisableMemo bool
 }
 
 // Execute evaluates q against the store with default options.
@@ -65,11 +72,28 @@ func ExecuteOpts(store *relational.Store, q *sqlast.Query, opts Options) (*Resul
 // aborts even a single long-running branch with ctx.Err() rather than running
 // it to completion.
 func ExecuteCtx(ctx context.Context, store *relational.Store, q *sqlast.Query, opts Options) (*Result, error) {
-	ex := &executor{store: store, ctes: map[string]*Result{}, opts: opts, done: ctx.Done(), ctx: ctx}
-	if err := ex.cancelled(); err != nil {
-		return nil, err
+	res, _, err := ExecuteCtxStats(ctx, store, q, opts)
+	return res, err
+}
+
+// ExecuteCtxStats is ExecuteCtx plus the execution's shared-work Stats: how
+// often UNION ALL branches reused a memoized join prefix instead of
+// recomputing it, and how many materialized rows that reuse saved.
+func ExecuteCtxStats(ctx context.Context, store *relational.Store, q *sqlast.Query, opts Options) (*Result, Stats, error) {
+	ex := &executor{store: store, ctes: map[string]*Result{}, cteEpoch: map[string]uint64{}, opts: opts, done: ctx.Done(), ctx: ctx}
+	if !opts.DisableMemo && memoWorthwhile(q) {
+		ex.memo = newMemo()
 	}
-	return ex.query(q)
+	if err := ex.cancelled(); err != nil {
+		return nil, Stats{}, err
+	}
+	res, err := ex.query(q)
+	st := Stats{
+		SharedHits:      ex.sharedHits.Load(),
+		SharedMisses:    ex.sharedMisses.Load(),
+		SharedSavedRows: ex.sharedSavedRows.Load(),
+	}
+	return res, st, err
 }
 
 type executor struct {
@@ -84,6 +108,19 @@ type executor struct {
 	// rows counts materialized rows against opts.MaxRows across all branches
 	// (hence atomic: parallel UNION workers all charge it).
 	rows atomic.Int64
+	// memo shares computed join prefixes across UNION ALL branches (nil when
+	// disabled or when the query has a single SELECT and nothing to share).
+	memo *memo
+	// cteEpoch tracks the current binding generation of every materialized
+	// CTE name. Bumped on every bind, it flows into memo keys so a prefix
+	// computed over one binding (e.g. one recursive round's delta) never
+	// satisfies a lookup against another. Written only between evalSelects
+	// rounds; read-only while branches run in parallel.
+	cteEpoch     map[string]uint64
+	epochCounter uint64
+	// Shared-work counters (see Stats); atomic because parallel branch
+	// workers all bump them.
+	sharedHits, sharedMisses, sharedSavedRows atomic.Int64
 }
 
 // cancelCheckInterval is how many rows a join or filter loop processes
@@ -147,13 +184,30 @@ func (ex *executor) resolve(name string) (*relation, error) {
 	return &relation{cols: cols, rows: t.Rows(), table: t}, nil
 }
 
+// bindCTE installs a CTE's materialization under a fresh epoch; unbindCTE
+// removes it and drops any memo entries computed against it (epoch 0 never
+// matches a real binding, so dropStale with 0 drops them all).
+func (ex *executor) bindCTE(name string, res *Result) {
+	ex.ctes[name] = res
+	ex.epochCounter++
+	ex.cteEpoch[name] = ex.epochCounter
+}
+
+func (ex *executor) unbindCTE(name string) {
+	delete(ex.ctes, name)
+	delete(ex.cteEpoch, name)
+	if ex.memo != nil {
+		ex.memo.dropStale(name, 0)
+	}
+}
+
 func (ex *executor) query(q *sqlast.Query) (*Result, error) {
 	// Materialize CTEs in order; later CTEs and the main body may reference
 	// earlier ones.
 	defined := make([]string, 0, len(q.With))
 	defer func() {
 		for _, name := range defined {
-			delete(ex.ctes, name)
+			ex.unbindCTE(name)
 		}
 	}()
 	for _, cte := range q.With {
@@ -170,7 +224,7 @@ func (ex *executor) query(q *sqlast.Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex.ctes[cte.Name] = res
+		ex.bindCTE(cte.Name, res)
 		defined = append(defined, cte.Name)
 	}
 
@@ -178,19 +232,25 @@ func (ex *executor) query(q *sqlast.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out *Result
-	for _, r := range branches {
-		if out == nil {
-			out = r
-			continue
-		}
-		if len(out.Cols) != len(r.Cols) {
-			return nil, fmt.Errorf("engine: union all arity mismatch: %d vs %d", len(out.Cols), len(r.Cols))
-		}
-		out.Rows = append(out.Rows, r.Rows...)
-	}
-	if out == nil {
+	if len(branches) == 0 {
 		return &Result{}, nil
+	}
+	if len(branches) == 1 {
+		return &Result{Cols: branches[0].Cols, Rows: branches[0].Rows}, nil
+	}
+	// Merge into a freshly allocated Result: appending into branches[0] in
+	// place would mutate a Result whose row slice may be shared (a memoized
+	// prefix, a CTE materialization another branch still reads).
+	total := 0
+	for _, r := range branches {
+		if len(r.Cols) != len(branches[0].Cols) {
+			return nil, fmt.Errorf("engine: union all arity mismatch: %d vs %d", len(branches[0].Cols), len(r.Cols))
+		}
+		total += len(r.Rows)
+	}
+	out := &Result{Cols: branches[0].Cols, Rows: make([]relational.Row, 0, total)}
+	for _, r := range branches {
+		out.Rows = append(out.Rows, r.Rows...)
 	}
 	return out, nil
 }
@@ -349,31 +409,36 @@ func (ex *executor) recursiveCTE(cte sqlast.CTE) (*Result, error) {
 		if err := ex.cancelled(); err != nil {
 			return nil, err
 		}
-		// Bind the CTE name to the previous delta only. The binding is
-		// written before the round's branches start and read-only while they
-		// run, so the branches themselves may evaluate in parallel.
-		ex.ctes[cte.Name] = &Result{Cols: acc.Cols, Rows: delta}
+		// Bind the CTE name to the previous delta only, under a fresh epoch:
+		// memo entries computed against earlier rounds' deltas stop
+		// matching and are dropped. The binding is written before the
+		// round's branches start and read-only while they run, so the
+		// branches themselves may evaluate in parallel.
+		ex.bindCTE(cte.Name, &Result{Cols: acc.Cols, Rows: delta})
+		if ex.memo != nil {
+			ex.memo.dropStale(cte.Name, ex.cteEpoch[cte.Name])
+		}
 		recResults, err := ex.evalSelects(rec)
 		if err != nil {
-			delete(ex.ctes, cte.Name)
+			ex.unbindCTE(cte.Name)
 			return nil, err
 		}
 		var next []relational.Row
 		for _, r := range recResults {
 			if len(r.Cols) != len(acc.Cols) {
-				delete(ex.ctes, cte.Name)
+				ex.unbindCTE(cte.Name)
 				return nil, fmt.Errorf("engine: recursive cte %q: arity mismatch in recursive branch", cte.Name)
 			}
 			next = append(next, r.Rows...)
 		}
 		if err := ex.charge(len(next)); err != nil {
-			delete(ex.ctes, cte.Name)
+			ex.unbindCTE(cte.Name)
 			return nil, err
 		}
 		acc.Rows = append(acc.Rows, next...)
 		delta = next
 	}
-	delete(ex.ctes, cte.Name)
+	ex.unbindCTE(cte.Name)
 	return acc, nil
 }
 
@@ -456,16 +521,30 @@ func (ex *executor) selectBlock(s *sqlast.Select) (*Result, error) {
 
 	conjuncts := splitConjuncts(s.Where)
 
+	// Fingerprint the join pipeline for the shared-work memo: branches of a
+	// UNION ALL (and recursive-CTE rounds) with a canonically equal prefix
+	// reuse one computation instead of racing to duplicate it.
+	var plan *memoPlan
+	if ex.memo != nil {
+		plan = ex.memoPlan(s, conjuncts)
+	}
+
 	// Build left-deep join in FROM order.
 	var cur *frame
 	remaining := conjuncts
-	for _, f := range s.From {
+	for i, f := range s.From {
 		rel, err := ex.resolve(f.Source)
 		if err != nil {
 			return nil, err
 		}
 		alias := aliasOf(f)
-		next, rest, err := ex.joinStep(cur, rel, alias, remaining)
+		var next *frame
+		var rest []sqlast.Expr
+		if plan != nil && plan.memoize[i] {
+			next, rest, err = ex.memoStep(plan, i, cur, rel, alias, remaining)
+		} else {
+			next, rest, err = ex.joinStep(cur, rel, alias, remaining)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,253 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"xmlsql/internal/engine"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/sqlast"
+)
+
+// memoStore builds a three-level chain A(id) <- B(id,parentid,code) <-
+// C(id,parentid,v) with fanout rows, so shared join prefixes have real work
+// to save.
+func memoStore(t *testing.T) *relational.Store {
+	t.Helper()
+	s := relational.NewStore()
+	a, err := s.CreateTable(&relational.TableSchema{
+		Name: "A",
+		Columns: []relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+		},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.CreateTable(&relational.TableSchema{
+		Name: "B",
+		Columns: []relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "parentid", Kind: relational.KindInt},
+			{Name: "code", Kind: relational.KindInt},
+		},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.CreateTable(&relational.TableSchema{
+		Name: "C",
+		Columns: []relational.Column{
+			{Name: "id", Kind: relational.KindInt},
+			{Name: "parentid", Kind: relational.KindInt},
+			{Name: "v", Kind: relational.KindString},
+		},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := int64(100)
+	for ai := int64(1); ai <= 3; ai++ {
+		a.MustInsert(relational.Row{relational.Int(ai)})
+		for bi := int64(0); bi < 4; bi++ {
+			id++
+			bid := id
+			b.MustInsert(relational.Row{relational.Int(bid), relational.Int(ai), relational.Int(bi % 3)})
+			for ci := int64(0); ci < 3; ci++ {
+				id++
+				c.MustInsert(relational.Row{relational.Int(id), relational.Int(bid), relational.String(fmt.Sprintf("v%d", ci))})
+			}
+		}
+	}
+	return s
+}
+
+// unionBranches builds a UNION ALL whose branches all share the A⋈B⋈C chain
+// and differ only in a filter on B.code.
+func unionBranches(codes ...int64) *sqlast.Query {
+	q := &sqlast.Query{}
+	for _, code := range codes {
+		q.Selects = append(q.Selects, &sqlast.Select{
+			Cols: []sqlast.SelectItem{sqlast.Col("c", "v")},
+			From: []sqlast.FromItem{
+				{Source: "A", Alias: "a"},
+				{Source: "B", Alias: "b"},
+				{Source: "C", Alias: "c"},
+			},
+			Where: sqlast.Conj(
+				sqlast.Eq(sqlast.ColRef{Table: "b", Column: "parentid"}, sqlast.ColRef{Table: "a", Column: "id"}),
+				sqlast.Eq(sqlast.ColRef{Table: "c", Column: "parentid"}, sqlast.ColRef{Table: "b", Column: "id"}),
+				sqlast.Eq(sqlast.ColRef{Table: "b", Column: "code"}, sqlast.IntLit(code)),
+			),
+		})
+	}
+	return q
+}
+
+func TestMemoSharesJoinPrefix(t *testing.T) {
+	store := memoStore(t)
+	q := unionBranches(0, 1, 2)
+	res, _, err := engine.ExecuteCtxStats(context.Background(), store, q, engine.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("expected rows")
+	}
+
+	// Branches with identical join prefixes (here: fully identical branches,
+	// the recursive-translation shape) must share the computation.
+	dup := unionBranches(1, 1, 1)
+	res2, stats2, err := engine.ExecuteCtxStats(context.Background(), store, dup, engine.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.SharedHits == 0 {
+		t.Fatalf("identical branches should hit the memo: %+v", stats2)
+	}
+	if stats2.SharedSavedRows == 0 {
+		t.Fatalf("hits should report saved rows: %+v", stats2)
+	}
+	one, _, err := engine.ExecuteCtxStats(context.Background(), store, unionBranches(1), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Len() != 3*one.Len() {
+		t.Fatalf("3 identical branches must triple the multiset: %d vs 3*%d", res2.Len(), one.Len())
+	}
+}
+
+func TestMemoEquivalence(t *testing.T) {
+	store := memoStore(t)
+	queries := []*sqlast.Query{
+		unionBranches(0, 1, 2),
+		unionBranches(1, 1, 2),
+		unionBranches(2, 2, 2),
+	}
+	for qi, q := range queries {
+		var results []*engine.Result
+		for _, opts := range []engine.Options{
+			{Parallelism: 1},
+			{Parallelism: 4},
+			{Parallelism: 1, DisableMemo: true},
+			{Parallelism: 4, DisableMemo: true},
+		} {
+			r, _, err := engine.ExecuteCtxStats(context.Background(), store, q, opts)
+			if err != nil {
+				t.Fatalf("query %d opts %+v: %v", qi, opts, err)
+			}
+			results = append(results, r)
+		}
+		for i := 1; i < len(results); i++ {
+			if !results[0].MultisetEqual(results[i]) {
+				t.Fatalf("query %d: mode %d differs:\n%s", qi, i, results[0].MultisetDiff(results[i]))
+			}
+		}
+	}
+}
+
+func TestMemoSingleFlightUnderParallelism(t *testing.T) {
+	store := memoStore(t)
+	// 8 identical branches, parallel workers: single-flight means the shared
+	// prefix is computed at most once per level; everyone else hits or waits.
+	q := unionBranches(1, 1, 1, 1, 1, 1, 1, 1)
+	res, stats, err := engine.ExecuteCtxStats(context.Background(), store, q, engine.Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _, err := engine.ExecuteCtxStats(context.Background(), store, unionBranches(1), engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 8*one.Len() {
+		t.Fatalf("multiset multiplicity broken: %d vs 8*%d", res.Len(), one.Len())
+	}
+	// Branch pipeline has 2 memoizable levels (B join, C join); each distinct
+	// key is computed exactly once.
+	if stats.SharedMisses > 2 {
+		t.Fatalf("single flight violated: %d misses for 2 distinct prefixes", stats.SharedMisses)
+	}
+	if stats.SharedHits < 8*2-2 {
+		t.Fatalf("expected %d hits, got %+v", 8*2-2, stats)
+	}
+}
+
+func TestMemoDisabled(t *testing.T) {
+	store := memoStore(t)
+	q := unionBranches(1, 1, 1)
+	_, stats, err := engine.ExecuteCtxStats(context.Background(), store, q, engine.Options{DisableMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SharedHits != 0 || stats.SharedMisses != 0 {
+		t.Fatalf("disabled memo must not count: %+v", stats)
+	}
+}
+
+func TestMemoRecursiveCTEEpochs(t *testing.T) {
+	// WITH RECURSIVE r AS (seed UNION ALL step over r): every round rebinds
+	// r, so memo entries from round k must not serve round k+1. Equivalence
+	// with the memo disabled is the witness.
+	store := memoStore(t)
+	rec := &sqlast.Query{
+		With: []sqlast.CTE{{
+			Name:      "r",
+			Recursive: true,
+			Body: &sqlast.Query{Selects: []*sqlast.Select{
+				{
+					Cols:  []sqlast.SelectItem{sqlast.Col("a", "id")},
+					From:  []sqlast.FromItem{{Source: "A", Alias: "a"}},
+					Where: sqlast.Eq(sqlast.ColRef{Table: "a", Column: "id"}, sqlast.IntLit(1)),
+				},
+				{
+					Cols: []sqlast.SelectItem{sqlast.Col("b", "id")},
+					From: []sqlast.FromItem{{Source: "r", Alias: "r"}, {Source: "B", Alias: "b"}},
+					Where: sqlast.Conj(
+						sqlast.Eq(sqlast.ColRef{Table: "b", Column: "parentid"}, sqlast.ColRef{Table: "r", Column: "id"}),
+					),
+				},
+			}},
+		}},
+		Selects: []*sqlast.Select{{
+			Cols: []sqlast.SelectItem{sqlast.Col("r", "id")},
+			From: []sqlast.FromItem{{Source: "r", Alias: "r"}},
+		}},
+	}
+	on, _, err := engine.ExecuteCtxStats(context.Background(), store, rec, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _, err := engine.ExecuteCtxStats(context.Background(), store, rec, engine.Options{DisableMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on.MultisetEqual(off) {
+		t.Fatalf("memo broke recursive CTE semantics:\n%s", on.MultisetDiff(off))
+	}
+	if on.Len() == 0 {
+		t.Fatal("recursive query should return rows")
+	}
+}
+
+func TestMemoErrorPropagates(t *testing.T) {
+	store := memoStore(t)
+	// Branches referencing a missing table share a prefix key; the leader's
+	// error must propagate to every waiter, not hang them.
+	q := &sqlast.Query{}
+	for i := 0; i < 4; i++ {
+		q.Selects = append(q.Selects, &sqlast.Select{
+			Cols: []sqlast.SelectItem{sqlast.Col("x", "id")},
+			From: []sqlast.FromItem{{Source: "A", Alias: "a"}, {Source: "Nope", Alias: "x"}},
+			Where: sqlast.Conj(
+				sqlast.Eq(sqlast.ColRef{Table: "x", Column: "parentid"}, sqlast.ColRef{Table: "a", Column: "id"}),
+			),
+		})
+	}
+	if _, err := engine.ExecuteOpts(store, q, engine.Options{Parallelism: 4}); err == nil {
+		t.Fatal("expected an error for a missing table")
+	}
+}

@@ -30,7 +30,11 @@ type Key struct {
 	// Query is the path expression source text.
 	Query string
 	// Options encodes the translate options the plan was produced under
-	// (plans for different option sets must not alias).
+	// (plans for different option sets must not alias). The Planner derives
+	// it by printing core.Options, so every flag that changes the emitted
+	// SQL — including the FactorPrefixes shared-work rewrite — is part of
+	// the key automatically; safe-mode plans additionally carry a
+	// "+factored" suffix when the rewrite applies to the baseline too.
 	Options string
 }
 

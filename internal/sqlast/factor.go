@@ -1,0 +1,733 @@
+// Shared-work rewrite: the translations of §3.4 (and the baseline of [9])
+// emit UNION ALL queries whose branches re-join the same root-to-leaf prefix
+// — six copies of the Site⋈Item chain for XMark's Q1, six Edge self-join
+// chains for the schema-oblivious mapping's Q8. FactorUnions applies two
+// multi-query-optimization rewrites (in the spirit of Sellis, TODS 1988) so
+// the repeated work is expressed — and therefore executed, on any backend —
+// exactly once:
+//
+//  1. Disjoint-branch collapse: branches identical up to a single
+//     equality-with-literal conjunct on one column, with pairwise-distinct
+//     literals, merge into one branch with an IN list. Distinct literals
+//     make the branch selections disjoint, so UNION ALL multiplicity is
+//     preserved exactly.
+//  2. Common join-prefix hoisting: branches sharing a maximal join prefix
+//     (same sources in order, same join predicates level by level) have the
+//     prefix hoisted into one non-recursive WITH CTE; each branch re-reads
+//     the CTE and applies its own deferred single-alias filters and suffix
+//     joins. Single-alias conjuncts commute with the joins above them, so a
+//     branch-specific filter is deferred past the CTE rather than blocking
+//     the factoring.
+package sqlast
+
+import (
+	"sort"
+	"strings"
+)
+
+// ColumnsFunc resolves a base table name to its ordered column names. It is
+// consulted only to expand `alias.*` projections over a factored prefix; a
+// nil func (or a nil return) leaves such branches unfactored rather than
+// guessing a layout.
+type ColumnsFunc func(table string) []string
+
+// FactorUnions rewrites q so that work shared across UNION ALL branches is
+// expressed once, returning the rewritten query and whether anything
+// changed. The input query is never mutated (plans may be cached and
+// shared); unchanged selects are reused by pointer. Recursive CTE bodies are
+// left untouched — their branch structure is the fixpoint's semantics, not
+// repeated work.
+func FactorUnions(q *Query, columns ColumnsFunc) (*Query, bool) {
+	if q == nil || (len(q.Selects) == 0 && len(q.With) == 0) {
+		return q, false
+	}
+	f := &factorer{columns: columns, used: map[string]bool{}}
+	collectNames(q, f.used)
+	return f.query(q, map[string][]string{})
+}
+
+type factorer struct {
+	columns ColumnsFunc
+	used    map[string]bool // every name in the query: sources, aliases, CTEs
+	nameSeq int
+}
+
+// collectNames gathers every identifier the rewritten query must not shadow.
+func collectNames(q *Query, acc map[string]bool) {
+	for _, c := range q.With {
+		acc[c.Name] = true
+		collectNames(c.Body, acc)
+	}
+	for _, s := range q.Selects {
+		for _, fi := range s.From {
+			acc[fi.Source] = true
+			if fi.Alias != "" {
+				acc[fi.Alias] = true
+			}
+		}
+	}
+}
+
+// newName mints a CTE name that collides with nothing in the query.
+func (f *factorer) newName() string {
+	for {
+		f.nameSeq++
+		n := "jp"
+		if f.nameSeq > 1 {
+			n += itoa(f.nameSeq)
+		}
+		if !f.used[n] {
+			f.used[n] = true
+			return n
+		}
+	}
+}
+
+// query rewrites one Query scope: non-recursive CTE bodies first (bottom-up),
+// then the scope's own UNION ALL. env maps CTE names visible in this scope to
+// their output columns (nil = unknown layout).
+func (f *factorer) query(q *Query, env map[string][]string) (*Query, bool) {
+	// Copy the environment: CTE definitions are scoped to this query.
+	scope := make(map[string][]string, len(env)+len(q.With))
+	for k, v := range env {
+		scope[k] = v
+	}
+	changed := false
+	with := append([]CTE(nil), q.With...)
+	for i, c := range with {
+		if !c.Recursive {
+			if body, ch := f.query(c.Body, scope); ch {
+				with[i] = CTE{Name: c.Name, Body: body}
+				changed = true
+			}
+		}
+		scope[c.Name] = f.outputCols(with[i].Body, scope)
+	}
+	sels, newCTEs, ch := f.selects(q.Selects, scope)
+	if !ch && !changed {
+		return q, false
+	}
+	return &Query{With: append(with, newCTEs...), Selects: sels}, true
+}
+
+// outputCols derives a query's output column names from its first branch, or
+// nil when a star projection cannot be expanded.
+func (f *factorer) outputCols(q *Query, env map[string][]string) []string {
+	if len(q.Selects) == 0 {
+		return nil
+	}
+	s := q.Selects[0]
+	aliasSource := map[string]string{}
+	for _, fi := range s.From {
+		a := fi.Alias
+		if a == "" {
+			a = fi.Source
+		}
+		aliasSource[a] = fi.Source
+	}
+	var out []string
+	for _, item := range s.Cols {
+		if item.Star {
+			cols := f.sourceCols(aliasSource[item.StarTable], env)
+			if cols == nil {
+				return nil
+			}
+			out = append(out, cols...)
+			continue
+		}
+		switch {
+		case item.As != "":
+			out = append(out, item.As)
+		default:
+			cr, ok := item.Expr.(ColRef)
+			if !ok {
+				return nil
+			}
+			out = append(out, cr.Column)
+		}
+	}
+	return out
+}
+
+// sourceCols resolves a FROM source (CTE in scope, then base table) to its
+// ordered columns, or nil when unknown.
+func (f *factorer) sourceCols(source string, env map[string][]string) []string {
+	if cols, ok := env[source]; ok {
+		return cols
+	}
+	if f.columns != nil {
+		return f.columns(source)
+	}
+	return nil
+}
+
+// branchInfo is the canonical decomposition of one UNION branch.
+type branchInfo struct {
+	sel      *Select
+	sources  []string
+	aliases  []string
+	aliasPos map[string]int
+	conjs    []conjInfo
+	// projCanon is the order-sensitive canonical projection signature,
+	// including output names (UNION column names come from branch order).
+	projCanon string
+}
+
+type conjInfo struct {
+	expr  Expr
+	canon string // aliases renamed to their FROM position ($0, $1, …)
+	level int    // max referenced FROM position
+	// single is the only referenced position, or -1 when the conjunct spans
+	// several (a join predicate — never deferrable past the prefix).
+	single int
+}
+
+// analyze decomposes a branch, or returns nil when the branch uses a shape
+// the rewrite does not reason about (duplicate aliases, unqualified or
+// unknown column references, constant predicates, non-column projections).
+func analyze(sel *Select) *branchInfo {
+	if sel == nil || len(sel.From) == 0 {
+		return nil
+	}
+	info := &branchInfo{sel: sel, aliasPos: map[string]int{}}
+	for i, fi := range sel.From {
+		a := fi.Alias
+		if a == "" {
+			a = fi.Source
+		}
+		if _, dup := info.aliasPos[a]; dup {
+			return nil
+		}
+		info.aliasPos[a] = i
+		info.aliases = append(info.aliases, a)
+		info.sources = append(info.sources, fi.Source)
+	}
+	rename := func(a string) string { return "$" + itoa(info.aliasPos[a]) }
+	for _, c := range Conjuncts(sel.Where) {
+		set := exprAliasSet(c, map[string]bool{})
+		if len(set) == 0 {
+			return nil
+		}
+		level, single := -1, -1
+		for a := range set {
+			p, known := info.aliasPos[a]
+			if a == "" || !known {
+				return nil
+			}
+			if p > level {
+				level = p
+			}
+			single = p
+		}
+		if len(set) > 1 {
+			single = -1
+		}
+		info.conjs = append(info.conjs, conjInfo{expr: c, canon: CanonExpr(c, rename), level: level, single: single})
+	}
+	var pc strings.Builder
+	for _, item := range sel.Cols {
+		if item.Star {
+			if _, known := info.aliasPos[item.StarTable]; !known {
+				return nil
+			}
+			pc.WriteString("*$")
+			pc.WriteString(itoa(info.aliasPos[item.StarTable]))
+		} else {
+			switch item.Expr.(type) {
+			case ColRef, Lit:
+			default:
+				return nil
+			}
+			cr, isCol := item.Expr.(ColRef)
+			if isCol {
+				if _, known := info.aliasPos[cr.Table]; !known || cr.Table == "" {
+					return nil
+				}
+			}
+			pc.WriteString(CanonExpr(item.Expr, rename))
+			pc.WriteString(" as ")
+			if item.As != "" {
+				pc.WriteString(item.As)
+			} else if isCol {
+				pc.WriteString(cr.Column)
+			}
+		}
+		pc.WriteByte('|')
+	}
+	info.projCanon = pc.String()
+	return info
+}
+
+// selects rewrites one UNION ALL: collapse first (it can eliminate whole
+// branches), then prefix factoring over what remains.
+func (f *factorer) selects(sels []*Select, env map[string][]string) ([]*Select, []CTE, bool) {
+	if len(sels) < 2 {
+		return sels, nil, false
+	}
+	infos := make([]*branchInfo, len(sels))
+	for i, s := range sels {
+		infos[i] = analyze(s)
+	}
+
+	out, changed := f.collapse(sels, infos)
+	if changed {
+		// Re-derive the canonical forms of the merged branches.
+		infos = make([]*branchInfo, len(out))
+		for i, s := range out {
+			infos[i] = analyze(s)
+		}
+	}
+
+	newSels, ctes, ch2 := f.factorPrefixes(out, infos, env)
+	return newSels, ctes, changed || ch2
+}
+
+// collapseCandidate describes one conjunct of a branch that could carry the
+// branch's identity in a disjoint collapse: alias.col = literal.
+type collapseCandidate struct {
+	conjIdx int
+	key     string // branch signature with this conjunct removed
+	lit     Lit
+	col     ColRef
+}
+
+func collapseCandidates(info *branchInfo) []collapseCandidate {
+	var out []collapseCandidate
+	for ci, c := range info.conjs {
+		if c.single < 0 {
+			continue
+		}
+		cmp, ok := c.expr.(Cmp)
+		if !ok || cmp.Op != OpEq {
+			continue
+		}
+		col, lit := cmp.Left, cmp.Right
+		if _, isLit := col.(Lit); isLit {
+			col, lit = lit, col
+		}
+		cr, okCol := col.(ColRef)
+		l, okLit := lit.(Lit)
+		if !okCol || !okLit || l.Value.IsNull() {
+			continue
+		}
+		var b strings.Builder
+		b.WriteString(strings.Join(info.sources, ","))
+		b.WriteString("|")
+		b.WriteString(info.projCanon)
+		b.WriteString("|col:")
+		b.WriteString("$" + itoa(info.aliasPos[cr.Table]) + "." + cr.Column)
+		b.WriteString("|")
+		rest := make([]string, 0, len(info.conjs)-1)
+		for cj, o := range info.conjs {
+			if cj != ci {
+				rest = append(rest, o.canon)
+			}
+		}
+		sort.Strings(rest)
+		b.WriteString(strings.Join(rest, "&"))
+		out = append(out, collapseCandidate{conjIdx: ci, key: b.String(), lit: l, col: cr})
+	}
+	return out
+}
+
+// collapse merges groups of branches that are identical except for one
+// alias.col = literal conjunct with pairwise-distinct literals into a single
+// branch testing alias.col IN (literals). Each original row satisfies
+// exactly one branch's literal, so the merged branch reproduces the UNION
+// ALL multiset exactly.
+func (f *factorer) collapse(sels []*Select, infos []*branchInfo) ([]*Select, bool) {
+	n := len(sels)
+	cands := make([][]collapseCandidate, n)
+	for i, info := range infos {
+		if info != nil {
+			cands[i] = collapseCandidates(info)
+		}
+	}
+	consumed := make([]bool, n)
+	replaced := make(map[int]*Select, n)
+	changed := false
+	for i := 0; i < n; i++ {
+		if consumed[i] || infos[i] == nil {
+			continue
+		}
+		for _, lead := range cands[i] {
+			members := []int{i}
+			lits := []Lit{lead.lit}
+			picks := []collapseCandidate{lead}
+			for j := i + 1; j < n; j++ {
+				if consumed[j] || infos[j] == nil {
+					continue
+				}
+				for _, c := range cands[j] {
+					if c.key != lead.key {
+						continue
+					}
+					distinct := true
+					for _, have := range lits {
+						if have.Value.Equal(c.lit.Value) {
+							distinct = false
+							break
+						}
+					}
+					if distinct {
+						members = append(members, j)
+						lits = append(lits, c.lit)
+						picks = append(picks, c)
+					}
+					break
+				}
+			}
+			if len(members) < 2 {
+				continue
+			}
+			// Merge into the lead branch's position, in member order.
+			base := infos[i]
+			in := In{Left: lead.col, List: lits}
+			kids := make([]Expr, 0, len(base.conjs))
+			for ci, c := range base.conjs {
+				if ci == lead.conjIdx {
+					kids = append(kids, in)
+				} else {
+					kids = append(kids, c.expr)
+				}
+			}
+			replaced[i] = &Select{Cols: base.sel.Cols, From: base.sel.From, Where: Conj(kids...)}
+			for _, m := range members {
+				consumed[m] = true
+			}
+			consumed[i] = true
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return sels, false
+	}
+	out := make([]*Select, 0, n)
+	for i, s := range sels {
+		if r, ok := replaced[i]; ok {
+			out = append(out, r)
+		} else if !consumed[i] {
+			out = append(out, s)
+		}
+	}
+	return out, true
+}
+
+// factorGroup is a set of branches (by index) sharing the prefix levels
+// 0..depth-1.
+type factorGroup struct {
+	idxs  []int
+	depth int
+}
+
+// levelKey is a branch's signature at one join level: the source plus every
+// multi-alias (join) conjunct consumed at that level. Single-alias conjuncts
+// are excluded — they defer past a factored prefix — but differing join
+// predicates stop the prefix, since deferring a join would turn the shared
+// prefix into a cross product.
+func levelKey(info *branchInfo, level int) string {
+	if level >= len(info.sources) {
+		return "$end"
+	}
+	var conds []string
+	for _, c := range info.conjs {
+		if c.level == level && c.single < 0 {
+			conds = append(conds, c.canon)
+		}
+	}
+	sort.Strings(conds)
+	return info.sources[level] + "\x00" + strings.Join(conds, "&")
+}
+
+// partition recursively splits branches into maximal common-prefix groups.
+func partition(infos []*branchInfo, idxs []int, level int) []factorGroup {
+	if len(idxs) < 2 {
+		return []factorGroup{{idxs: idxs, depth: level}}
+	}
+	type bucket struct {
+		key  string
+		idxs []int
+	}
+	var buckets []*bucket
+	byKey := map[string]*bucket{}
+	for _, i := range idxs {
+		k := levelKey(infos[i], level)
+		b := byKey[k]
+		if b == nil {
+			b = &bucket{key: k}
+			byKey[k] = b
+			buckets = append(buckets, b)
+		}
+		b.idxs = append(b.idxs, i)
+	}
+	var out []factorGroup
+	for _, b := range buckets {
+		if b.key == "$end" || len(b.idxs) < 2 {
+			out = append(out, factorGroup{idxs: b.idxs, depth: level})
+			continue
+		}
+		out = append(out, partition(infos, b.idxs, level+1)...)
+	}
+	return out
+}
+
+// factorPrefixes hoists each worthwhile group's common prefix into a CTE.
+func (f *factorer) factorPrefixes(sels []*Select, infos []*branchInfo, env map[string][]string) ([]*Select, []CTE, bool) {
+	var factorable []int
+	for i, info := range infos {
+		if info != nil {
+			factorable = append(factorable, i)
+		}
+	}
+	if len(factorable) < 2 {
+		return sels, nil, false
+	}
+	var ctes []CTE
+	out := append([]*Select(nil), sels...)
+	changed := false
+	for _, g := range partition(infos, factorable, 0) {
+		if len(g.idxs) < 2 || g.depth == 0 {
+			continue
+		}
+		if cte, rewritten, ok := f.buildGroup(infos, g, env); ok {
+			ctes = append(ctes, cte)
+			for j, idx := range g.idxs {
+				out[idx] = rewritten[j]
+			}
+			changed = true
+		}
+	}
+	if !changed {
+		return sels, nil, false
+	}
+	return out, ctes, true
+}
+
+// buildGroup materializes one group's shared prefix as a CTE and rewrites
+// each member to read it. Returns ok=false when the group is not worth (or
+// not safe to) factor.
+func (f *factorer) buildGroup(infos []*branchInfo, g factorGroup, env map[string][]string) (CTE, []*Select, bool) {
+	depth := g.depth
+	lead := infos[g.idxs[0]]
+
+	// Common conjuncts per level: join predicates below depth are common by
+	// construction; single-alias conjuncts are common only where every
+	// member has a canonically equal one (multiset intersection). The rest
+	// defer into the members.
+	commonCount := map[string]int{}
+	for mi, idx := range g.idxs {
+		counts := map[string]int{}
+		for _, c := range infos[idx].conjs {
+			if c.level < depth {
+				counts[c.canon]++
+			}
+		}
+		if mi == 0 {
+			commonCount = counts
+			continue
+		}
+		for canon, have := range commonCount {
+			if counts[canon] < have {
+				commonCount[canon] = counts[canon]
+			}
+		}
+	}
+	// The prefix must be worth a materialization: at least one join level,
+	// or a filtered single-table scan shared by every member.
+	nCommon := 0
+	for _, c := range commonCount {
+		nCommon += c
+	}
+	if depth < 2 && nCommon == 0 {
+		return CTE{}, nil, false
+	}
+
+	// Split each member's conjuncts into lifted (common prefix), deferred
+	// (kept in the member, on prefix columns), and suffix.
+	type memberPlan struct {
+		info     *branchInfo
+		deferred []Expr // prefix-level conjuncts kept in the member
+		suffix   []Expr
+	}
+	plans := make([]memberPlan, len(g.idxs))
+	var commonExprs []Expr // from the lead member, original order
+	for mi, idx := range g.idxs {
+		info := infos[idx]
+		taken := map[string]int{}
+		p := memberPlan{info: info}
+		for _, c := range info.conjs {
+			switch {
+			case c.level >= depth:
+				p.suffix = append(p.suffix, c.expr)
+			case taken[c.canon] < commonCount[c.canon]:
+				taken[c.canon]++
+				if mi == 0 {
+					commonExprs = append(commonExprs, c.expr)
+				}
+			default:
+				p.deferred = append(p.deferred, c.expr)
+			}
+		}
+		plans[mi] = p
+	}
+
+	// Columns of the prefix that survive into members: referenced by any
+	// deferred conjunct, suffix conjunct, or projection. Stars over prefix
+	// aliases need the source's full layout.
+	type pcol struct {
+		pos int
+		col string
+	}
+	needSet := map[pcol]bool{}
+	var need func(info *branchInfo, e Expr)
+	need = func(info *branchInfo, e Expr) {
+		switch e := e.(type) {
+		case ColRef:
+			if p, ok := info.aliasPos[e.Table]; ok && p < depth {
+				needSet[pcol{p, e.Column}] = true
+			}
+		case Cmp:
+			need(info, e.Left)
+			need(info, e.Right)
+		case In:
+			need(info, e.Left)
+		case IsNull:
+			need(info, e.Left)
+		case And:
+			for _, k := range e.Kids {
+				need(info, k)
+			}
+		case Or:
+			for _, k := range e.Kids {
+				need(info, k)
+			}
+		}
+	}
+	starCols := map[int][]string{} // prefix position -> full layout
+	for mi, idx := range g.idxs {
+		info := infos[idx]
+		for _, e := range plans[mi].deferred {
+			need(info, e)
+		}
+		for _, e := range plans[mi].suffix {
+			need(info, e)
+		}
+		for _, item := range info.sel.Cols {
+			if item.Star {
+				p, ok := info.aliasPos[item.StarTable]
+				if !ok || p >= depth {
+					continue
+				}
+				cols := f.sourceCols(info.sources[p], env)
+				if cols == nil {
+					return CTE{}, nil, false // unknown layout: cannot expand
+				}
+				starCols[p] = cols
+				for _, c := range cols {
+					needSet[pcol{p, c}] = true
+				}
+				continue
+			}
+			if cr, ok := item.Expr.(ColRef); ok {
+				need(info, cr)
+			}
+		}
+	}
+	needed := make([]pcol, 0, len(needSet))
+	for pc := range needSet {
+		needed = append(needed, pc)
+	}
+	sort.Slice(needed, func(i, j int) bool {
+		if needed[i].pos != needed[j].pos {
+			return needed[i].pos < needed[j].pos
+		}
+		return needed[i].col < needed[j].col
+	})
+	pname := func(pos int, col string) string { return "p" + itoa(pos) + "_" + col }
+
+	cteName := f.newName()
+	body := &Select{From: lead.sel.From[:depth:depth], Where: Conj(commonExprs...)}
+	for _, pc := range needed {
+		body.Cols = append(body.Cols, SelectItem{
+			Expr: ColRef{Table: lead.aliases[pc.pos], Column: pc.col},
+			As:   pname(pc.pos, pc.col),
+		})
+	}
+	if len(body.Cols) == 0 {
+		// No member reads a prefix column; project a constant so the CTE is
+		// well formed while its cardinality still multiplies the members.
+		body.Cols = []SelectItem{{Expr: IntLit(1), As: "p_one"}}
+	}
+	cte := CTE{Name: cteName, Body: SingleSelect(body)}
+
+	// Rewrite each member over the CTE.
+	rewritten := make([]*Select, len(g.idxs))
+	for mi := range g.idxs {
+		info := plans[mi].info
+		var rw func(Expr) Expr
+		rw = func(e Expr) Expr {
+			switch e := e.(type) {
+			case ColRef:
+				if p, ok := info.aliasPos[e.Table]; ok && p < depth {
+					return ColRef{Table: cteName, Column: pname(p, e.Column)}
+				}
+				return e
+			case Cmp:
+				return Cmp{Op: e.Op, Left: rw(e.Left), Right: rw(e.Right)}
+			case In:
+				return In{Left: rw(e.Left), List: e.List}
+			case IsNull:
+				return IsNull{Left: rw(e.Left)}
+			case And:
+				kids := make([]Expr, len(e.Kids))
+				for i, k := range e.Kids {
+					kids[i] = rw(k)
+				}
+				return And{Kids: kids}
+			case Or:
+				kids := make([]Expr, len(e.Kids))
+				for i, k := range e.Kids {
+					kids[i] = rw(k)
+				}
+				return Or{Kids: kids}
+			default:
+				return e
+			}
+		}
+		ns := &Select{From: append([]FromItem{{Source: cteName}}, info.sel.From[depth:]...)}
+		var where []Expr
+		for _, e := range plans[mi].deferred {
+			where = append(where, rw(e))
+		}
+		for _, e := range plans[mi].suffix {
+			where = append(where, rw(e))
+		}
+		ns.Where = Conj(where...)
+		for _, item := range info.sel.Cols {
+			if item.Star {
+				if p, ok := info.aliasPos[item.StarTable]; ok && p < depth {
+					for _, c := range starCols[p] {
+						ns.Cols = append(ns.Cols, SelectItem{Expr: ColRef{Table: cteName, Column: pname(p, c)}, As: c})
+					}
+					continue
+				}
+				ns.Cols = append(ns.Cols, item)
+				continue
+			}
+			if cr, ok := item.Expr.(ColRef); ok {
+				if p, inPrefix := info.aliasPos[cr.Table]; inPrefix && p < depth {
+					as := item.As
+					if as == "" {
+						as = cr.Column
+					}
+					ns.Cols = append(ns.Cols, SelectItem{Expr: rw(cr), As: as})
+					continue
+				}
+			}
+			ns.Cols = append(ns.Cols, item)
+		}
+		rewritten[mi] = ns
+	}
+	return cte, rewritten, true
+}

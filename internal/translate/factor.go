@@ -1,0 +1,35 @@
+package translate
+
+import (
+	"xmlsql/internal/schema"
+	"xmlsql/internal/sqlast"
+)
+
+// FactorSharedPrefixes applies the shared-work rewrite (sqlast.FactorUnions)
+// to a translated query, resolving star projections through the schema's
+// derived relations. It returns the rewritten query and whether anything
+// changed; on any schema derivation problem the input is returned unchanged —
+// factoring is an optimization, never a correctness requirement.
+func FactorSharedPrefixes(q *sqlast.Query, s *schema.Schema) (*sqlast.Query, bool) {
+	if q == nil {
+		return q, false
+	}
+	var columns sqlast.ColumnsFunc
+	if s != nil {
+		if defs, err := s.DeriveRelations(); err == nil {
+			columns = func(table string) []string {
+				d, ok := defs[table]
+				if !ok {
+					return nil
+				}
+				ts := d.TableSchema()
+				cols := make([]string, len(ts.Columns))
+				for i, c := range ts.Columns {
+					cols[i] = c.Name
+				}
+				return cols
+			}
+		}
+	}
+	return sqlast.FactorUnions(q, columns)
+}

@@ -75,6 +75,9 @@ type (
 	// ResourceError is the typed error a query returns when it exceeds an
 	// execution resource guard.
 	ResourceError = engine.ResourceError
+	// ExecuteStats reports the engine's shared-work subplan memo counters
+	// for one execution (hits, misses, saved rows).
+	ExecuteStats = engine.Stats
 	// ResilientOptions configures NewResilientBackend: retry policy,
 	// circuit-breaker thresholds, and the degraded-mode fallback backend.
 	ResilientOptions = resilient.Options
@@ -348,6 +351,23 @@ func ExecuteContext(ctx context.Context, store *Store, q *SQL, opts ExecuteOptio
 	return engine.ExecuteCtx(ctx, store, q, opts)
 }
 
+// ExecuteContextStats is ExecuteContext returning the shared-work memo
+// counters alongside the result: how many join prefixes were reused across
+// UNION ALL branches and how many materialized rows that reuse saved.
+func ExecuteContextStats(ctx context.Context, store *Store, q *SQL, opts ExecuteOptions) (*Result, ExecuteStats, error) {
+	return engine.ExecuteCtxStats(ctx, store, q, opts)
+}
+
+// FactorSharedPrefixes applies the shared-work rewrite to a generated SQL
+// statement: UNION ALL branches that differ only in one equality literal
+// collapse into a single IN branch, and maximal common join prefixes across
+// the remaining branches hoist into a WITH CTE computed once. The result is
+// multiset-equivalent to the input on every instance and renders through all
+// dialects; the second return reports whether anything changed.
+func FactorSharedPrefixes(s *Schema, q *SQL) (*SQL, bool) {
+	return translate.FactorSharedPrefixes(q, s)
+}
+
 // Eval is the end-to-end convenience: translate with the lossless
 // constraint and execute.
 func Eval(s *Schema, store *Store, query string) (*Result, error) {
@@ -469,6 +489,9 @@ func (p *Planner) planMode(query string, safe bool) (*Translation, error) {
 	optKey := p.optKey
 	if safe {
 		optKey = safeModeKey
+		if p.cfg.Translate.FactorPrefixes {
+			optKey = safeModeKey + "+factored"
+		}
 	}
 	k := plancache.Key{SchemaFP: s.Fingerprint(), Query: query, Options: optKey}
 	if v, ok := p.cache.Get(k); ok {
@@ -482,9 +505,14 @@ func (p *Planner) planMode(query string, safe bool) (*Translation, error) {
 	if safe {
 		// Safe mode: the baseline translation of [9], correct on any
 		// instance, lossless or not. Fallback marks the pruning as unused.
+		// The shared-work rewrite is a pure SQL-to-SQL transformation, so
+		// it stays on in safe mode when the planner is configured for it.
 		nq, err := TranslateNaive(s, q)
 		if err != nil {
 			return nil, err
+		}
+		if p.cfg.Translate.FactorPrefixes {
+			nq, _ = translate.FactorSharedPrefixes(nq, s)
 		}
 		tr = &Translation{Query: nq, Fallback: true}
 	} else {
