@@ -136,3 +136,59 @@ func TestCLIShredderEdgeWorkload(t *testing.T) {
 		t.Errorf("shredder edge output unexpected:\n%s", out)
 	}
 }
+
+func TestCLIXml2sqlStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	out := runCLI(t, "./cmd/xml2sql", "-workload", "xmark", "-stats")
+	for _, want := range []string{
+		`"fingerprint": "stats:`,
+		`"relations"`,
+		`"histogram"`,
+		`"total_rows"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("xml2sql -stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIXml2sqlExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	out := runCLI(t, "./cmd/xml2sql", "-workload", "xmark", "-query", "//Item/InCategory/Category", "-explain", "-execute")
+	for _, want := range []string{
+		"adaptive plan decision",
+		"pruning pays",
+		"chosen: plan=pruned",
+		"execution knobs:",
+		"estimated ~240 rows, actual 240 rows",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("xml2sql -explain output missing %q:\n%s", want, out)
+		}
+	}
+	// A near-tie case retains the measured-safe baseline.
+	out = runCLIExpectError(t, "./cmd/xml2sql", "-workload", "xmark", "-explain")
+	if !strings.Contains(out, "-explain requires a -query") {
+		t.Errorf("xml2sql -explain without -query: missing validation error:\n%s", out)
+	}
+}
+
+func TestCLIXml2sqlExplainBaselineRetained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	out := runCLI(t, "./cmd/xml2sql", "-workload", "s3", "-query", "/E0/E2/E8//E10/elemid", "-explain")
+	for _, want := range []string{
+		"adaptive plan decision",
+		"baseline retained",
+		"chosen: plan=baseline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("xml2sql -explain (near-tie) output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -32,6 +32,8 @@ func main() {
 	audit := flag.Bool("audit", true, "also run the integrity sentinel suite (lossless-constraint audit, corruption detection, safe-mode degradation)")
 	sharedWork := flag.Bool("sharedwork", true, "also run the shared-work suite (prefix factoring + subplan memo vs the parallel-union baseline)")
 	sharedWorkGate := flag.Float64("sharedwork-max-regression", 2.0, "fail if factored execution is slower than the parallel baseline by more than this factor on any shared-work case")
+	adaptive := flag.Bool("adaptive", true, "also run the adaptive-planning suite (cost-based knob selection vs fixed configurations)")
+	adaptiveGate := flag.Float64("adaptive-max-vs-best", 1.1, "fail if adaptive execution exceeds the best fixed configuration by more than this factor on any shared-work case (headline cases are gated on speedup >= 1.0)")
 	backendName := flag.String("backend", "mem", "where measured queries run: mem (in-memory engine) or fakedb (database/sql over the in-repo fake driver)")
 	jsonPath := flag.String("json", "", "write the comparison table as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
@@ -129,8 +131,25 @@ func main() {
 		}
 	}
 
+	var adp []*bench.AdaptiveComparison
+	if *adaptive {
+		adp, err = bench.RunAdaptive(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: adaptive: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(bench.FormatAdaptive(adp))
+		if errs := bench.AdaptiveGate(adp, *adaptiveGate); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "benchrunner: ADAPTIVE GATE: %v\n", e)
+			}
+			os.Exit(1)
+		}
+	}
+
 	if *jsonPath != "" {
-		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt, sw)
+		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt, sw, adp)
 		out := os.Stdout
 		if *jsonPath != "-" {
 			f, err := os.Create(*jsonPath)

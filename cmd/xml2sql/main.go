@@ -11,6 +11,8 @@
 //	xml2sql -workload xmark -dialect sqlite -ddl
 //	xml2sql -workload xmark -dialect postgres -ddl -load > setup.sql
 //	xml2sql -workload s3 -query '//t4' -execute -timeout 5s -max-rows 1000000
+//	xml2sql -workload xmark -stats
+//	xml2sql -workload xmark -query '//Item/InCategory/Category' -explain -execute
 //
 // Built-in workloads: xmark, xmarkfull, s1, s2, s3, adex, plus an "-edge"
 // suffix for the schema-oblivious Edge mapping of any of them.
@@ -21,10 +23,16 @@
 // generates a workload document, shreds it, and prints the literal INSERT
 // statements. Feed both to any engine speaking the chosen -dialect and the
 // translated queries run there unchanged.
+//
+// -stats dumps the table statistics the adaptive planner collects over a
+// generated instance as JSON; -explain prints the cost-based plan decision
+// for the query (per-branch cardinality estimates, the chosen plan, and the
+// execution knobs), and with -execute also the estimated vs actual rows.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +50,7 @@ import (
 	"xmlsql/internal/schema"
 	"xmlsql/internal/shred"
 	"xmlsql/internal/sqlast"
+	"xmlsql/internal/stats"
 	"xmlsql/internal/translate"
 )
 
@@ -61,13 +70,20 @@ func main() {
 	factor := flag.Bool("factor-prefixes", false, "apply the shared-work rewrite to both translations: collapse literal-only branch differences into IN and hoist common join prefixes into a WITH CTE")
 	audit := flag.Bool("audit", false, "generate a workload document, shred it, and audit the instance against the lossless-from-XML constraint (built-in workloads only)")
 	corrupt := flag.Bool("corrupt", false, "with -audit: inject an orphan tuple first, demonstrating detection and safe-mode degradation")
+	showStats := flag.Bool("stats", false, "generate a workload document, shred it, and dump the collected table statistics as JSON (built-in workloads only)")
+	explain := flag.Bool("explain", false, "print the adaptive planner's cost-based decision for the query: candidate estimates, per-branch cardinalities, chosen plan and knobs (built-in workloads only; with -execute also estimated vs actual rows)")
 	flag.Parse()
 
 	if err := validateFlags(*timeout, *maxRows, *maxCTEIter); err != nil {
 		fmt.Fprintf(os.Stderr, "xml2sql: %v\n", err)
 		os.Exit(2)
 	}
-	if *query == "" && !*emitDDL && !*emitLoad && !*audit {
+	if *explain && *query == "" {
+		fmt.Fprintln(os.Stderr, "xml2sql: -explain requires a -query to explain")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *query == "" && !*emitDDL && !*emitLoad && !*audit && !*showStats {
 		fmt.Fprintln(os.Stderr, "xml2sql: -query is required (unless emitting scripts with -ddl/-load)")
 		flag.Usage()
 		os.Exit(2)
@@ -102,6 +118,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *showStats {
+		if err := runStats(s, *workload); err != nil {
+			fmt.Fprintf(os.Stderr, "xml2sql: stats: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *query == "" {
 		return
 	}
@@ -132,6 +154,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xml2sql: lossless translation: %v\n", err)
 		os.Exit(1)
 	}
+	// The explain path wants the unfactored candidates: the cost-based
+	// chooser applies (or rejects) the shared-work rewrite itself.
+	origNaive := naive
+	var origPruned *sqlast.Query
+	if !pruned.Fallback {
+		origPruned = pruned.Query
+	}
 	factorNote := ""
 	if *factor {
 		var changedN, changedP bool
@@ -148,6 +177,13 @@ func main() {
 		label = "pruning not applicable; baseline retained"
 	}
 	fmt.Printf("-- %s (%s):\n%s\n", label, pruned.Query.Shape(), pruned.Query.SQLFor(dialect))
+	if *explain {
+		opts := engine.Options{MaxRows: *maxRows, MaxCTEIterations: *maxCTEIter}
+		if err := runExplain(s, *workload, origNaive, origPruned, *execute, *timeout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "xml2sql: explain: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *execute {
 		opts := engine.Options{MaxRows: *maxRows, MaxCTEIterations: *maxCTEIter}
 		if err := runBoth(s, *workload, naive, pruned.Query, *timeout, opts); err != nil {
@@ -284,6 +320,115 @@ func emitLoadScript(s *schema.Schema, workload string, d *sqlast.Dialect) error 
 	fmt.Printf("-- %d tuples from a generated %s document (%s dialect)\n%s",
 		results[0].Tuples, workload, d.Name(), backend.LoadScript(store, d))
 	return nil
+}
+
+// runStats shreds a generated workload document and dumps the statistics
+// snapshot the adaptive planner would plan against as JSON.
+func runStats(s *schema.Schema, workload string) error {
+	if workload == "" {
+		return fmt.Errorf("-stats requires a built-in -workload to generate an instance for")
+	}
+	doc, err := cli.GenerateDoc(workload)
+	if err != nil {
+		return err
+	}
+	store := relational.NewStore()
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(stats.CollectStore(store), "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", out)
+	return nil
+}
+
+// runExplain shreds a generated workload document, collects statistics, and
+// prints the adaptive planner's cost-based decision over the query's
+// candidate translations: candidate estimates, the margin verdict, the
+// chosen knob vector, and per-branch cardinalities. With execute it also
+// runs the chosen plan under the engine's Auto mode and reports estimated vs
+// actual rows and the resolved execution knobs.
+func runExplain(s *schema.Schema, workload string, naive, pruned *sqlast.Query, execute bool, timeout time.Duration, opts engine.Options) error {
+	if workload == "" {
+		return fmt.Errorf("-explain requires a built-in -workload to collect statistics over")
+	}
+	doc, err := cli.GenerateDoc(workload)
+	if err != nil {
+		return err
+	}
+	store := relational.NewStore()
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		return err
+	}
+	snap := stats.CollectStore(store)
+	dec := translate.ChoosePlan(naive, pruned, s, stats.NewEstimator(snap))
+
+	fmt.Printf("\n-- adaptive plan decision (statistics over a generated %s instance, %d rows, fingerprint %s):\n",
+		workload, store.TotalRows(), snap.Fingerprint())
+	fmt.Printf("--   baseline: %s\n", dec.BaselineEst.Summary())
+	switch {
+	case dec.PrunedEst == nil:
+		fmt.Printf("--   pruned:   no candidate (translation fell back to the baseline)\n")
+	case dec.UsePruned:
+		fmt.Printf("--   pruned:   %s (cost ratio %.3f < margin %.2f: pruning pays)\n",
+			dec.PrunedEst.Summary(), dec.PrunedEst.Cost/dec.BaselineEst.Cost, stats.PlanMargin)
+	default:
+		fmt.Printf("--   pruned:   %s (cost ratio %.3f >= margin %.2f: near-tie, measured-safe baseline retained)\n",
+			dec.PrunedEst.Summary(), dec.PrunedEst.Cost/dec.BaselineEst.Cost, stats.PlanMargin)
+	}
+	fmt.Printf("--   chosen: %s; execution knobs: parallel %s, memo %s\n",
+		dec.KnobKey(), onOff(dec.ExpectParallel()), onOff(dec.ExpectMemo()))
+	for _, c := range dec.ChosenEst.CTEs {
+		extra := ""
+		if c.Recursive {
+			extra = fmt.Sprintf(" (recursive, ~%d rounds)", c.Rounds)
+		}
+		fmt.Printf("--   cte %s: ~%.0f rows, cost ~%.0f%s\n", c.Name, c.Rows, c.Cost, extra)
+	}
+	for _, b := range dec.ChosenEst.Branches {
+		fmt.Printf("--   branch %d: ~%.0f rows, cost ~%.0f\n", b.Index, b.Rows, b.Cost)
+		for _, st := range b.Steps {
+			how := "scan+hash"
+			if st.Index {
+				how = "index probe"
+			}
+			fmt.Printf("--     %s(%s): in ~%.0f -> frame ~%.0f rows [%s]\n",
+				st.Alias, st.Source, st.InRows, st.Rows, how)
+		}
+	}
+	if !execute {
+		return nil
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	opts.Auto = true
+	opts.Estimate = dec.ChosenEst
+	start := time.Now()
+	res, st, err := engine.ExecuteCtxStats(ctx, store, dec.Query, opts)
+	if err != nil {
+		return fmt.Errorf("adaptive execution: %w", err)
+	}
+	errPct := 0.0
+	if res.Len() > 0 {
+		errPct = 100 * (dec.ChosenEst.Rows - float64(res.Len())) / float64(res.Len())
+	}
+	fmt.Printf("--   executed in %v: estimated ~%.0f rows, actual %d rows (%+.1f%%); resolved parallel %s, memo %s\n",
+		time.Since(start).Round(time.Microsecond), dec.ChosenEst.Rows, res.Len(), errPct,
+		onOff(st.ParallelEnabled), onOff(st.MemoEnabled))
+	return nil
+}
+
+func onOff(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
 }
 
 // runBoth shreds a generated document and executes both translations under

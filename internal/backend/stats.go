@@ -1,0 +1,51 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"xmlsql/internal/schema"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/stats"
+)
+
+// CollectStats gathers a statistics snapshot over any Backend for the
+// relations of the mapping s. The Mem backend is scanned directly (every
+// table of its store, one pass each); other backends are probed with one
+// dialect-rendered SELECT * per mapped relation, feeding the same
+// stats.CollectRows kernel — so identical data yields identical statistics
+// regardless of where it lives.
+//
+// Statistics are a snapshot: the returned Stats carries the store's
+// mutation version where one is observable (Mem), or a per-collection
+// counter otherwise, and its Fingerprint() is what plan caches embed to
+// age out decisions made against since-mutated data.
+func CollectStats(ctx context.Context, b Backend, s *schema.Schema) (*stats.Stats, error) {
+	if m, ok := b.(*Mem); ok {
+		return stats.CollectStore(m.Store()), nil
+	}
+	rels, err := s.DeriveRelations()
+	if err != nil {
+		return nil, fmt.Errorf("backend: collect stats: %w", err)
+	}
+	tables := make([]*stats.TableStats, 0, len(rels))
+	for _, rel := range rels {
+		ts := rel.TableSchema()
+		cols := make([]sqlast.SelectItem, len(ts.Columns))
+		names := make([]string, len(ts.Columns))
+		for i, c := range ts.Columns {
+			cols[i] = sqlast.Col(ts.Name, c.Name)
+			names[i] = c.Name
+		}
+		probe := sqlast.SingleSelect(&sqlast.Select{
+			Cols: cols,
+			From: []sqlast.FromItem{sqlast.From(ts.Name, ts.Name)},
+		})
+		res, err := b.Execute(ctx, probe)
+		if err != nil {
+			return nil, fmt.Errorf("backend: collect stats: probe %s: %w", ts.Name, err)
+		}
+		tables = append(tables, stats.CollectRows(ts.Name, names, res.Rows))
+	}
+	return stats.Merge(0, tables), nil
+}

@@ -30,7 +30,12 @@ type Report struct {
 	// parallel baseline vs the subplan memo vs prefix factoring, with the
 	// memo's hit/miss/saved-rows counters.
 	SharedWork []*SharedWorkComparison `json:"shared_work,omitempty"`
-	Summary    ReportSummary           `json:"summary"`
+	// Adaptive records the cost-based planner against every fixed knob
+	// setting: headline cases gated on speedup >= 1.0 (the chooser falls
+	// back to the baseline where pruning does not pay), shared-work cases
+	// gated on staying within 10% of the best fixed configuration.
+	Adaptive []*AdaptiveComparison `json:"adaptive,omitempty"`
+	Summary  ReportSummary         `json:"summary"`
 }
 
 // ReportCase is one experiment case's measurements.
@@ -60,7 +65,7 @@ type ReportSummary struct {
 }
 
 // BuildReport assembles the JSON report from measured comparisons.
-func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison, sharedWork []*SharedWorkComparison) *Report {
+func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison, sharedWork []*SharedWorkComparison, adaptive []*AdaptiveComparison) *Report {
 	r := &Report{
 		Name:       name,
 		Scale:      scale,
@@ -70,6 +75,7 @@ func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingC
 		Chaos:      chaos,
 		Audit:      audit,
 		SharedWork: sharedWork,
+		Adaptive:   adaptive,
 		Summary:    ReportSummary{AllVerified: true},
 	}
 	for _, c := range cmps {

@@ -30,6 +30,13 @@ type Options struct {
 	// and maximal common join prefixes hoist into a WITH CTE. The flag is
 	// part of the plan-cache key (the cache keys on the printed Options).
 	FactorPrefixes bool
+	// Adaptive makes translation also produce the baseline plan
+	// (Result.Baseline) so a cost-based chooser — translate.ChoosePlan,
+	// driven by statistics the translator itself does not have — can pick
+	// between the pruned and baseline translations per query. The flag is
+	// part of the plan-cache key like every other option; the chosen knob
+	// vector and stats fingerprint are appended by the planner.
+	Adaptive bool
 }
 
 // Result is a completed translation.
@@ -42,6 +49,11 @@ type Result struct {
 	Fallback bool
 	// Classes describe the pruned PathSet (empty when Fallback).
 	Classes []PrunedClass
+	// Baseline is the naive translation, populated only under
+	// Options.Adaptive (nil otherwise, and nil when Fallback already made
+	// Query the baseline). It is unfactored: the adaptive chooser applies
+	// rewrites to whichever plan it selects.
+	Baseline *sqlast.Query
 }
 
 // Translate converts the PathId output into SQL, exploiting the "lossless
@@ -101,7 +113,15 @@ func TranslateOpts(g *pathid.Graph, opts Options) (*Result, error) {
 	if opts.FactorPrefixes {
 		query, _ = translate.FactorSharedPrefixes(query, g.Schema)
 	}
-	return &Result{Query: query, Classes: classes}, nil
+	res := &Result{Query: query, Classes: classes}
+	if opts.Adaptive {
+		naive, nerr := translate.Naive(g)
+		if nerr != nil {
+			return nil, nerr
+		}
+		res.Baseline = naive
+	}
+	return res, nil
 }
 
 func (pr *pruner) translate() (*sqlast.Query, []PrunedClass, error) {

@@ -10,6 +10,7 @@ import (
 
 	"xmlsql/internal/relational"
 	"xmlsql/internal/sqlast"
+	"xmlsql/internal/stats"
 )
 
 // MaxRecursionRounds bounds recursive CTE evaluation; shredded XML data is
@@ -53,6 +54,20 @@ type Options struct {
 	// branch reuses from the memo are charged against MaxRows once, when
 	// first materialized, not once per reusing branch.
 	DisableMemo bool
+	// Auto enables cost-based per-query knob selection using Estimate:
+	// Parallelism (when left 0) resolves to serial unless the estimated
+	// per-branch work clears stats.ParallelMinBranchCost — replacing the
+	// old branch-count heuristic that parallelized every multi-branch
+	// union — and the subplan memo (when not already disabled) stays on
+	// only when the estimated shared-prefix reuse is positive. Explicitly
+	// set knobs (Parallelism != 0, DisableMemo) are never overridden. With
+	// a nil Estimate, Auto falls back to serial execution with the memo
+	// under its structural gate. The decisions taken are reported in Stats.
+	Auto bool
+	// Estimate is the statistics-based cardinality/cost estimate of the
+	// query being executed (see stats.Estimator.EstimateQuery), consulted
+	// by Auto and echoed into Stats for estimate-vs-actual accounting.
+	Estimate *stats.QueryEstimate
 }
 
 // Execute evaluates q against the store with default options.
@@ -80,20 +95,53 @@ func ExecuteCtx(ctx context.Context, store *relational.Store, q *sqlast.Query, o
 // often UNION ALL branches reused a memoized join prefix instead of
 // recomputing it, and how many materialized rows that reuse saved.
 func ExecuteCtxStats(ctx context.Context, store *relational.Store, q *sqlast.Query, opts Options) (*Result, Stats, error) {
+	var st Stats
+	if opts.Auto {
+		opts = resolveAuto(opts, q, &st)
+	}
 	ex := &executor{store: store, ctes: map[string]*Result{}, cteEpoch: map[string]uint64{}, opts: opts, done: ctx.Done(), ctx: ctx}
 	if !opts.DisableMemo && memoWorthwhile(q) {
 		ex.memo = newMemo()
 	}
+	st.MemoEnabled = ex.memo != nil
+	st.ParallelEnabled = ex.parallelism() > 1 && len(q.Selects) > 1
+	if opts.Estimate != nil {
+		st.EstimatedRows = opts.Estimate.Rows
+	}
 	if err := ex.cancelled(); err != nil {
-		return nil, Stats{}, err
+		return nil, st, err
 	}
 	res, err := ex.query(q)
-	st := Stats{
-		SharedHits:      ex.sharedHits.Load(),
-		SharedMisses:    ex.sharedMisses.Load(),
-		SharedSavedRows: ex.sharedSavedRows.Load(),
+	st.SharedHits = ex.sharedHits.Load()
+	st.SharedMisses = ex.sharedMisses.Load()
+	st.SharedSavedRows = ex.sharedSavedRows.Load()
+	if res != nil {
+		st.ActualRows = int64(len(res.Rows))
 	}
 	return res, st, err
+}
+
+// resolveAuto applies the cost-based knob chooser to the unset knobs,
+// recording each decision (and whether it disagrees with the old
+// branch-count heuristic, which parallelized every multi-branch union).
+func resolveAuto(opts Options, q *sqlast.Query, st *Stats) Options {
+	st.Auto = true
+	est := opts.Estimate
+	procs := runtime.GOMAXPROCS(0)
+	oldHeuristicParallel := procs > 1 && len(q.Selects) >= 2
+	if opts.Parallelism == 0 {
+		if est.ParallelWorthwhile(procs) {
+			// Leave 0: the pool sizes itself to GOMAXPROCS.
+		} else {
+			opts.Parallelism = 1
+		}
+	}
+	autoParallel := opts.Parallelism == 0 || opts.Parallelism > 1
+	st.ParallelDisagrees = autoParallel != oldHeuristicParallel
+	if !opts.DisableMemo && !est.MemoWorthwhile() {
+		opts.DisableMemo = true
+	}
+	return opts
 }
 
 type executor struct {

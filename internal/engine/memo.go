@@ -25,6 +25,25 @@ type Stats struct {
 	// SharedSavedRows sums the already-materialized rows each hit reused —
 	// the join output the engine did not rebuild.
 	SharedSavedRows int64
+
+	// Auto reports that the cost-based knob chooser ran (Options.Auto).
+	Auto bool
+	// ParallelEnabled reports whether the UNION ALL worker pool was active
+	// (resolved parallelism > 1 on a multi-branch query), whether chosen by
+	// Auto or configured explicitly.
+	ParallelEnabled bool
+	// ParallelDisagrees reports that Auto's serial/parallel decision differs
+	// from the old branch-count heuristic (parallelize any multi-branch
+	// union when GOMAXPROCS > 1) — how often the stats-driven threshold
+	// actually changes behavior.
+	ParallelDisagrees bool
+	// MemoEnabled reports whether the shared-work subplan memo was active.
+	MemoEnabled bool
+	// EstimatedRows is the estimator's predicted output cardinality
+	// (0 when executed without an estimate); ActualRows is what the query
+	// really returned. Their ratio is the estimator's headline error.
+	EstimatedRows float64
+	ActualRows    int64
 }
 
 // cteDep records which binding of a CTE a memo entry was computed against.

@@ -125,6 +125,24 @@ func (s *Store) BuildJoinIndexes(column string) error {
 	return nil
 }
 
+// Version aggregates the mutation counters of every table (plus the table
+// count, so creating a table also changes it). Statistics snapshots record
+// it at collection time; comparing against the live value detects staleness
+// without scanning any rows.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	tables := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.RUnlock()
+	v := uint64(len(tables))
+	for _, t := range tables {
+		v += t.Version()
+	}
+	return v
+}
+
 // TotalRows returns the number of rows across all tables.
 func (s *Store) TotalRows() int {
 	s.mu.RLock()

@@ -75,6 +75,11 @@ type Table struct {
 	rows    []Row
 	pkIndex map[string]int      // primary key value -> row ordinal
 	indexes map[string]*hashIdx // column name -> index
+	// version counts row mutations (inserts, deletes, updates). Statistics
+	// snapshots record the store-level aggregate at collection time; a
+	// mismatch later marks them stale, and the stats fingerprint embedded in
+	// plan-cache keys then forces a re-plan (see internal/stats).
+	version uint64
 }
 
 type hashIdx struct {
@@ -136,7 +141,16 @@ func (t *Table) Insert(r Row) error {
 		idx.buckets[row[idx.col].Key()] = append(idx.buckets[row[idx.col].Key()], len(t.rows))
 	}
 	t.rows = append(t.rows, row)
+	t.version++
 	return nil
+}
+
+// Version returns the table's mutation counter: it advances on every
+// successful Insert and on every DeleteWhere/UpdateWhere that changes rows.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
 }
 
 // MustInsert inserts and panics on error; for tests and generators whose
@@ -174,6 +188,7 @@ func (t *Table) DeleteWhere(pred func(Row) bool) int {
 		return 0
 	}
 	t.rows = kept
+	t.version++
 	t.reindexLocked()
 	return n
 }
@@ -223,6 +238,7 @@ func (t *Table) UpdateWhere(pred func(Row) bool, fn func(Row) Row) (int, error) 
 		return 0, nil
 	}
 	t.rows = next
+	t.version++
 	t.reindexLocked()
 	return n, nil
 }

@@ -1,0 +1,59 @@
+package stats_test
+
+// Calibration probe: prints the estimator's naive-vs-pruned cost ratio for
+// every headline bench case, so the PlanMargin constant can be sanity-checked
+// against the measured speedups in BENCH_xmlsql.json. Run with:
+//   go test ./internal/stats -run TestCalibrationDump -v -calib
+
+import (
+	"flag"
+	"testing"
+
+	"xmlsql/internal/bench"
+	"xmlsql/internal/core"
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/stats"
+	"xmlsql/internal/translate"
+)
+
+var calib = flag.Bool("calib", false, "print estimator calibration table")
+
+func TestCalibrationDump(t *testing.T) {
+	if !*calib {
+		t.Skip("calibration dump disabled; pass -calib")
+	}
+	for _, c := range bench.Suite(bench.DefaultScale()) {
+		store := relational.NewStore()
+		if _, err := shred.ShredAll(c.Schema, store, c.ShredOpts, c.Doc); err != nil {
+			t.Fatalf("%s %s: shred: %v", c.Experiment, c.Query, err)
+		}
+		q, err := pathexpr.Parse(c.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := pathid.Build(c.Schema, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := translate.Naive(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := core.Translate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := stats.NewEstimator(stats.CollectStore(store))
+		ne := est.EstimateQuery(naive)
+		pe := est.EstimateQuery(pruned.Query)
+		ratio := 0.0
+		if ne.Cost > 0 {
+			ratio = pe.Cost / ne.Cost
+		}
+		t.Logf("%-3s %-16s %-45s naive(cost=%9.0f rows=%8.0f) pruned(cost=%9.0f rows=%8.0f) ratio=%.3f fallback=%v",
+			c.Experiment, c.Workload, c.Query, ne.Cost, ne.Rows, pe.Cost, pe.Rows, ratio, pruned.Fallback)
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"sort"
+
+	"xmlsql/internal/relational"
+)
+
+// CollectStore scans every table of an in-memory store and returns a full
+// statistics snapshot. One pass per relation: row count, per-column distinct
+// count, min/max for integer columns, null count, and a value histogram
+// while the column stays within HistogramCap distinct values.
+func CollectStore(store *relational.Store) *Stats {
+	s := &Stats{Relations: map[string]*TableStats{}, Version: store.Version()}
+	for _, name := range store.TableNames() {
+		t := store.Table(name)
+		cols := make([]string, len(t.Schema().Columns))
+		for i, c := range t.Schema().Columns {
+			cols[i] = c.Name
+		}
+		ts := CollectRows(name, cols, t.Rows())
+		s.Relations[name] = ts
+		s.TotalRows += ts.Rows
+	}
+	return s
+}
+
+// CollectRows computes statistics for one relation from its column names and
+// rows. It is the shared kernel behind CollectStore and Backend-generic
+// collection (backend.CollectStats feeds it the rows of a SELECT * probe),
+// so any row source — in-memory store, fake DB, external engine — yields
+// identical statistics.
+func CollectRows(relName string, cols []string, rows []relational.Row) *TableStats {
+	ts := &TableStats{Relation: relName, Rows: int64(len(rows)), Columns: make(map[string]*ColumnStats, len(cols))}
+	type acc struct {
+		cs     *ColumnStats
+		values map[string]int64 // exhaustive while |values| <= HistogramCap, then nil
+		seen   map[string]bool  // distinct tracking after the histogram overflows
+	}
+	accs := make([]acc, len(cols))
+	for i, c := range cols {
+		cs := &ColumnStats{Name: c}
+		ts.Columns[c] = cs
+		accs[i] = acc{cs: cs, values: map[string]int64{}}
+	}
+	for _, row := range rows {
+		for i := range cols {
+			if i >= len(row) {
+				continue
+			}
+			v := row[i]
+			a := &accs[i]
+			if v.IsNull() {
+				a.cs.Nulls++
+				continue
+			}
+			if v.Kind() == relational.KindInt {
+				iv := v.AsInt()
+				if !a.cs.HasMinMax {
+					a.cs.HasMinMax, a.cs.Min, a.cs.Max = true, iv, iv
+				} else {
+					if iv < a.cs.Min {
+						a.cs.Min = iv
+					}
+					if iv > a.cs.Max {
+						a.cs.Max = iv
+					}
+				}
+			}
+			k := v.Key()
+			if a.values != nil {
+				a.values[k]++
+				if len(a.values) > HistogramCap {
+					// Overflow: demote to distinct-only tracking.
+					a.seen = make(map[string]bool, 2*len(a.values))
+					for vk := range a.values {
+						a.seen[vk] = true
+					}
+					a.values = nil
+				}
+				continue
+			}
+			a.seen[k] = true
+		}
+	}
+	for i := range accs {
+		a := &accs[i]
+		if a.values != nil {
+			a.cs.Distinct = int64(len(a.values))
+			if len(a.values) > 0 {
+				a.cs.Histogram = a.values
+			}
+		} else {
+			a.cs.Distinct = int64(len(a.seen))
+		}
+	}
+	return ts
+}
+
+// Merge folds per-relation statistics (e.g. collected one probe at a time
+// over a Backend) into one snapshot with the given version.
+func Merge(version uint64, tables []*TableStats) *Stats {
+	s := &Stats{Relations: map[string]*TableStats{}, Version: version}
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Relation < tables[j].Relation })
+	for _, t := range tables {
+		s.Relations[t.Relation] = t
+		s.TotalRows += t.Rows
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package translate
+
+import (
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/stats"
+)
+
+// ReorderJoins applies greedy smallest-intermediate-first join reordering
+// to every eligible SELECT of q, using fan-out statistics to estimate the
+// intermediate sizes (stats.Bound.GreedyOrder). A reorder is adopted only
+// when the candidate order's estimated cost beats the translator's original
+// order by the stats.ReorderMargin — the translators already emit joins in
+// root-to-leaf order, which index probes favor, so near-ties keep the
+// original. Recursive CTE bodies are never reordered (their delta binding
+// makes cardinalities round-dependent). The input query is not mutated;
+// when anything changes, a new Query sharing unchanged nodes is returned.
+func ReorderJoins(q *sqlast.Query, est *stats.Estimator) (*sqlast.Query, bool) {
+	b, err := est.Bind(q)
+	if err != nil {
+		return q, false
+	}
+	changed := false
+	reorderSel := func(s *sqlast.Select) *sqlast.Select {
+		order, ok := b.GreedyOrder(s)
+		if !ok || isIdentity(order) {
+			return s
+		}
+		orig := b.SelectEstimate(s)
+		cand := b.OrderEstimate(s, order)
+		if !(cand.Cost < stats.ReorderMargin*orig.Cost) {
+			return s
+		}
+		ns := *s
+		ns.From = make([]sqlast.FromItem, len(order))
+		for i, o := range order {
+			ns.From[i] = s.From[o]
+		}
+		changed = true
+		return &ns
+	}
+	out := &sqlast.Query{With: make([]sqlast.CTE, 0, len(q.With)), Selects: make([]*sqlast.Select, 0, len(q.Selects))}
+	for _, cte := range q.With {
+		if cte.Recursive || len(cte.Body.With) > 0 {
+			out.With = append(out.With, cte)
+			continue
+		}
+		body := &sqlast.Query{Selects: make([]*sqlast.Select, 0, len(cte.Body.Selects))}
+		for _, s := range cte.Body.Selects {
+			body.Selects = append(body.Selects, reorderSel(s))
+		}
+		out.With = append(out.With, sqlast.CTE{Name: cte.Name, Body: body})
+	}
+	for _, s := range q.Selects {
+		out.Selects = append(out.Selects, reorderSel(s))
+	}
+	if !changed {
+		return q, false
+	}
+	return out, true
+}
+
+func isIdentity(order []int) bool {
+	for i, o := range order {
+		if i != o {
+			return false
+		}
+	}
+	return true
+}

@@ -38,6 +38,7 @@ import (
 	"xmlsql/internal/schema"
 	"xmlsql/internal/shred"
 	"xmlsql/internal/sqlast"
+	"xmlsql/internal/stats"
 	"xmlsql/internal/translate"
 	"xmlsql/internal/xmltree"
 )
@@ -119,6 +120,21 @@ type (
 	// Dialect controls how SQL text is rendered for a concrete engine:
 	// identifier quoting, keyword case, placeholders, and DDL type names.
 	Dialect = sqlast.Dialect
+	// Statistics is a snapshot of per-relation/per-column table statistics
+	// (row counts, distinct counts, min/max, small-domain histograms, join
+	// fan-out) collected over a shredded instance; the adaptive planner's
+	// raw material.
+	Statistics = stats.Stats
+	// Estimator estimates output rows and intermediate-join sizes of
+	// generated SQL against one Statistics snapshot.
+	Estimator = stats.Estimator
+	// QueryEstimate is an Estimator's per-query prediction: rows, abstract
+	// cost, and per-branch breakdowns.
+	QueryEstimate = stats.QueryEstimate
+	// PlanDecision records the adaptive chooser's selections for one query
+	// (pruned vs baseline, factored, join order) with the estimates that
+	// justified them.
+	PlanDecision = translate.Decision
 )
 
 // The built-in rendering dialects.
@@ -368,6 +384,35 @@ func FactorSharedPrefixes(s *Schema, q *SQL) (*SQL, bool) {
 	return translate.FactorSharedPrefixes(q, s)
 }
 
+// CollectStatistics scans every table of an in-memory store and returns the
+// statistics snapshot the adaptive planner plans against: per-relation row
+// counts, per-column distinct counts and min/max, small-domain histograms
+// (kindcode/parentcode selectivities), and the parent→child join fan-outs
+// they imply. The snapshot carries the store's mutation version, and its
+// Fingerprint() changes whenever the data (not just the version) changes.
+func CollectStatistics(store *Store) *Statistics { return stats.CollectStore(store) }
+
+// CollectBackendStatistics collects the same snapshot over any Backend: the
+// in-memory backend is scanned directly, database backends are probed with
+// one SELECT per mapped relation of s.
+func CollectBackendStatistics(ctx context.Context, b Backend, s *Schema) (*Statistics, error) {
+	return backend.CollectStats(ctx, b, s)
+}
+
+// NewEstimator creates a cardinality/cost estimator over a statistics
+// snapshot. Estimate a generated SQL statement with EstimateQuery.
+func NewEstimator(st *Statistics) *Estimator { return stats.NewEstimator(st) }
+
+// ChoosePlan runs the cost-based plan chooser directly: naive is the
+// baseline translation, pruned the constraint-exploiting one (nil when
+// translation fell back), and the returned Decision records which plan and
+// rewrites won and why. Planner does this automatically when
+// TranslateOptions.Adaptive is set; ChoosePlan is for tools (xml2sql
+// -explain) and tests that want the decision without a planner.
+func ChoosePlan(naive, pruned *SQL, s *Schema, est *Estimator) *PlanDecision {
+	return translate.ChoosePlan(naive, pruned, s, est)
+}
+
 // Eval is the end-to-end convenience: translate with the lossless
 // constraint and execute.
 func Eval(s *Schema, store *Store, query string) (*Result, error) {
@@ -393,7 +438,12 @@ type PlannerConfig struct {
 	// bounds concurrent UNION ALL branches (0 = GOMAXPROCS, 1 = serial).
 	Execute ExecuteOptions
 	// Translate tunes the pruning translator. Plans translated under
-	// different options never alias in the cache.
+	// different options never alias in the cache. Setting Translate.Adaptive
+	// switches the planner to cost-based per-query planning: statistics are
+	// collected (and refreshed when the data mutates), every query's pruned
+	// and baseline translations are costed, and the cheaper plan — plus
+	// per-query factoring, join order, parallelism, and memo decisions —
+	// wins. Explain reports the decisions.
 	Translate TranslateOptions
 	// Backend, when non-nil, is where Exec runs cached plans. Eval against
 	// an explicit store ignores it. Execute options apply only to the
@@ -441,6 +491,19 @@ type Planner struct {
 	audits     atomic.Int64
 	violations atomic.Int64
 	safeServes atomic.Int64
+
+	// Adaptive machinery: the cached statistics snapshot (refreshed when the
+	// observed store's mutation version moves) and the re-plan counter.
+	statsSnap     atomic.Pointer[statsEntry]
+	statsCollects atomic.Int64
+}
+
+// statsEntry is one cached statistics snapshot. store is the in-memory store
+// it was scanned from (nil when it came from a database backend, which has
+// no cheap mutation version — refresh those with RefreshStats).
+type statsEntry struct {
+	store *Store
+	snap  *Statistics
 }
 
 // NewPlanner creates a Planner for the schema with default configuration.
@@ -528,6 +591,146 @@ func (p *Planner) planMode(query string, safe bool) (*Translation, error) {
 // the baseline translator takes no options, so one key covers them all.
 const safeModeKey = "safe-mode"
 
+// adaptive reports whether this planner plans cost-based per query.
+func (p *Planner) adaptive() bool { return p.cfg.Translate.Adaptive }
+
+// adaptivePlan is one cached adaptive decision: the chosen translation plus
+// the Decision that justifies it (Exec feeds the Decision's estimate to the
+// engine's Auto mode; Explain prints it).
+type adaptivePlan struct {
+	tr  *Translation
+	dec *PlanDecision
+}
+
+// StatsSnapshot returns current statistics for the serving backend,
+// collecting on first use. For the in-memory backend the snapshot
+// auto-refreshes whenever the store's mutation version has moved; database
+// backends are probed once and kept until RefreshStats.
+func (p *Planner) StatsSnapshot(ctx context.Context) (*Statistics, error) {
+	if m, ok := p.backend().(*backend.Mem); ok {
+		return p.storeStats(m.Store()), nil
+	}
+	if cur := p.statsSnap.Load(); cur != nil && cur.store == nil {
+		return cur.snap, nil
+	}
+	snap, err := backend.CollectStats(ctx, p.backend(), p.schema.Load())
+	if err != nil {
+		return nil, err
+	}
+	p.statsCollects.Add(1)
+	p.statsSnap.Store(&statsEntry{snap: snap})
+	return snap, nil
+}
+
+// storeStats returns a fresh-enough snapshot for an in-memory store: the
+// cached one while the store's mutation version is unchanged, a re-scan
+// otherwise. A mutated store therefore changes the snapshot's fingerprint,
+// which changes the adaptive plan-cache keys, which forces a re-plan — the
+// staleness contract.
+func (p *Planner) storeStats(store *Store) *Statistics {
+	v := store.Version()
+	if cur := p.statsSnap.Load(); cur != nil && cur.store == store && cur.snap.Version == v {
+		return cur.snap
+	}
+	snap := stats.CollectStore(store)
+	p.statsCollects.Add(1)
+	p.statsSnap.Store(&statsEntry{store: store, snap: snap})
+	return snap
+}
+
+// RefreshStats drops the cached statistics snapshot and collects a new one —
+// for database backends (whose mutations the planner cannot observe) after
+// loads, or on a timer.
+func (p *Planner) RefreshStats(ctx context.Context) (*Statistics, error) {
+	p.statsSnap.Store(nil)
+	return p.StatsSnapshot(ctx)
+}
+
+// planAdaptive runs the cost-based plan path: translate both candidates,
+// choose with the estimator over snap, cache the outcome. Caching is
+// two-level, so the keys literally incorporate the chosen knob vector and the
+// statistics fingerprint: an index entry (options = base options + "|auto|" +
+// stats fingerprint) maps the query to its chosen knob vector, and the full
+// entry (options = base options + "|" + knob vector + "|" + fingerprint)
+// holds the plan. Mutating the data changes the fingerprint, misses both
+// levels, and re-plans against fresh statistics; stale entries age out of
+// the LRU.
+func (p *Planner) planAdaptive(query string, snap *Statistics) (*Translation, *PlanDecision, error) {
+	s := p.schema.Load()
+	fp := snap.Fingerprint()
+	base := plancache.Key{SchemaFP: s.Fingerprint(), Query: query}
+	idx := base
+	idx.Options = p.optKey + "|auto|" + fp
+	if v, ok := p.cache.Get(idx); ok {
+		full := base
+		full.Options = v.(string)
+		if v2, ok := p.cache.Get(full); ok {
+			ap := v2.(*adaptivePlan)
+			return ap.tr, ap.dec, nil
+		}
+	}
+	q, err := ParseQuery(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := p.cfg.Translate
+	opts.Adaptive = true
+	opts.FactorPrefixes = false // the chooser decides factoring per query
+	tr, err := TranslateWithOptions(s, q, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	naive, pruned := tr.Baseline, tr.Query
+	if tr.Fallback || naive == nil {
+		// Fallback translations and empty ones (no schema match, so no
+		// Baseline either) leave a single candidate: nothing to choose.
+		naive, pruned = tr.Query, nil
+	}
+	dec := translate.ChoosePlan(naive, pruned, s, stats.NewEstimator(snap))
+	out := &Translation{Query: dec.Query, Fallback: !dec.UsePruned}
+	if dec.UsePruned {
+		out.Classes = tr.Classes
+	}
+	full := base
+	full.Options = p.optKey + "|" + dec.KnobKey() + "|" + fp
+	p.cache.Put(full, &adaptivePlan{tr: out, dec: dec})
+	p.cache.Put(idx, full.Options)
+	return out, dec, nil
+}
+
+// Explanation is the adaptive planner's answer to "what would you do with
+// this query, and why": the decision with its estimates, the chosen plan,
+// and the statistics fingerprint it was made against. xml2sql -explain
+// renders one.
+type Explanation struct {
+	// Query is the path expression explained.
+	Query string
+	// StatsFingerprint identifies the statistics snapshot the decision was
+	// made against (it appears in the plan-cache keys).
+	StatsFingerprint string
+	// Decision is the chooser's outcome: plan choice, rewrites, and the
+	// per-candidate estimates behind them.
+	Decision *PlanDecision
+	// Plan is the chosen translation as Exec would serve it.
+	Plan *Translation
+}
+
+// Explain runs the adaptive plan path for query — regardless of whether the
+// planner itself is configured adaptive — and reports the decision. It uses
+// (and fills) the same caches as Exec, so explaining then executing plans
+// exactly once.
+func (p *Planner) Explain(ctx context.Context, query string) (*Explanation, error) {
+	snap, err := p.StatsSnapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	tr, dec, err := p.planAdaptive(query, snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{Query: query, StatsFingerprint: snap.Fingerprint(), Decision: dec, Plan: tr}, nil
+}
+
 // safeMode reports whether Exec must serve the baseline translation right
 // now: always under TrustViolated, and under TrustStrict also while the
 // instance is merely unverified.
@@ -593,6 +796,15 @@ func (p *Planner) Eval(store *Store, query string) (*Result, error) {
 // cancellation and deadline expiry abort the execution promptly with
 // ctx.Err().
 func (p *Planner) EvalContext(ctx context.Context, store *Store, query string) (*Result, error) {
+	if p.adaptive() {
+		tr, dec, err := p.planAdaptive(query, p.storeStats(store))
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := p.queryCtx(ctx)
+		defer cancel()
+		return engine.ExecuteCtx(ctx, store, tr.Query, p.autoOptions(dec))
+	}
 	tr, err := p.Plan(query)
 	if err != nil {
 		return nil, err
@@ -600,6 +812,16 @@ func (p *Planner) EvalContext(ctx context.Context, store *Store, query string) (
 	ctx, cancel := p.queryCtx(ctx)
 	defer cancel()
 	return engine.ExecuteCtx(ctx, store, tr.Query, p.cfg.Execute)
+}
+
+// autoOptions is the configured execution options with the engine's Auto
+// mode switched on and fed this decision's estimate, so serial/parallel and
+// memo resolve per query from predicted cost rather than global flags.
+func (p *Planner) autoOptions(dec *PlanDecision) ExecuteOptions {
+	opts := p.cfg.Execute
+	opts.Auto = true
+	opts.Estimate = dec.ChosenEst
+	return opts
 }
 
 // Exec translates (with caching) and executes query on the configured
@@ -614,6 +836,29 @@ func (p *Planner) EvalContext(ctx context.Context, store *Store, query string) (
 // Stats().SafeModeServes.
 func (p *Planner) Exec(ctx context.Context, query string) (*Result, error) {
 	safe := p.safeMode()
+	if p.adaptive() && !safe {
+		// Adaptive serving: plan cost-based against the current statistics
+		// snapshot, then let the engine's Auto mode resolve the execution
+		// knobs from the chosen plan's estimate. Safe mode bypasses all of
+		// it — on untrusted data only the baseline translation may serve, and
+		// the estimates were made about data the audit just impeached.
+		snap, err := p.StatsSnapshot(ctx)
+		if err != nil {
+			return nil, err
+		}
+		tr, dec, err := p.planAdaptive(query, snap)
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := p.queryCtx(ctx)
+		defer cancel()
+		if m, ok := p.backend().(*backend.Mem); ok {
+			return engine.ExecuteCtx(ctx, m.Store(), tr.Query, p.autoOptions(dec))
+		}
+		// A database backend plans its own execution; only the plan-level
+		// decisions (pruned vs baseline, factoring, join order) apply.
+		return p.backend().Execute(ctx, tr.Query)
+	}
 	tr, err := p.planMode(query, safe)
 	if err != nil {
 		return nil, err
@@ -666,6 +911,9 @@ type PlannerStats struct {
 	// translation because the instance was not trusted — the integrity
 	// counterpart of the resilience layer's Fallbacks counter.
 	SafeModeServes int64
+	// StatsCollects counts statistics snapshot collections; under a steady
+	// adaptive workload it grows only when the data actually mutates.
+	StatsCollects int64
 	// Trust is the planner's current audit disposition.
 	Trust TrustState
 }
@@ -679,6 +927,7 @@ func (p *Planner) Stats() PlannerStats {
 		Audits:          p.audits.Load(),
 		ViolationsFound: p.violations.Load(),
 		SafeModeServes:  p.safeServes.Load(),
+		StatsCollects:   p.statsCollects.Load(),
 		Trust:           TrustState(p.trust.Load()),
 	}
 }
