@@ -192,3 +192,54 @@ func TestCLIXml2sqlExplainBaselineRetained(t *testing.T) {
 		}
 	}
 }
+
+func TestCLIXmlserveRejectsInvalidFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-tenants", "a=xmark", "-max-conns", "0"}, "-max-conns must be positive"},
+		{[]string{"-tenants", "a=xmark", "-rate", "-1"}, "-rate must be positive"},
+		{[]string{"-tenants", "a=xmark", "-burst", "0"}, "-burst must be positive"},
+		{[]string{"-tenants", "a=xmark", "-max-inflight", "-3"}, "-max-inflight must be positive"},
+		{[]string{"-tenants", "a=xmark", "-timeout", "0s"}, "-timeout must be a positive duration"},
+		{[]string{"-tenants", "a=xmark", "-drain-timeout", "-1s"}, "-drain-timeout must be a positive duration"},
+		{[]string{"-tenants", "a=xmark", "-cache-size", "0"}, "-cache-size must be positive"},
+		{[]string{}, "-tenants is required"},
+		{[]string{"-tenants", "a=xmark:oracle"}, "unknown backend"},
+		{[]string{"-tenants", "a=xmark,a=s1"}, `tenant "a" declared twice`},
+	}
+	for _, tc := range cases {
+		out := runCLIExpectError(t, append([]string{"./cmd/xmlserve"}, tc.args...)...)
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("xmlserve %v: output missing %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+}
+
+func TestCLIBenchrunnerRejectsInvalidFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-frontend-clients", "0"}, "-frontend-clients must be positive"},
+		{[]string{"-frontend-over-clients", "-1"}, "-frontend-over-clients must be positive"},
+		{[]string{"-frontend-inflight", "0"}, "-frontend-inflight must be positive"},
+		{[]string{"-frontend-duration", "0s"}, "-frontend-duration must be a positive duration"},
+		{[]string{"-frontend-over-rate", "-5"}, "-frontend-over-rate must be positive"},
+		{[]string{"-frontend-overload-max-p99x", "0"}, "-frontend-overload-max-p99x must be positive"},
+		{[]string{"-scale", "0"}, "-scale must be positive"},
+	}
+	for _, tc := range cases {
+		out := runCLIExpectError(t, append([]string{"./cmd/benchrunner"}, tc.args...)...)
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("benchrunner %v: output missing %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+}

@@ -18,9 +18,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"xmlsql/internal/bench"
 )
+
+// validateFlags rejects explicitly-set non-positive serving knobs with exit
+// status 2, mirroring xml2sql and xmlserve: a zero or negative client count,
+// window, or gate is always a mistake, never a request for "unlimited".
+func validateFlags() error {
+	var err error
+	flag.Visit(func(f *flag.Flag) {
+		get := func() any { return flag.Lookup(f.Name).Value.(flag.Getter).Get() }
+		switch f.Name {
+		case "frontend-clients", "frontend-over-clients", "frontend-inflight":
+			if v := get().(int); v <= 0 {
+				err = fmt.Errorf("-%s must be positive, got %d", f.Name, v)
+			}
+		case "frontend-duration":
+			if v := get().(time.Duration); v <= 0 {
+				err = fmt.Errorf("-%s must be a positive duration, got %v", f.Name, v)
+			}
+		case "frontend-overload-max-p99x", "frontend-over-rate":
+			if v := get().(float64); v <= 0 {
+				err = fmt.Errorf("-%s must be positive, got %v", f.Name, v)
+			}
+		case "scale":
+			if v := get().(int); v <= 0 {
+				err = fmt.Errorf("-scale must be positive, got %d", v)
+			}
+		}
+	})
+	return err
+}
 
 func main() {
 	scale := flag.Int("scale", 1, "document size multiplier")
@@ -34,9 +64,21 @@ func main() {
 	sharedWorkGate := flag.Float64("sharedwork-max-regression", 2.0, "fail if factored execution is slower than the parallel baseline by more than this factor on any shared-work case")
 	adaptive := flag.Bool("adaptive", true, "also run the adaptive-planning suite (cost-based knob selection vs fixed configurations)")
 	adaptiveGate := flag.Float64("adaptive-max-vs-best", 1.1, "fail if adaptive execution exceeds the best fixed configuration by more than this factor on any shared-work case (headline cases are gated on speedup >= 1.0)")
+	frontend := flag.Bool("frontend", true, "also run the serving front-end suite (closed-loop clients against live HTTP/line listeners, under-capacity and overload)")
+	frontendClients := flag.Int("frontend-clients", 4, "closed-loop client count for the under-capacity front-end runs")
+	frontendOverClients := flag.Int("frontend-over-clients", 16, "closed-loop client count for the overload front-end runs")
+	frontendInFlight := flag.Int("frontend-inflight", 2, "in-flight admission bound of the overloaded front-end tenant")
+	frontendOverRate := flag.Float64("frontend-over-rate", 200, "token-bucket queries/second of the overloaded front-end tenant (its capacity)")
+	frontendDuration := flag.Duration("frontend-duration", 400*time.Millisecond, "measurement window per front-end run")
+	frontendGate := flag.Float64("frontend-overload-max-p99x", 2.0, "fail if the overload run's accepted-query p99 exceeds this multiple of the matching under-capacity p99 (also fails on any shed at under-capacity load)")
 	backendName := flag.String("backend", "mem", "where measured queries run: mem (in-memory engine) or fakedb (database/sql over the in-repo fake driver)")
 	jsonPath := flag.String("json", "", "write the comparison table as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
+
+	if err := validateFlags(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+		os.Exit(2)
+	}
 
 	sc := bench.DefaultScale()
 	sc.ItemsPerContinent *= *scale
@@ -148,8 +190,31 @@ func main() {
 		}
 	}
 
+	var fe []*bench.FrontendComparison
+	if *frontend {
+		fe, err = bench.RunFrontend(bench.FrontendConfig{
+			Duration:     *frontendDuration,
+			UnderClients: *frontendClients,
+			OverClients:  *frontendOverClients,
+			OverInFlight: *frontendInFlight,
+			OverRate:     *frontendOverRate,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: frontend: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(bench.FormatFrontend(fe))
+		if errs := bench.FrontendGate(fe, *frontendGate); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "benchrunner: FRONTEND GATE: %v\n", e)
+			}
+			os.Exit(1)
+		}
+	}
+
 	if *jsonPath != "" {
-		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt, sw, adp)
+		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt, sw, adp, fe)
 		out := os.Stdout
 		if *jsonPath != "-" {
 			f, err := os.Create(*jsonPath)

@@ -1,0 +1,209 @@
+// Command xmlserve is the network serving front end: it hosts one or more
+// tenant mappings — each a (schema, backend) pair with its own plan cache,
+// statistics, and integrity trust state — behind an HTTP/JSON API and an
+// optional newline-delimited line protocol, with layered admission control
+// (connection limit → per-tenant rate limit → bounded in-flight semaphore →
+// per-query timeout) shedding load with typed retry-after errors before the
+// engine saturates.
+//
+// Usage:
+//
+//	xmlserve -addr 127.0.0.1:8080 -tenants auctions=xmark:mem
+//	xmlserve -addr :8080 -line-addr :8081 \
+//	    -tenants auctions=xmark:mem,parts=s3:fakedb \
+//	    -rate 500 -burst 100 -max-inflight 16 -max-conns 512 -timeout 5s
+//
+// Each tenant is "name=workload[:backend]" where workload is a built-in
+// (xmark, xmarkfull, xmarkauctions, s1, s2, s3, adex, with an optional
+// "-edge" suffix) and backend is mem (default) or fakedb (the in-repo
+// database/sql driver; wrapped with the resilient retry/breaker layer
+// unless -resilient=false). A default-sized workload document is generated,
+// shredded, and loaded at startup.
+//
+// Endpoints: GET/POST /query (?tenant=&q= or JSON {"tenant","query"}),
+// GET/POST /explain, POST /audit?tenant=, GET /healthz, GET /stats.
+// On SIGINT/SIGTERM the server drains: in-flight queries finish (bounded by
+// -drain-timeout), new work is refused with 503 + Retry-After.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xmlsql"
+	"xmlsql/internal/backend"
+	"xmlsql/internal/backend/fakedb"
+	"xmlsql/internal/cli"
+	"xmlsql/internal/resilient"
+	"xmlsql/internal/server"
+	"xmlsql/internal/sqlast"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	lineAddr := flag.String("line-addr", "", "line-protocol listen address (empty = disabled)")
+	tenants := flag.String("tenants", "", "comma-separated tenant specs: name=workload[:backend], backend mem (default) or fakedb")
+	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "max concurrent connections across both listeners")
+	rate := flag.Float64("rate", 0, "per-tenant sustained queries/second (token-bucket refill); 0 means unlimited")
+	burst := flag.Int("burst", 0, "per-tenant token-bucket capacity; 0 derives one second of refill")
+	maxInFlight := flag.Int("max-inflight", 0, "per-tenant concurrently executing query bound; 0 means 2x GOMAXPROCS")
+	queueTimeout := flag.Duration("queue-timeout", 0, "how long an over-capacity request may wait for a slot before shedding; 0 sheds immediately")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-query execution deadline")
+	drainTimeout := flag.Duration("drain-timeout", server.DefaultDrainTimeout, "graceful-shutdown bound for in-flight queries")
+	cacheSize := flag.Int("cache-size", 0, "per-tenant plan cache entries; 0 means the plancache default")
+	adaptive := flag.Bool("adaptive", false, "enable cost-based adaptive planning per tenant")
+	useResilient := flag.Bool("resilient", true, "wrap database-backed tenants with the retry/circuit-breaker layer")
+	logRequests := flag.Bool("log-requests", false, "log every served query and shed event")
+	flag.Parse()
+
+	if err := validateFlags(); err != nil {
+		fmt.Fprintf(os.Stderr, "xmlserve: %v\n", err)
+		os.Exit(2)
+	}
+	if *tenants == "" {
+		fmt.Fprintln(os.Stderr, "xmlserve: -tenants is required (e.g. -tenants auctions=xmark:mem)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	specs, err := server.ParseTenantSpecs(*tenants)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmlserve: -tenants: %v\n", err)
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Addr:     *addr,
+		LineAddr: *lineAddr,
+		Limits: server.Limits{
+			RatePerSec:   *rate,
+			Burst:        *burst,
+			MaxInFlight:  *maxInFlight,
+			QueueTimeout: *queueTimeout,
+		},
+		MaxConns:     *maxConns,
+		DrainTimeout: *drainTimeout,
+		LogRequests:  *logRequests,
+	})
+
+	for _, spec := range specs {
+		if err := addTenant(srv, spec, *timeout, *cacheSize, *adaptive, *useResilient); err != nil {
+			fmt.Fprintf(os.Stderr, "xmlserve: tenant %s: %v\n", spec.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("xmlserve: tenant %s ready (workload %s, backend %s)\n", spec.Name, spec.Workload, spec.Backend)
+	}
+
+	if err := srv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "xmlserve: %v\n", err)
+		os.Exit(1)
+	}
+	// The listen lines are a contract: tests (and scripts) pass port 0 and
+	// scrape the resolved addresses from stdout.
+	if a := srv.HTTPAddr(); a != "" {
+		fmt.Printf("xmlserve: http listening on %s\n", a)
+	}
+	if a := srv.LineAddr(); a != "" {
+		fmt.Printf("xmlserve: line listening on %s\n", a)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	fmt.Printf("xmlserve: %v received, draining (timeout %v)\n", sig, *drainTimeout)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "xmlserve: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("xmlserve: drained, bye")
+}
+
+// addTenant materializes one tenant spec: built-in schema, a generated
+// default-sized document, and a loaded mem or fakedb backend (the latter
+// wrapped with the resilient layer when enabled).
+func addTenant(srv *server.Server, spec server.TenantSpec, timeout time.Duration, cacheSize int, adaptive, useResilient bool) error {
+	s, err := cli.BuiltinSchema(spec.Workload)
+	if err != nil {
+		return err
+	}
+	doc, err := cli.GenerateDoc(spec.Workload)
+	if err != nil {
+		return err
+	}
+	var b xmlsql.Backend
+	switch spec.Backend {
+	case "mem", "":
+		b = backend.NewMem()
+	case "fakedb":
+		db := backend.NewDB(fakedb.Open(), sqlast.DialectSQLite)
+		if useResilient {
+			b = resilient.Wrap(db, resilient.Options{})
+		} else {
+			b = db
+		}
+	default:
+		return fmt.Errorf("unknown backend %q", spec.Backend)
+	}
+	if err := b.EnsureSchema(s); err != nil {
+		return err
+	}
+	if _, err := b.Load(s, doc); err != nil {
+		return err
+	}
+	pc := xmlsql.PlannerConfig{Timeout: timeout, CacheSize: cacheSize}
+	pc.Translate.Adaptive = adaptive
+	_, err = srv.AddTenant(server.TenantConfig{
+		Name:    spec.Name,
+		Schema:  s,
+		Backend: b,
+		Planner: pc,
+	})
+	return err
+}
+
+// validateFlags rejects explicitly-set non-positive serving knobs with exit
+// status 2, mirroring xml2sql's flag validation: defaults may mean
+// "unlimited", but asking for a zero or negative limit is always a mistake.
+func validateFlags() error {
+	var err error
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "max-conns":
+			if v := flag.Lookup("max-conns").Value.(flag.Getter).Get().(int); v <= 0 {
+				err = fmt.Errorf("-max-conns must be positive, got %d", v)
+			}
+		case "rate":
+			if v := flag.Lookup("rate").Value.(flag.Getter).Get().(float64); v <= 0 {
+				err = fmt.Errorf("-rate must be positive, got %v", v)
+			}
+		case "burst":
+			if v := flag.Lookup("burst").Value.(flag.Getter).Get().(int); v <= 0 {
+				err = fmt.Errorf("-burst must be positive, got %d", v)
+			}
+		case "max-inflight":
+			if v := flag.Lookup("max-inflight").Value.(flag.Getter).Get().(int); v <= 0 {
+				err = fmt.Errorf("-max-inflight must be positive, got %d", v)
+			}
+		case "queue-timeout":
+			if v := flag.Lookup("queue-timeout").Value.(flag.Getter).Get().(time.Duration); v <= 0 {
+				err = fmt.Errorf("-queue-timeout must be a positive duration, got %v", v)
+			}
+		case "timeout":
+			if v := flag.Lookup("timeout").Value.(flag.Getter).Get().(time.Duration); v <= 0 {
+				err = fmt.Errorf("-timeout must be a positive duration, got %v", v)
+			}
+		case "drain-timeout":
+			if v := flag.Lookup("drain-timeout").Value.(flag.Getter).Get().(time.Duration); v <= 0 {
+				err = fmt.Errorf("-drain-timeout must be a positive duration, got %v", v)
+			}
+		case "cache-size":
+			if v := flag.Lookup("cache-size").Value.(flag.Getter).Get().(int); v <= 0 {
+				err = fmt.Errorf("-cache-size must be positive, got %d", v)
+			}
+		}
+	})
+	return err
+}

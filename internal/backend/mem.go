@@ -2,6 +2,7 @@ package backend
 
 import (
 	"context"
+	"sync/atomic"
 
 	"xmlsql/internal/engine"
 	"xmlsql/internal/relational"
@@ -17,6 +18,13 @@ import (
 type Mem struct {
 	store *relational.Store
 	opts  engine.Options
+
+	// Accumulated shared-work memo counters across every Execute, so a
+	// serving layer can report engine-level reuse per backend (and, with
+	// one Mem per tenant, per tenant) rather than per query only.
+	sharedHits      atomic.Int64
+	sharedMisses    atomic.Int64
+	sharedSavedRows atomic.Int64
 }
 
 // NewMem creates an in-memory backend over a fresh store.
@@ -63,7 +71,23 @@ func (m *Mem) Load(s *schema.Schema, docs ...*xmltree.Document) ([]*shred.Result
 // between recursive-CTE rounds, and inside join loops, so cancellation is
 // prompt even mid-query.
 func (m *Mem) Execute(ctx context.Context, q *sqlast.Query) (*engine.Result, error) {
-	return engine.ExecuteCtx(ctx, m.store, q, m.opts)
+	res, st, err := engine.ExecuteCtxStats(ctx, m.store, q, m.opts)
+	if err == nil {
+		m.sharedHits.Add(st.SharedHits)
+		m.sharedMisses.Add(st.SharedMisses)
+		m.sharedSavedRows.Add(st.SharedSavedRows)
+	}
+	return res, err
+}
+
+// EngineStats returns the shared-work memo counters accumulated across every
+// Execute on this backend (hits, misses, saved rows).
+func (m *Mem) EngineStats() engine.Stats {
+	return engine.Stats{
+		SharedHits:      m.sharedHits.Load(),
+		SharedMisses:    m.sharedMisses.Load(),
+		SharedSavedRows: m.sharedSavedRows.Load(),
+	}
 }
 
 // Close implements Backend; the store is garbage-collected.

@@ -35,7 +35,11 @@ type Report struct {
 	// back to the baseline where pruning does not pay), shared-work cases
 	// gated on staying within 10% of the best fixed configuration.
 	Adaptive []*AdaptiveComparison `json:"adaptive,omitempty"`
-	Summary  ReportSummary         `json:"summary"`
+	// ServingFrontend records the closed-loop runs against the live network
+	// front end (HTTP and line protocol, under-capacity and overload):
+	// sustained QPS, shed rate, and p50/p99/p999 accepted-query latency.
+	ServingFrontend []*FrontendComparison `json:"serving_frontend,omitempty"`
+	Summary         ReportSummary         `json:"summary"`
 }
 
 // ReportCase is one experiment case's measurements.
@@ -65,18 +69,19 @@ type ReportSummary struct {
 }
 
 // BuildReport assembles the JSON report from measured comparisons.
-func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison, sharedWork []*SharedWorkComparison, adaptive []*AdaptiveComparison) *Report {
+func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison, sharedWork []*SharedWorkComparison, adaptive []*AdaptiveComparison, frontend []*FrontendComparison) *Report {
 	r := &Report{
-		Name:       name,
-		Scale:      scale,
-		Backend:    "mem",
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Serving:    serving,
-		Chaos:      chaos,
-		Audit:      audit,
-		SharedWork: sharedWork,
-		Adaptive:   adaptive,
-		Summary:    ReportSummary{AllVerified: true},
+		Name:            name,
+		Scale:           scale,
+		Backend:         "mem",
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Serving:         serving,
+		Chaos:           chaos,
+		Audit:           audit,
+		SharedWork:      sharedWork,
+		Adaptive:        adaptive,
+		ServingFrontend: frontend,
+		Summary:         ReportSummary{AllVerified: true},
 	}
 	for _, c := range cmps {
 		if c.Backend != "" {

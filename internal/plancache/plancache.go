@@ -165,15 +165,16 @@ func (c *Cache) Purge() {
 	}
 }
 
-// Stats is a point-in-time counter snapshot.
+// Stats is a point-in-time counter snapshot. The JSON tags are the wire
+// names the serving front end reports per tenant on /stats.
 type Stats struct {
-	Hits   int64
-	Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Evictions counts entries dropped by LRU capacity pressure (Purge and
 	// key refreshes do not count). A growing rate under a steady workload
 	// means the hot set no longer fits and the capacity needs raising.
-	Evictions int64
-	Entries   int
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
 }
 
 // Stats returns the cache's hit/miss/eviction counters and current size.

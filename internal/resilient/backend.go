@@ -30,19 +30,21 @@ type Options struct {
 	MirrorLoads bool
 }
 
-// Stats is a point-in-time snapshot of a wrapped backend's counters.
+// Stats is a point-in-time snapshot of a wrapped backend's counters. The
+// JSON tags are the /stats wire names the serving front end exposes per
+// tenant.
 type Stats struct {
 	// Executes counts Execute calls.
-	Executes int64
+	Executes int64 `json:"executes"`
 	// Retries counts primary re-attempts beyond each first try.
-	Retries int64
+	Retries int64 `json:"retries"`
 	// PrimaryFailures counts Execute calls the primary definitively failed
 	// (after retries).
-	PrimaryFailures int64
+	PrimaryFailures int64 `json:"primary_failures"`
 	// BreakerTrips counts breaker openings.
-	BreakerTrips int64
+	BreakerTrips int64 `json:"breaker_trips"`
 	// Fallbacks counts queries served by (or attempted on) the fallback.
-	Fallbacks int64
+	Fallbacks int64 `json:"fallbacks"`
 }
 
 // Backend wraps a primary backend.Backend with retry, circuit breaking, and
@@ -69,6 +71,11 @@ func (b *Backend) Name() string { return "resilient(" + b.primary.Name() + ")" }
 
 // Breaker exposes the primary's circuit breaker (tests and dashboards).
 func (b *Backend) Breaker() *Breaker { return b.breaker }
+
+// Primary exposes the wrapped backend, so observability layers can reach
+// counters the wrapper does not re-export (e.g. the mem engine's shared-work
+// memo counters) without holding a second reference to it.
+func (b *Backend) Primary() backend.Backend { return b.primary }
 
 // Stats snapshots the counters.
 func (b *Backend) Stats() Stats {

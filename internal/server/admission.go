@@ -1,0 +1,173 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShedReason identifies which admission stage refused a request. The stages
+// run in a fixed order — connection limit, rate limit, in-flight semaphore —
+// and every refusal is typed, so clients (and the closed-loop bench driver)
+// can distinguish "back off and retry" from a real failure.
+type ShedReason string
+
+const (
+	// ShedConnections: the process-wide connection limit was reached; the
+	// connection itself was refused before any request was read.
+	ShedConnections ShedReason = "shed_connections"
+	// ShedRate: the tenant's token bucket was empty.
+	ShedRate ShedReason = "shed_rate"
+	// ShedCapacity: the tenant's bounded in-flight semaphore was full (and
+	// stayed full for the configured queue timeout).
+	ShedCapacity ShedReason = "shed_capacity"
+	// ShedDraining: the server is shutting down and accepts no new work.
+	ShedDraining ShedReason = "draining"
+)
+
+// ShedError is the typed retry-after error admission control returns instead
+// of letting load reach a saturated engine. It is temporary by construction:
+// the client should wait RetryAfter and try again.
+type ShedError struct {
+	Reason     ShedReason
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	if e.Tenant == "" {
+		return fmt.Sprintf("server: load shed (%s), retry after %v", e.Reason, e.RetryAfter)
+	}
+	return fmt.Sprintf("server: tenant %q load shed (%s), retry after %v", e.Tenant, e.Reason, e.RetryAfter)
+}
+
+// Temporary marks the error retryable (net.Error convention).
+func (e *ShedError) Temporary() bool { return true }
+
+// tokenBucket is a per-tenant rate limiter: capacity burst, refilled at rate
+// tokens per second. rate <= 0 disables limiting. The clock is injectable for
+// tests.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	b := float64(burst)
+	if burst <= 0 {
+		// Default burst: one second of refill, at least one request.
+		if b = rate; b < 1 {
+			b = 1
+		}
+	}
+	tb := &tokenBucket{rate: rate, burst: b, tokens: b, now: time.Now}
+	tb.last = tb.now()
+	return tb
+}
+
+// allow takes one token if available. When it cannot, it returns how long
+// until the next token exists — the Retry-After hint.
+func (b *tokenBucket) allow() (bool, time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// connLimiter bounds concurrent connections across both listeners. Refused
+// connections are counted and answered with a protocol-appropriate typed
+// shed response by the listener's reject function, before any request body
+// is read — the first admission stage.
+type connLimiter struct {
+	sem      chan struct{}
+	active   atomic.Int64
+	rejected atomic.Int64
+}
+
+func newConnLimiter(max int) *connLimiter {
+	if max <= 0 {
+		max = DefaultMaxConns
+	}
+	return &connLimiter{sem: make(chan struct{}, max)}
+}
+
+// tryAcquire claims a connection slot without blocking.
+func (l *connLimiter) tryAcquire() bool {
+	select {
+	case l.sem <- struct{}{}:
+		l.active.Add(1)
+		return true
+	default:
+		l.rejected.Add(1)
+		return false
+	}
+}
+
+func (l *connLimiter) release() {
+	l.active.Add(-1)
+	<-l.sem
+}
+
+// limitedListener applies the connection limit at Accept time. Over-limit
+// connections are not left to queue in the kernel: they are accepted, handed
+// to reject (which writes the typed shed response), and closed, so clients
+// learn to back off immediately instead of stalling.
+type limitedListener struct {
+	net.Listener
+	limiter *connLimiter
+	reject  func(net.Conn)
+}
+
+func (l *limitedListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.limiter.tryAcquire() {
+			return &limitedConn{Conn: c, limiter: l.limiter}, nil
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			if l.reject != nil {
+				l.reject(c)
+			}
+		}(c)
+	}
+}
+
+// limitedConn releases its slot exactly once on Close.
+type limitedConn struct {
+	net.Conn
+	limiter *connLimiter
+	once    sync.Once
+}
+
+func (c *limitedConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.limiter.release)
+	return err
+}

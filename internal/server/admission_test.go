@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xmlsql"
+	"xmlsql/internal/workloads"
+)
+
+func TestTokenBucket(t *testing.T) {
+	clock := time.Unix(100, 0)
+	tb := newTokenBucket(10, 2) // 10/s, burst 2
+	tb.now = func() time.Time { return clock }
+	tb.last = clock
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := tb.allow(); !ok {
+			t.Fatalf("request %d within burst refused", i)
+		}
+	}
+	ok, wait := tb.allow()
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("retry-after hint = %v, want (0, 100ms] at 10/s", wait)
+	}
+
+	clock = clock.Add(100 * time.Millisecond) // one token refilled
+	if ok, _ := tb.allow(); !ok {
+		t.Fatal("request after refill refused")
+	}
+	if ok, _ := tb.allow(); ok {
+		t.Fatal("second request after a single-token refill admitted")
+	}
+
+	// A long idle period must not accumulate more than the burst.
+	clock = clock.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := tb.allow(); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("after a long idle, %d admitted; burst is 2", admitted)
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	tb := newTokenBucket(0, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := tb.allow(); !ok {
+			t.Fatal("rate 0 must mean unlimited")
+		}
+	}
+	var nilBucket *tokenBucket
+	if ok, _ := nilBucket.allow(); !ok {
+		t.Fatal("nil bucket must admit")
+	}
+}
+
+func TestTokenBucketDerivedBurst(t *testing.T) {
+	if tb := newTokenBucket(50, 0); tb.burst != 50 {
+		t.Errorf("derived burst = %v, want one second of refill (50)", tb.burst)
+	}
+	if tb := newTokenBucket(0.25, 0); tb.burst != 1 {
+		t.Errorf("derived burst = %v, want minimum 1", tb.burst)
+	}
+}
+
+func TestConnLimiter(t *testing.T) {
+	l := newConnLimiter(2)
+	if !l.tryAcquire() || !l.tryAcquire() {
+		t.Fatal("slots within the limit refused")
+	}
+	if l.tryAcquire() {
+		t.Fatal("slot beyond the limit granted")
+	}
+	if got := l.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	l.release()
+	if !l.tryAcquire() {
+		t.Fatal("slot after release refused")
+	}
+	if got := l.active.Load(); got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+}
+
+func TestShedError(t *testing.T) {
+	err := &ShedError{Reason: ShedRate, Tenant: "acme", RetryAfter: 50 * time.Millisecond}
+	if !err.Temporary() {
+		t.Error("shed errors are temporary by construction")
+	}
+	var shed *ShedError
+	if !errors.As(error(err), &shed) || shed.Reason != ShedRate {
+		t.Error("errors.As must recover the typed shed error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"acme", "shed_rate", "50ms"} {
+		if !contains(msg, want) {
+			t.Errorf("error text %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLimitsWithDefaults(t *testing.T) {
+	l := Limits{}.withDefaults()
+	if l.MaxInFlight <= 0 {
+		t.Errorf("MaxInFlight default = %d, want positive", l.MaxInFlight)
+	}
+	l = Limits{MaxInFlight: 3, RatePerSec: 7}.withDefaults()
+	if l.MaxInFlight != 3 || l.RatePerSec != 7 {
+		t.Errorf("explicit limits rewritten: %+v", l)
+	}
+}
+
+// testTenant builds a tenant over a tiny loaded xmark instance.
+func testTenant(t *testing.T, limits *Limits) *Tenant {
+	t.Helper()
+	s := workloads.XMark()
+	doc := workloads.GenerateXMark(workloads.XMarkConfig{
+		ItemsPerContinent: 3, CategoriesPerItem: 1, NumCategories: 3, Seed: 1,
+	})
+	store := xmlsql.NewStore()
+	if _, err := xmlsql.Shred(s, store, doc); err != nil {
+		t.Fatal(err)
+	}
+	tn, err := newTenant(TenantConfig{
+		Name: "t", Schema: s, Backend: xmlsql.NewMemBackendOn(store), Limits: limits,
+	}, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+func TestTenantAdmitCapacity(t *testing.T) {
+	tn := testTenant(t, &Limits{MaxInFlight: 1})
+	release, err := tn.admit(context.Background(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tn.admit(context.Background(), time.Second)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ShedCapacity {
+		t.Fatalf("over-capacity admit: got %v, want shed_capacity", err)
+	}
+	if shed.RetryAfter != time.Second {
+		t.Errorf("capacity shed retry-after = %v, want the fallback 1s", shed.RetryAfter)
+	}
+	if got := tn.shedCapacity.Load(); got != 1 {
+		t.Errorf("shedCapacity counter = %d, want 1", got)
+	}
+	release()
+	release2, err := tn.admit(context.Background(), time.Second)
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	release2()
+	if got := tn.inFlight.Load(); got != 0 {
+		t.Errorf("inFlight = %d after all releases, want 0", got)
+	}
+}
+
+func TestTenantAdmitQueueTimeout(t *testing.T) {
+	tn := testTenant(t, &Limits{MaxInFlight: 1, QueueTimeout: 30 * time.Millisecond})
+	release, err := tn.admit(context.Background(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Held past the queue timeout: the waiter sheds.
+	start := time.Now()
+	_, err = tn.admit(context.Background(), time.Second)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ShedCapacity {
+		t.Fatalf("queued admit after timeout: got %v, want shed_capacity", err)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Errorf("waiter shed after %v, before the 30ms queue timeout", waited)
+	}
+
+	// Released during the wait: the waiter is admitted, not shed.
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		release()
+	}()
+	release2, err := tn.admit(context.Background(), time.Second)
+	if err != nil {
+		t.Fatalf("queued admit with release mid-wait: %v", err)
+	}
+	release2()
+}
+
+func TestTenantAdmitRate(t *testing.T) {
+	tn := testTenant(t, &Limits{RatePerSec: 1, Burst: 1})
+	release, err := tn.admit(context.Background(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	_, err = tn.admit(context.Background(), time.Second)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ShedRate {
+		t.Fatalf("over-rate admit: got %v, want shed_rate", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Error("rate shed must carry a positive retry-after hint")
+	}
+	if got := tn.shedRate.Load(); got != 1 {
+		t.Errorf("shedRate counter = %d, want 1", got)
+	}
+}
+
+func TestParseTenantSpecs(t *testing.T) {
+	specs, err := ParseTenantSpecs("a=xmark,b=s1:fakedb, c=s3:mem ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("parsed %d specs, want 3", len(specs))
+	}
+	if specs[0].Name != "a" || specs[0].Workload != "xmark" || specs[0].Backend != "mem" {
+		t.Errorf("spec 0 = %+v", specs[0])
+	}
+	if specs[1].Backend != "fakedb" {
+		t.Errorf("spec 1 backend = %q", specs[1].Backend)
+	}
+
+	for _, bad := range []string{"", "a", "=xmark", "a=", "a=xmark:oracle", "a=xmark,a=s1"} {
+		if _, err := ParseTenantSpecs(bad); err == nil {
+			t.Errorf("ParseTenantSpecs(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TenantSpec is the parsed form of one element of cmd/xmlserve's -tenants
+// flag: "name=workload[:backend]". The workload is a built-in name (with
+// the optional -edge suffix internal/cli understands); backend is "mem"
+// (default) or "fakedb".
+type TenantSpec struct {
+	Name     string
+	Workload string
+	Backend  string
+}
+
+// ParseTenantSpecs parses the comma-separated -tenants flag. The caller
+// materializes each spec (schema, generated document, loaded backend);
+// parsing is separate so flag validation can fail fast with exit 2.
+func ParseTenantSpecs(spec string) ([]TenantSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("empty tenant spec")
+	}
+	var out []TenantSpec
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" || rest == "" {
+			return nil, fmt.Errorf("tenant %q: want name=workload[:backend]", part)
+		}
+		workload, backendName, hasBackend := strings.Cut(rest, ":")
+		if !hasBackend {
+			backendName = "mem"
+		}
+		if workload == "" {
+			return nil, fmt.Errorf("tenant %q: missing workload", part)
+		}
+		if backendName != "mem" && backendName != "fakedb" {
+			return nil, fmt.Errorf("tenant %q: unknown backend %q (want mem or fakedb)", part, backendName)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("tenant %q declared twice", name)
+		}
+		seen[name] = true
+		out = append(out, TenantSpec{Name: name, Workload: workload, Backend: backendName})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty tenant spec")
+	}
+	return out, nil
+}

@@ -1,0 +1,348 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"xmlsql"
+	"xmlsql/internal/engine"
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/resilient"
+)
+
+// queryRequest is the POST /query and /explain body; GET requests pass the
+// same fields as ?tenant= and ?q= parameters.
+type queryRequest struct {
+	Tenant string `json:"tenant"`
+	Query  string `json:"query"`
+}
+
+// queryResponse is a served query's JSON answer.
+type queryResponse struct {
+	Tenant    string  `json:"tenant"`
+	Query     string  `json:"query"`
+	Cols      []string `json:"cols"`
+	Rows      [][]any `json:"rows"`
+	RowCount  int     `json:"row_count"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+}
+
+// errorResponse is every error's JSON shape; shed responses also carry the
+// HTTP Retry-After header.
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	Tenant       string `json:"tenant,omitempty"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// healthResponse is GET /healthz.
+type healthResponse struct {
+	Status   string `json:"status"`
+	Tenants  int    `json:"tenants"`
+	UptimeMs int64  `json:"uptime_ms"`
+}
+
+// ServerStats is GET /stats: process-wide connection/drain counters plus the
+// per-tenant partitioned counters.
+type ServerStats struct {
+	UptimeMs     int64                  `json:"uptime_ms"`
+	Draining     bool                   `json:"draining"`
+	ActiveConns  int64                  `json:"active_conns"`
+	MaxConns     int                    `json:"max_conns"`
+	ShedConns    int64                  `json:"shed_connections"`
+	ShedDraining int64                  `json:"shed_draining"`
+	Tenants      map[string]TenantStats `json:"tenants"`
+}
+
+// Stats snapshots the whole server (also served on /stats).
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		UptimeMs:     time.Since(s.start).Milliseconds(),
+		Draining:     s.draining.Load(),
+		ActiveConns:  s.conns.active.Load(),
+		MaxConns:     cap(s.conns.sem),
+		ShedConns:    s.conns.rejected.Load(),
+		ShedDraining: s.shedDraining.Load(),
+		Tenants:      make(map[string]TenantStats),
+	}
+	for _, name := range s.tenantNames() {
+		if t := s.Tenant(name); t != nil {
+			st.Tenants[name] = t.Stats()
+		}
+	}
+	return st
+}
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/audit", s.handleAudit)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// parseQueryRequest accepts both GET parameters and a POST JSON body.
+func parseQueryRequest(r *http.Request) (queryRequest, error) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Tenant = r.URL.Query().Get("tenant")
+		req.Query = r.URL.Query().Get("q")
+		if req.Query == "" {
+			req.Query = r.URL.Query().Get("query")
+		}
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return req, fmt.Errorf("reading body: %w", err)
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return req, fmt.Errorf("parsing body: %w", err)
+		}
+	default:
+		return req, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	if req.Tenant == "" {
+		return req, fmt.Errorf("missing tenant")
+	}
+	if req.Query == "" {
+		return req, fmt.Errorf("missing query")
+	}
+	return req, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := parseQueryRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "", err.Error(), 0)
+		return
+	}
+	t := s.Tenant(req.Tenant)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "unknown_tenant", req.Tenant, fmt.Sprintf("tenant %q not registered", req.Tenant), 0)
+		return
+	}
+	// Reject malformed path expressions before they cost an admission slot.
+	if _, err := pathexpr.Parse(req.Query); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_query", req.Tenant, err.Error(), 0)
+		return
+	}
+	res, elapsed, err := s.execute(r.Context(), t, req.Query)
+	if err != nil {
+		s.writeExecError(w, req.Tenant, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Tenant:    req.Tenant,
+		Query:     req.Query,
+		Cols:      res.Cols,
+		Rows:      rowsJSON(res),
+		RowCount:  res.Len(),
+		ElapsedNs: elapsed.Nanoseconds(),
+	})
+}
+
+// explainResponse is /explain's JSON: the adaptive planner's cost-based
+// decision for the query under the tenant's current statistics.
+type explainResponse struct {
+	Tenant           string `json:"tenant"`
+	Query            string `json:"query"`
+	StatsFingerprint string `json:"stats_fingerprint"`
+	UsePruned        bool   `json:"use_pruned"`
+	Factored         bool   `json:"factored"`
+	Reordered        bool   `json:"reordered"`
+	EstimatedRows    float64 `json:"estimated_rows"`
+	EstimatedCost    float64 `json:"estimated_cost"`
+	SQL              string `json:"sql"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, err := parseQueryRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "", err.Error(), 0)
+		return
+	}
+	t := s.Tenant(req.Tenant)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "unknown_tenant", req.Tenant, fmt.Sprintf("tenant %q not registered", req.Tenant), 0)
+		return
+	}
+	ex, err := t.planner.Explain(r.Context(), req.Query)
+	if err != nil {
+		s.writeExecError(w, req.Tenant, err)
+		return
+	}
+	resp := explainResponse{
+		Tenant:           req.Tenant,
+		Query:            req.Query,
+		StatsFingerprint: ex.StatsFingerprint,
+		SQL:              ex.Plan.Query.SQL(),
+	}
+	if d := ex.Decision; d != nil {
+		resp.UsePruned = d.UsePruned
+		resp.Factored = d.Factored
+		resp.Reordered = d.Reordered
+		if d.ChosenEst != nil {
+			resp.EstimatedRows = d.ChosenEst.Rows
+			resp.EstimatedCost = d.ChosenEst.Cost
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// auditResponse is POST /audit's JSON: the integrity verdict and the trust
+// transition it installed on the tenant's planner.
+type auditResponse struct {
+	Tenant string                  `json:"tenant"`
+	Clean  bool                    `json:"clean"`
+	Trust  string                  `json:"trust"`
+	Report *xmlsql.IntegrityReport `json:"report"`
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "", "POST required", 0)
+		return
+	}
+	name := r.URL.Query().Get("tenant")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "", "missing tenant", 0)
+		return
+	}
+	t := s.Tenant(name)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "unknown_tenant", name, fmt.Sprintf("tenant %q not registered", name), 0)
+		return
+	}
+	rep, err := t.planner.Audit(r.Context())
+	if err != nil {
+		s.writeExecError(w, name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, auditResponse{
+		Tenant: name,
+		Clean:  rep.Clean(),
+		Trust:  t.planner.TrustState().String(),
+		Report: rep,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{Status: "ok", Tenants: len(s.tenantNames()), UptimeMs: time.Since(s.start).Milliseconds()}
+	code := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// writeExecError maps an execution-path error to its HTTP shape: typed shed
+// errors to 429/503 with Retry-After, timeouts to 504, resource guards to
+// 422, breaker-open to 503, everything else to 500.
+func (s *Server) writeExecError(w http.ResponseWriter, tenant string, err error) {
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		code := http.StatusTooManyRequests
+		if shed.Reason == ShedDraining || shed.Reason == ShedConnections {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, string(shed.Reason), tenant, err.Error(), shed.RetryAfter)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "timeout", tenant, err.Error(), 0)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusInternalServerError, "canceled", tenant, err.Error(), 0)
+	case errors.Is(err, resilient.ErrBreakerOpen):
+		writeError(w, http.StatusServiceUnavailable, "unavailable", tenant, err.Error(), s.cfg.RetryAfter)
+	case func() bool { var re *engine.ResourceError; return errors.As(err, &re) }():
+		writeError(w, http.StatusUnprocessableEntity, "resource_limit", tenant, err.Error(), 0)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", tenant, err.Error(), 0)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, errCode, tenant, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+	}
+	writeJSON(w, code, errorResponse{Error: errorBody{
+		Code:         errCode,
+		Message:      msg,
+		Tenant:       tenant,
+		RetryAfterMs: retryAfter.Milliseconds(),
+	}})
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// minimum 1 — the header has no sub-second form).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if d%time.Second != 0 || secs < 1 {
+		secs++
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// rowsJSON converts result rows to JSON-native values.
+func rowsJSON(res *engine.Result) [][]any {
+	rows := make([][]any, len(res.Rows))
+	for i, row := range res.Rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			vals[j] = valueJSON(v)
+		}
+		rows[i] = vals
+	}
+	return rows
+}
+
+func valueJSON(v relational.Value) any {
+	switch v.Kind() {
+	case relational.KindInt:
+		return v.AsInt()
+	case relational.KindString:
+		return v.AsString()
+	default:
+		return nil
+	}
+}
+
+// rejectHTTPConn answers an over-limit connection with a canned 503 +
+// Retry-After — the connection-limit stage's typed shed response — without
+// ever reading the request.
+func (s *Server) rejectHTTPConn(c net.Conn) {
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	body := fmt.Sprintf(`{"error":{"code":%q,"message":"connection limit reached","retry_after_ms":%d}}`,
+		ShedConnections, s.cfg.RetryAfter.Milliseconds())
+	fmt.Fprintf(c, "HTTP/1.1 503 Service Unavailable\r\nRetry-After: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		retryAfterSeconds(s.cfg.RetryAfter), len(body), body)
+}

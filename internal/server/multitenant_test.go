@@ -1,0 +1,166 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"xmlsql"
+	"xmlsql/internal/server"
+)
+
+// TestMultiTenantConcurrentIsolation drives N tenants with M concurrent
+// clients each and checks that every partitioned counter — queries, plan
+// cache, trust — ends up exactly where that tenant's own load put it: no
+// cross-tenant plan-cache hits, no counter bleed.
+func TestMultiTenantConcurrentIsolation(t *testing.T) {
+	const (
+		tenants          = 4
+		clientsPerTenant = 4
+		queriesPerClient = 10
+	)
+	srv := server.New(server.Config{Logf: func(string, ...any) {}})
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant%d", i)
+		cfg, _ := newXMarkTenant(t, names[i], nil)
+		if _, err := srv.AddTenant(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// All tenants share the same schema and the same hot query, so a shared
+	// (non-partitioned) plan cache would show cross-tenant hits: the first
+	// tenant's miss would warm every other tenant's first request.
+	q := url.QueryEscape("//Item/InCategory/Category")
+	var wg sync.WaitGroup
+	errc := make(chan error, tenants*clientsPerTenant)
+	for _, name := range names {
+		for c := 0; c < clientsPerTenant; c++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				for i := 0; i < queriesPerClient; i++ {
+					resp, err := http.Get(ts.URL + "/query?tenant=" + name + "&q=" + q)
+					if err != nil {
+						errc <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errc <- fmt.Errorf("tenant %s: status %d", name, resp.StatusCode)
+						return
+					}
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	for _, name := range names {
+		st := srv.Tenant(name).Stats()
+		want := int64(clientsPerTenant * queriesPerClient)
+		if st.Queries != want {
+			t.Errorf("%s: queries = %d, want %d (counter bleed)", name, st.Queries, want)
+		}
+		if st.Errors != 0 {
+			t.Errorf("%s: errors = %d", name, st.Errors)
+		}
+		// Partitioned cache: every lookup is accounted to this tenant, and
+		// at least the very first was a miss. A shared cache would give
+		// tenants beyond the first misses == 0.
+		if got := st.PlanCache.Hits + st.PlanCache.Misses; got != want {
+			t.Errorf("%s: cache hits+misses = %d, want %d", name, got, want)
+		}
+		if st.PlanCache.Misses < 1 {
+			t.Errorf("%s: cache misses = %d; its own first lookup cannot hit — plan cache is shared across tenants",
+				name, st.PlanCache.Misses)
+		}
+		if st.InFlight != 0 {
+			t.Errorf("%s: in_flight = %d after quiesce", name, st.InFlight)
+		}
+	}
+}
+
+// TestTrustIsolation corrupts one tenant's store and audits both: the dirty
+// tenant flips to violated trust and serves in safe mode; the clean tenant's
+// trust, audit verdict, and serving mode are untouched.
+func TestTrustIsolation(t *testing.T) {
+	srv := server.New(server.Config{Logf: func(string, ...any) {}})
+	dirtyCfg, dirtyStore := newXMarkTenant(t, "dirty", nil)
+	cleanCfg, _ := newXMarkTenant(t, "clean", nil)
+	for _, cfg := range []server.TenantConfig{dirtyCfg, cleanCfg} {
+		if _, err := srv.AddTenant(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Corrupt the dirty tenant's instance underneath the server: an orphan
+	// InCat tuple violates the lossless-from-XML constraint.
+	if err := xmlsql.InjectOrphan(dirtyCfg.Schema, dirtyStore, "InCat", 999999); err != nil {
+		t.Fatal(err)
+	}
+
+	audit := func(name string) (clean bool, trust string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/audit?tenant="+name, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var got struct {
+			Clean bool   `json:"clean"`
+			Trust string `json:"trust"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		return got.Clean, got.Trust
+	}
+
+	if clean, trust := audit("dirty"); clean || trust != "violated" {
+		t.Fatalf("dirty tenant audit: clean=%v trust=%q, want violated", clean, trust)
+	}
+	if clean, trust := audit("clean"); !clean || trust != "verified" {
+		t.Fatalf("clean tenant audit: clean=%v trust=%q — the dirty tenant's violation leaked", clean, trust)
+	}
+
+	// Both tenants still serve; only the dirty one degrades to safe mode.
+	for _, name := range []string{"dirty", "clean"} {
+		resp, err := http.Get(ts.URL + "/query?tenant=" + name + "&q=" + url.QueryEscape("//Item/name"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %s query after audits: %d", name, resp.StatusCode)
+		}
+	}
+	dirtyStats := srv.Tenant("dirty").Stats()
+	cleanStats := srv.Tenant("clean").Stats()
+	if dirtyStats.SafeModeServes == 0 {
+		t.Error("dirty tenant should serve in safe mode after a violated audit")
+	}
+	if cleanStats.SafeModeServes != 0 {
+		t.Error("clean tenant flipped into safe mode by another tenant's violation")
+	}
+	if dirtyStats.Trust != "violated" || cleanStats.Trust != "verified" {
+		t.Errorf("trust states: dirty=%q clean=%q", dirtyStats.Trust, cleanStats.Trust)
+	}
+	if dirtyStats.ViolationsFound == 0 || cleanStats.ViolationsFound != 0 {
+		t.Errorf("violation counters: dirty=%d clean=%d",
+			dirtyStats.ViolationsFound, cleanStats.ViolationsFound)
+	}
+}

@@ -1,0 +1,231 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"xmlsql/internal/server"
+)
+
+func TestGracefulShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := server.New(server.Config{
+		Addr:         "127.0.0.1:0",
+		LineAddr:     "127.0.0.1:0",
+		DrainTimeout: 2 * time.Second,
+		Logf:         func(string, ...any) {},
+	})
+	cfg, _ := newXMarkTenant(t, "auctions", nil)
+	if _, err := srv.AddTenant(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve one query per protocol so the drain has had real traffic, and
+	// leave the line connection idle (blocked in its next read) — Shutdown
+	// must wake and release it rather than hang on the drain WaitGroup.
+	resp, err := http.Get("http://" + srv.HTTPAddr() + "/query?tenant=auctions&q=" + url.QueryEscape("//Item/name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query before shutdown: %d", resp.StatusCode)
+	}
+	idle := dialLine(t, srv.LineAddr())
+	if got := idle.roundTrip(t, "PING"); got != "PONG" {
+		t.Fatalf("line PING -> %q", got)
+	}
+
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("drain of an idle server took %v", waited)
+	}
+	if !srv.Draining() {
+		t.Error("server not marked draining after Close")
+	}
+
+	// The idle line connection was released.
+	idle.c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := idle.r.ReadString('\n'); err == nil {
+		t.Error("idle line connection still open after drain")
+	}
+
+	// Listeners are gone: new connections are refused.
+	if _, err := http.Get("http://" + srv.HTTPAddr() + "/healthz"); err == nil {
+		t.Error("HTTP listener still accepting after Close")
+	}
+
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+
+	// No goroutine leaks: everything the server started has exited.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: %d before, %d after shutdown\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestDrainingRefusesNewWork(t *testing.T) {
+	// A listener-less server: Shutdown still flips the draining flag, and the
+	// handler (mounted on httptest) must answer every query with the typed
+	// draining shed and healthz with 503 + Retry-After.
+	srv := server.New(server.Config{Logf: func(string, ...any) {}})
+	cfg, _ := newXMarkTenant(t, "auctions", nil)
+	if _, err := srv.AddTenant(cfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var got struct {
+		Error struct {
+			Code         string `json:"code"`
+			RetryAfterMs int64  `json:"retry_after_ms"`
+		} `json:"error"`
+	}
+	resp := getJSON(t, ts.URL+"/query?tenant=auctions&q="+url.QueryEscape("//Item/name"), &got)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query while draining: %d, want 503", resp.StatusCode)
+	}
+	if got.Error.Code != "draining" {
+		t.Errorf("error code = %q, want draining", got.Error.Code)
+	}
+	if got.Error.RetryAfterMs <= 0 || resp.Header.Get("Retry-After") == "" {
+		t.Error("draining shed must carry retry-after hints")
+	}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	hresp := getJSON(t, ts.URL+"/healthz", &health)
+	if hresp.StatusCode != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Errorf("healthz while draining: %d %+v", hresp.StatusCode, health)
+	}
+	if hresp.Header.Get("Retry-After") == "" {
+		t.Error("draining healthz missing Retry-After")
+	}
+
+	// The shed_draining counter made it to stats.
+	if st := srv.Stats(); st.ShedDraining == 0 || !st.Draining {
+		t.Errorf("stats after draining sheds: %+v", st)
+	}
+}
+
+func TestShutdownWakesMidDrainLineClients(t *testing.T) {
+	srv := server.New(server.Config{
+		LineAddr:     "127.0.0.1:0",
+		DrainTimeout: 2 * time.Second,
+		Logf:         func(string, ...any) {},
+	})
+	cfg, _ := newXMarkTenant(t, "auctions", nil)
+	if _, err := srv.AddTenant(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Several idle connections, all parked in reads.
+	var conns []*lineConn
+	for i := 0; i < 5; i++ {
+		lc := dialLine(t, srv.LineAddr())
+		if got := lc.roundTrip(t, "PING"); got != "PONG" {
+			t.Fatalf("conn %d PING -> %q", i, got)
+		}
+		conns = append(conns, lc)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close with idle line conns: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close hung on idle line connections")
+	}
+	for i, lc := range conns {
+		lc.c.SetReadDeadline(time.Now().Add(time.Second))
+		if _, err := lc.r.ReadString('\n'); err == nil {
+			t.Errorf("conn %d still open after drain", i)
+		}
+	}
+}
+
+func TestLineDrainingResponse(t *testing.T) {
+	// A connection that was established before the drain and issues its next
+	// request mid-drain gets the typed "ERR draining" line. To observe this
+	// (rather than the read-deadline wakeup), flip draining via Shutdown on
+	// a second server sharing no listener state is impossible — instead,
+	// race requests against Close and accept either outcome, requiring only
+	// that any response seen is the typed one.
+	srv := server.New(server.Config{
+		LineAddr:     "127.0.0.1:0",
+		DrainTimeout: time.Second,
+		Logf:         func(string, ...any) {},
+	})
+	cfg, _ := newXMarkTenant(t, "auctions", nil)
+	if _, err := srv.AddTenant(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lc := dialLine(t, srv.LineAddr())
+	if got := lc.roundTrip(t, "PING"); got != "PONG" {
+		t.Fatalf("PING -> %q", got)
+	}
+
+	go srv.Close()
+	lc.c.SetDeadline(time.Now().Add(2 * time.Second))
+	for {
+		if _, err := fmt.Fprintln(lc.c, "Q auctions //Item/name"); err != nil {
+			break // drained and closed underneath us — fine
+		}
+		resp, err := lc.r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		resp = strings.TrimSpace(resp)
+		if strings.HasPrefix(resp, "ERR") {
+			if !strings.HasPrefix(resp, "ERR draining") {
+				t.Fatalf("mid-drain response %q, want ERR draining", resp)
+			}
+			break
+		}
+		if !strings.HasPrefix(resp, "OK") {
+			t.Fatalf("unexpected response %q", resp)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package xmlsql_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"xmlsql/internal/bench"
+)
+
+// TestXmlserveIntegration exercises the real binary end to end: build
+// xmlserve, start it on ephemeral ports with a mem tenant and a fakedb
+// tenant, drive both protocols with the closed-loop bench driver, check the
+// stats surface, and shut it down with SIGTERM expecting a clean drain.
+func TestXmlserveIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+
+	bin := filepath.Join(t.TempDir(), "xmlserve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/xmlserve").CombinedOutput(); err != nil {
+		t.Fatalf("building xmlserve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-line-addr", "127.0.0.1:0",
+		"-tenants", "auctions=xmark:mem,staff=s1:fakedb",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The listen lines are part of the binary's stdout contract: with port 0
+	// they are the only way to learn the resolved addresses.
+	var httpAddr, lineAddr string
+	var banner strings.Builder
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(15 * time.Second)
+	for httpAddr == "" || lineAddr == "" {
+		lineCh := make(chan string, 1)
+		go func() {
+			if sc.Scan() {
+				lineCh <- sc.Text()
+			} else {
+				close(lineCh)
+			}
+		}()
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatalf("xmlserve exited before listening:\n%s", banner.String())
+			}
+			banner.WriteString(line + "\n")
+			if rest, found := strings.CutPrefix(line, "xmlserve: http listening on "); found {
+				httpAddr = rest
+			}
+			if rest, found := strings.CutPrefix(line, "xmlserve: line listening on "); found {
+				lineAddr = rest
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for listen lines:\n%s", banner.String())
+		}
+	}
+
+	// Drive both protocols briefly, well under capacity: everything must be
+	// accepted — any shed here is an admission-control bug, which is exactly
+	// what the CI serving job gates on.
+	for _, d := range []bench.DriveConfig{
+		{Protocol: "http", Addr: httpAddr, Tenant: "auctions",
+			Query: "//Item/InCategory/Category", Clients: 2, Duration: 300 * time.Millisecond},
+		{Protocol: "line", Addr: lineAddr, Tenant: "staff",
+			Query: "//x", Clients: 2, Duration: 300 * time.Millisecond},
+	} {
+		res, err := bench.Drive(d)
+		if err != nil {
+			t.Fatalf("%s drive: %v", d.Protocol, err)
+		}
+		if res.Completed == 0 {
+			t.Errorf("%s drive completed nothing", d.Protocol)
+		}
+		if res.Shed != 0 || res.Errors != 0 {
+			t.Errorf("%s drive under capacity: shed=%d errors=%d, want 0/0",
+				d.Protocol, res.Shed, res.Errors)
+		}
+	}
+
+	// Both tenants show up on /stats with their own counters.
+	resp, err := http.Get(fmt.Sprintf("http://%s/stats", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Tenants map[string]struct {
+			Queries int64  `json:"queries"`
+			Trust   string `json:"trust"`
+		} `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, name := range []string{"auctions", "staff"} {
+		ten, ok := stats.Tenants[name]
+		if !ok {
+			t.Fatalf("/stats missing tenant %s: %+v", name, stats.Tenants)
+		}
+		if ten.Queries == 0 {
+			t.Errorf("tenant %s served 0 queries per /stats", name)
+		}
+	}
+
+	// SIGTERM: graceful drain, zero exit, and the farewell line.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var tail strings.Builder
+	go func() {
+		for sc.Scan() {
+			tail.WriteString(sc.Text() + "\n")
+		}
+		done <- cmd.Wait()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("xmlserve exit after SIGTERM: %v\n%s", err, tail.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("xmlserve did not exit after SIGTERM:\n%s", tail.String())
+	}
+	if !strings.Contains(tail.String(), "xmlserve: drained, bye") {
+		t.Errorf("shutdown output missing the drain farewell:\n%s", tail.String())
+	}
+}

@@ -894,28 +894,31 @@ func (p *Planner) backend() Backend {
 	return p.cfg.Backend
 }
 
-// PlannerStats is a point-in-time snapshot of the plan cache counters.
+// PlannerStats is a point-in-time snapshot of the plan cache counters. The
+// JSON tags are the wire names the serving front end exposes per tenant.
 type PlannerStats struct {
 	// Hits and Misses count cache lookups since the planner was created.
-	Hits, Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Evictions counts plans dropped by LRU capacity pressure; a growing
 	// rate under a steady workload means CacheSize is too small for the
 	// hot query set.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// Entries is the number of plans currently cached.
-	Entries int
+	Entries int `json:"entries"`
 	// Audits counts completed integrity audits; ViolationsFound sums the
 	// violations they reported.
-	Audits, ViolationsFound int64
+	Audits          int64 `json:"audits"`
+	ViolationsFound int64 `json:"violations_found"`
 	// SafeModeServes counts Exec calls answered with the baseline
 	// translation because the instance was not trusted — the integrity
 	// counterpart of the resilience layer's Fallbacks counter.
-	SafeModeServes int64
+	SafeModeServes int64 `json:"safe_mode_serves"`
 	// StatsCollects counts statistics snapshot collections; under a steady
 	// adaptive workload it grows only when the data actually mutates.
-	StatsCollects int64
+	StatsCollects int64 `json:"stats_collects"`
 	// Trust is the planner's current audit disposition.
-	Trust TrustState
+	Trust TrustState `json:"trust"`
 }
 
 // Stats returns the planner's cache hit/miss/eviction counters and size,
