@@ -39,7 +39,7 @@ func validateFlags() error {
 			if v := get().(time.Duration); v <= 0 {
 				err = fmt.Errorf("-%s must be a positive duration, got %v", f.Name, v)
 			}
-		case "frontend-overload-max-p99x", "frontend-over-rate":
+		case "frontend-overload-max-p99x", "frontend-over-rate", "updates-min-audit-speedup":
 			if v := get().(float64); v <= 0 {
 				err = fmt.Errorf("-%s must be positive, got %v", f.Name, v)
 			}
@@ -71,6 +71,8 @@ func main() {
 	frontendOverRate := flag.Float64("frontend-over-rate", 200, "token-bucket queries/second of the overloaded front-end tenant (its capacity)")
 	frontendDuration := flag.Duration("frontend-duration", 400*time.Millisecond, "measurement window per front-end run")
 	frontendGate := flag.Float64("frontend-overload-max-p99x", 2.0, "fail if the overload run's accepted-query p99 exceeds this multiple of the matching under-capacity p99 (also fails on any shed at under-capacity load)")
+	updates := flag.Bool("updates", true, "also run the transactional update suite (batch apply throughput, incremental-vs-full audit, post-write hot-query recovery)")
+	updatesGate := flag.Float64("updates-min-audit-speedup", 5.0, "fail if the incremental audit is not at least this many times faster than a full audit after a write")
 	backendName := flag.String("backend", "mem", "where measured queries run: mem (in-memory engine) or fakedb (database/sql over the in-repo fake driver)")
 	jsonPath := flag.String("json", "", "write the comparison table as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
@@ -213,8 +215,25 @@ func main() {
 		}
 	}
 
+	var upd []*bench.UpdateComparison
+	if *updates {
+		upd, err = bench.RunUpdates(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: updates: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(bench.FormatUpdates(upd))
+		if errs := bench.UpdatesGate(upd, *updatesGate); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "benchrunner: UPDATES GATE: %v\n", e)
+			}
+			os.Exit(1)
+		}
+	}
+
 	if *jsonPath != "" {
-		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt, sw, adp, fe)
+		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt, sw, adp, fe, upd)
 		out := os.Stdout
 		if *jsonPath != "-" {
 			f, err := os.Create(*jsonPath)

@@ -28,11 +28,19 @@
 // generated instance as JSON; -explain prints the cost-based plan decision
 // for the query (per-branch cardinality estimates, the chosen plan, and the
 // execution knobs), and with -execute also the estimated vs actual rows.
+//
+// -update applies a JSON mutation batch to a generated workload instance and
+// prints the planned DML, the batch's footprint, and the incremental audit
+// verdict — e.g.
+//
+//	xml2sql -workload xmark -update \
+//	  '[{"op":"insert","path":"//Item","xml":"<InCategory><Category>x</Category></InCategory>"}]'
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +60,7 @@ import (
 	"xmlsql/internal/sqlast"
 	"xmlsql/internal/stats"
 	"xmlsql/internal/translate"
+	"xmlsql/internal/update"
 )
 
 func main() {
@@ -72,6 +81,7 @@ func main() {
 	corrupt := flag.Bool("corrupt", false, "with -audit: inject an orphan tuple first, demonstrating detection and safe-mode degradation")
 	showStats := flag.Bool("stats", false, "generate a workload document, shred it, and dump the collected table statistics as JSON (built-in workloads only)")
 	explain := flag.Bool("explain", false, "print the adaptive planner's cost-based decision for the query: candidate estimates, per-branch cardinalities, chosen plan and knobs (built-in workloads only; with -execute also estimated vs actual rows)")
+	updateJSON := flag.String("update", "", `apply a JSON mutation batch ('[{"op":"insert","path":"//Item","xml":"<...>"}]'; ops: insert, delete, replace) to a generated workload instance, printing the planned DML and the incremental audit verdict (built-in workloads only)`)
 	flag.Parse()
 
 	if err := validateFlags(*timeout, *maxRows, *maxCTEIter); err != nil {
@@ -83,7 +93,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *query == "" && !*emitDDL && !*emitLoad && !*audit && !*showStats {
+	if *query == "" && !*emitDDL && !*emitLoad && !*audit && !*showStats && *updateJSON == "" {
 		fmt.Fprintln(os.Stderr, "xml2sql: -query is required (unless emitting scripts with -ddl/-load)")
 		flag.Usage()
 		os.Exit(2)
@@ -121,6 +131,12 @@ func main() {
 	if *showStats {
 		if err := runStats(s, *workload); err != nil {
 			fmt.Fprintf(os.Stderr, "xml2sql: stats: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *updateJSON != "" {
+		if err := runUpdate(s, *workload, *updateJSON, dialect); err != nil {
+			fmt.Fprintf(os.Stderr, "xml2sql: update: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -471,5 +487,88 @@ func runBoth(s *schema.Schema, workload string, naive, pruned *sqlast.Query, tim
 		workload, store.TotalRows(), pres.Len())
 	fmt.Printf("-- baseline %v, pruned %v (%.2fx); results verified equal\n",
 		naiveDur, prunedDur, float64(naiveDur)/float64(prunedDur))
+	return nil
+}
+
+// cliMutation is the -update JSON wire shape (ops spelled out).
+type cliMutation struct {
+	Op   string `json:"op"`
+	Path string `json:"path"`
+	XML  string `json:"xml,omitempty"`
+}
+
+// runUpdate shreds a generated workload instance, applies the JSON mutation
+// batch transactionally, and prints the planned DML plus the incremental and
+// full audit verdicts — the command-line face of the update path.
+func runUpdate(s *schema.Schema, workload, mutsJSON string, dialect *sqlast.Dialect) error {
+	if workload == "" {
+		return fmt.Errorf("-update requires a built-in -workload to generate an instance for")
+	}
+	var muts []cliMutation
+	if err := json.Unmarshal([]byte(mutsJSON), &muts); err != nil {
+		return fmt.Errorf("parsing -update JSON: %w", err)
+	}
+	if len(muts) == 0 {
+		return fmt.Errorf("-update batch is empty")
+	}
+	var batch update.Batch
+	for i, m := range muts {
+		var op update.Op
+		switch m.Op {
+		case "insert":
+			op = update.OpInsert
+		case "delete":
+			op = update.OpDelete
+		case "replace":
+			op = update.OpReplace
+		default:
+			return fmt.Errorf("mutation %d: unknown op %q (want insert, delete, or replace)", i, m.Op)
+		}
+		batch.Muts = append(batch.Muts, update.Mutation{Op: op, Path: m.Path, XML: m.XML})
+	}
+
+	doc, err := cli.GenerateDoc(workload)
+	if err != nil {
+		return err
+	}
+	store := relational.NewStore()
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		return err
+	}
+	applier, err := update.ForStore(s, store, update.Options{})
+	if err != nil {
+		return err
+	}
+	res, err := applier.Apply(context.Background(), batch)
+	if err != nil {
+		var ue *update.Error
+		if errors.As(err, &ue) {
+			fmt.Printf("-- batch rejected (%s) at mutation %d (%s); nothing was applied\n", ue.Kind, ue.Index, ue.Path)
+			if ue.Report != nil {
+				for _, v := range ue.Report.Violations {
+					fmt.Printf("--   %s\n", v)
+				}
+			}
+		}
+		return err
+	}
+	fmt.Printf("-- applied %d mutation(s) as %d DML statement(s) over a generated %s instance\n",
+		len(batch.Muts), res.Stmts, workload)
+	for _, stmt := range res.Statements {
+		fmt.Printf("%s;\n", stmt.SQLFor(dialect))
+	}
+	fmt.Printf("-- touched: %v (%d written, %d deleted tuples)\n",
+		res.Touched.Relations(), len(res.Touched.Written), len(res.Touched.Deleted))
+	fmt.Printf("-- incremental audit of the touched neighborhood: clean=%v (%d tuples probed in %v)\n",
+		res.Audit.Clean(), res.Audit.Tuples, res.Audit.Elapsed.Round(time.Microsecond))
+	if res.Preexisting != nil {
+		fmt.Printf("-- note: %d violation(s) predate the batch and were not introduced by it\n", res.Preexisting.Total)
+	}
+	full, err := integrity.Audit(context.Background(), integrity.StoreSource(store), s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- full audit for comparison: clean=%v (%d tuples in %v)\n",
+		full.Clean(), full.Tuples, full.Elapsed.Round(time.Microsecond))
 	return nil
 }

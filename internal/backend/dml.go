@@ -1,0 +1,157 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"xmlsql/internal/relational"
+	"xmlsql/internal/sqlast"
+)
+
+// DML is the optional write capability of a Backend: applying a planned
+// batch of data-modification statements atomically. A batch either applies
+// in full or leaves the store exactly as it was — the Mem backend keeps an
+// undo log (relational.StoreTx), the DB backend runs the batch inside one
+// database/sql transaction. The XML update path (internal/update,
+// Planner.Update) requires this capability; backends without it reject
+// updates with a typed error from the caller.
+//
+// DML provides atomicity and durability-as-far-as-the-store-goes, not
+// isolation: callers serialize writers (Planner.Update holds a mutex for
+// the whole batch) and accept that concurrent readers may observe
+// intermediate states on Mem, per the relational.Table caveats.
+type DML interface {
+	ApplyDML(ctx context.Context, stmts []sqlast.DMLStmt) error
+}
+
+// ApplyDML implements DML for the in-memory backend by interpreting the
+// statements over the store under an undo-log transaction: any failed
+// statement (or context cancellation between statements) rolls the whole
+// batch back.
+func (m *Mem) ApplyDML(ctx context.Context, stmts []sqlast.DMLStmt) error {
+	tx := m.store.Begin()
+	for _, stmt := range stmts {
+		if err := ctx.Err(); err != nil {
+			tx.Rollback()
+			return err
+		}
+		if _, err := ApplyStmt(tx, m.store, stmt); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	tx.Commit()
+	return nil
+}
+
+// ApplyStmt interprets one DML statement over a store through an undo-log
+// transaction, returning the number of rows affected. It is the single
+// in-process DML interpreter: Mem.ApplyDML uses it directly, and the fakedb
+// driver routes its parsed DELETE/UPDATE statements through it so both
+// backends agree on semantics.
+func ApplyStmt(tx *relational.StoreTx, store *relational.Store, stmt sqlast.DMLStmt) (int64, error) {
+	t := store.Table(stmt.DMLTable())
+	if t == nil {
+		return 0, fmt.Errorf("backend: dml: no table %s", stmt.DMLTable())
+	}
+	ts := t.Schema()
+	switch s := stmt.(type) {
+	case *sqlast.InsertStmt:
+		ords := make([]int, len(s.Columns))
+		for i, c := range s.Columns {
+			ci := ts.ColumnIndex(c)
+			if ci < 0 {
+				return 0, fmt.Errorf("backend: dml: table %s has no column %s", ts.Name, c)
+			}
+			ords[i] = ci
+		}
+		for _, vals := range s.Rows {
+			if len(vals) != len(ords) {
+				return 0, fmt.Errorf("backend: dml: insert into %s: %d values for %d columns", ts.Name, len(vals), len(ords))
+			}
+			row := make(relational.Row, len(ts.Columns))
+			for i := range row {
+				row[i] = relational.Null
+			}
+			for i, v := range vals {
+				row[ords[i]] = v.Value
+			}
+			if err := tx.Insert(ts.Name, row); err != nil {
+				return 0, err
+			}
+		}
+		return int64(len(s.Rows)), nil
+	case *sqlast.DeleteStmt:
+		var evalErr error
+		n, err := tx.DeleteWhere(ts.Name, func(r relational.Row) bool {
+			if evalErr != nil {
+				return false
+			}
+			ok, err := sqlast.EvalRowPredicate(ts, s.Where, r)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			return ok
+		})
+		if evalErr != nil {
+			return 0, evalErr
+		}
+		return int64(n), err
+	case *sqlast.UpdateStmt:
+		ords := make([]int, len(s.Set))
+		for i, a := range s.Set {
+			ci := ts.ColumnIndex(a.Column)
+			if ci < 0 {
+				return 0, fmt.Errorf("backend: dml: table %s has no column %s", ts.Name, a.Column)
+			}
+			ords[i] = ci
+		}
+		var evalErr error
+		n, err := tx.UpdateWhere(ts.Name,
+			func(r relational.Row) bool {
+				if evalErr != nil {
+					return false
+				}
+				ok, err := sqlast.EvalRowPredicate(ts, s.Where, r)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				return ok
+			},
+			func(r relational.Row) relational.Row {
+				for i, a := range s.Set {
+					r[ords[i]] = a.Value.Value
+				}
+				return r
+			})
+		if evalErr != nil {
+			return 0, evalErr
+		}
+		return int64(n), err
+	}
+	return 0, fmt.Errorf("backend: dml: unsupported statement %T", stmt)
+}
+
+// ApplyDML implements DML for the database/sql backend: the rendered
+// statements run inside one transaction, so a mid-batch failure (including
+// an injected fault on the fakedb driver) rolls back every statement already
+// sent.
+func (b *DB) ApplyDML(ctx context.Context, stmts []sqlast.DMLStmt) error {
+	tx, err := b.db.BeginTx(ctx, nil)
+	if err != nil {
+		return fmt.Errorf("backend: begin update transaction: %w", err)
+	}
+	for _, stmt := range stmts {
+		text := stmt.SQLFor(b.dialect)
+		if _, err := tx.ExecContext(ctx, text); err != nil {
+			tx.Rollback()
+			return fmt.Errorf("backend: dml %q: %w", text, err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("backend: commit update transaction: %w", err)
+	}
+	return nil
+}

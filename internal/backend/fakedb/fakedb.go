@@ -23,8 +23,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"xmlsql/internal/backend"
 	"xmlsql/internal/engine"
 	"xmlsql/internal/relational"
+	"xmlsql/internal/sqlast"
 )
 
 // DriverName is the name the fake driver is registered under with
@@ -137,29 +139,47 @@ func (c *conn) Begin() (driver.Tx, error) {
 	return c.tx, nil
 }
 
-// fakeTx buffers inserts until Commit.
+// fakeTx buffers DML until Commit.
 type fakeTx struct {
 	conn    *conn
-	pending []pendingInsert
+	pending []stagedDML
 }
 
-type pendingInsert struct {
-	table *relational.Table
-	row   relational.Row
+// stagedDML is one buffered statement: either a resolved insert row or a
+// parsed DELETE/UPDATE node. Staged statements apply in order at Commit, so
+// a later delete sees an earlier staged insert; SELECTs inside the
+// transaction do not see staged rows (no read-your-writes, like the bulk
+// loader needs and nothing else uses).
+type stagedDML struct {
+	table string         // insert target, when row is set
+	row   relational.Row // resolved full-width insert row
+	dml   sqlast.DMLStmt // DELETE or UPDATE, when row is nil
 }
 
-// Commit applies the staged inserts to the shared store, in order.
+// Commit applies the staged statements to the shared store, in order, under
+// an undo-log transaction: a failure on any statement (a duplicate key
+// surfacing at commit, say) rolls back the ones already applied, so Commit
+// is all-or-nothing like a real engine's.
 func (tx *fakeTx) Commit() error {
 	defer func() { tx.conn.tx = nil }()
+	stx := tx.conn.db.store.Begin()
 	for _, p := range tx.pending {
-		if err := p.table.Insert(p.row); err != nil {
+		var err error
+		if p.row != nil {
+			err = stx.Insert(p.table, p.row)
+		} else {
+			_, err = backend.ApplyStmt(stx, tx.conn.db.store, p.dml)
+		}
+		if err != nil {
+			stx.Rollback()
 			return fmt.Errorf("fakedb: commit: %w", err)
 		}
 	}
+	stx.Commit()
 	return nil
 }
 
-// Rollback discards the staged inserts; the store is untouched.
+// Rollback discards the staged statements; the store is untouched.
 func (tx *fakeTx) Rollback() error {
 	tx.conn.tx = nil
 	return nil
@@ -252,12 +272,32 @@ func (s *stmt) execOne(st *statement, args []relational.Value) (int64, error) {
 		return 0, t.BuildIndex(st.index.column)
 	case stmtInsert:
 		return s.runInsert(st.insert, args)
+	case stmtDelete, stmtUpdate:
+		return s.runDML(st.dml)
 	case stmtSelect:
 		// Exec on a SELECT: evaluate and discard (mirrors real drivers).
 		_, err := engine.Execute(db.store, st.query)
 		return 0, err
 	}
 	return 0, fmt.Errorf("fakedb: unknown statement kind %d", st.kind)
+}
+
+// runDML executes a DELETE or UPDATE: staged when a transaction is open,
+// applied immediately (statement-atomically) otherwise. The rows-affected
+// count of a staged statement is unknown until Commit and reported as 0.
+func (s *stmt) runDML(dml sqlast.DMLStmt) (int64, error) {
+	if tx := s.conn.tx; tx != nil {
+		tx.pending = append(tx.pending, stagedDML{dml: dml})
+		return 0, nil
+	}
+	stx := s.db().store.Begin()
+	n, err := backend.ApplyStmt(stx, s.db().store, dml)
+	if err != nil {
+		stx.Rollback()
+		return 0, err
+	}
+	stx.Commit()
+	return n, nil
 }
 
 func (s *stmt) runInsert(op *insertOp, args []relational.Value) (int64, error) {
@@ -293,7 +333,7 @@ func (s *stmt) runInsert(op *insertOp, args []relational.Value) (int64, error) {
 		if tx := s.conn.tx; tx != nil {
 			// Inside a transaction: stage instead of inserting, so Rollback
 			// can discard the whole batch.
-			tx.pending = append(tx.pending, pendingInsert{table: t, row: out})
+			tx.pending = append(tx.pending, stagedDML{table: op.table, row: out})
 		} else if err := t.Insert(out); err != nil {
 			return n, err
 		}

@@ -155,6 +155,8 @@ const (
 	stmtCreateIndex
 	stmtInsert
 	stmtSelect
+	stmtDelete
+	stmtUpdate
 )
 
 // insertVal is one VALUES cell: a literal or a bind-parameter ordinal.
@@ -176,6 +178,9 @@ type statement struct {
 	index  struct{ table, column string }
 	insert *insertOp
 	query  *sqlast.Query
+	// dml holds a parsed DELETE or UPDATE as the sqlast node it was rendered
+	// from; execution routes it through the shared backend interpreter.
+	dml sqlast.DMLStmt
 }
 
 type parser struct {
@@ -270,6 +275,10 @@ func (p *parser) statement() (*statement, error) {
 		return p.createStmt()
 	case p.kw("insert"):
 		return p.insertStmt()
+	case p.kw("delete"):
+		return p.deleteStmt()
+	case p.kw("update"):
+		return p.updateStmt()
 	default:
 		q, err := p.query()
 		if err != nil {
@@ -429,6 +438,68 @@ func (p *parser) insertStmt() (*statement, error) {
 		break
 	}
 	return &statement{kind: stmtInsert, insert: op}, nil
+}
+
+// deleteStmt parses DELETE FROM table WHERE expr. The WHERE clause is
+// mandatory, as in the rendered form — the update path never emits an
+// unscoped delete.
+func (p *parser) deleteStmt() (*statement, error) {
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("where"); err != nil {
+		return nil, err
+	}
+	where, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &statement{kind: stmtDelete, dml: &sqlast.DeleteStmt{Table: table, Where: where}}, nil
+}
+
+// updateStmt parses UPDATE table SET col = literal, ... WHERE expr.
+func (p *parser) updateStmt() (*statement, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	var set []sqlast.Assign
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		v, ok, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, p.errf("expected literal in SET")
+		}
+		set = append(set, sqlast.Assign{Column: col, Value: sqlast.Lit{Value: v}})
+		if p.punct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("where"); err != nil {
+		return nil, err
+	}
+	where, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &statement{kind: stmtUpdate, dml: &sqlast.UpdateStmt{Table: table, Set: set, Where: where}}, nil
 }
 
 func (p *parser) insertVal() (insertVal, error) {

@@ -70,7 +70,7 @@ func TestRunOnFakeDBBackend(t *testing.T) {
 	if cmp.Backend != "db(sqlite)" {
 		t.Errorf("backend label = %q, want db(sqlite)", cmp.Backend)
 	}
-	rep := bench.BuildReport("xmlsql", 1, []*bench.Comparison{cmp}, nil, nil, nil, nil, nil, nil)
+	rep := bench.BuildReport("xmlsql", 1, []*bench.Comparison{cmp}, nil, nil, nil, nil, nil, nil, nil)
 	if rep.Backend != "db(sqlite)" {
 		t.Errorf("report backend = %q, want db(sqlite)", rep.Backend)
 	}
@@ -174,5 +174,37 @@ func TestAblations(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("ablation output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRunUpdatesSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	cmps, err := bench.RunUpdates(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmps) != 1 {
+		t.Fatalf("got %d comparisons, want 1", len(cmps))
+	}
+	c := cmps[0]
+	if !c.Verified {
+		t.Errorf("updates run not verified: %+v", c)
+	}
+	if c.Batches == 0 || c.BatchNs <= 0 || c.WrittenPerBatch == 0 {
+		t.Errorf("throughput numbers missing: %+v", c)
+	}
+	if c.IncrementalAuditNs <= 0 || c.FullAuditNs <= 0 {
+		t.Errorf("audit timings missing: %+v", c)
+	}
+	if !c.UntouchedKeptHot {
+		t.Error("untouched query lost its cached plan across a write")
+	}
+	// The 5x audit gate is asserted at benchrunner scale, not here: at the
+	// tiny harness scale a full scan is nearly as cheap as the neighborhood
+	// probe. The gate machinery itself must still flag an impossible bar.
+	if errs := bench.UpdatesGate(cmps, 1e12); len(errs) == 0 {
+		t.Error("UpdatesGate accepted an impossible speedup bar")
 	}
 }

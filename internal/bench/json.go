@@ -39,7 +39,11 @@ type Report struct {
 	// front end (HTTP and line protocol, under-capacity and overload):
 	// sustained QPS, shed rate, and p50/p99/p999 accepted-query latency.
 	ServingFrontend []*FrontendComparison `json:"serving_frontend,omitempty"`
-	Summary         ReportSummary         `json:"summary"`
+	// Updates records the transactional update path: batch apply cost,
+	// incremental-vs-full audit latency, and post-write hot-query recovery
+	// with scoped cache invalidation.
+	Updates []*UpdateComparison `json:"updates,omitempty"`
+	Summary ReportSummary       `json:"summary"`
 }
 
 // ReportCase is one experiment case's measurements.
@@ -69,7 +73,7 @@ type ReportSummary struct {
 }
 
 // BuildReport assembles the JSON report from measured comparisons.
-func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison, sharedWork []*SharedWorkComparison, adaptive []*AdaptiveComparison, frontend []*FrontendComparison) *Report {
+func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison, sharedWork []*SharedWorkComparison, adaptive []*AdaptiveComparison, frontend []*FrontendComparison, updates []*UpdateComparison) *Report {
 	r := &Report{
 		Name:            name,
 		Scale:           scale,
@@ -81,6 +85,7 @@ func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingC
 		SharedWork:      sharedWork,
 		Adaptive:        adaptive,
 		ServingFrontend: frontend,
+		Updates:         updates,
 		Summary:         ReportSummary{AllVerified: true},
 	}
 	for _, c := range cmps {

@@ -300,6 +300,23 @@ func (t *Table) Lookup(column string, v Value) ([]Row, bool) {
 	return out, true
 }
 
+// LookupPK returns the row whose primary key equals v, probing the
+// uniqueness index maintained by Insert. The second result is false when the
+// table has no primary key or no row carries that key. The returned row must
+// not be mutated.
+func (t *Table) LookupPK(v Value) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pkIndex == nil {
+		return nil, false
+	}
+	o, ok := t.pkIndex[v.Key()]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[o], true
+}
+
 // SortedRows returns a copy of the rows in deterministic order (for golden
 // tests and dumps).
 func (t *Table) SortedRows() []Row {

@@ -1,0 +1,177 @@
+package relational
+
+import "fmt"
+
+// StoreTx is an undo-log transaction over a Store: every mutation made
+// through it records a compensating action, and Rollback replays those in
+// reverse so the store returns to its pre-transaction contents. It exists
+// for the XML update path, where a batch of DML must apply atomically — a
+// failed statement mid-batch must leave the instance exactly as it was.
+//
+// StoreTx provides atomicity, not isolation: mutations are visible to
+// concurrent readers as they happen (with the same snapshot caveats as
+// DeleteWhere/UpdateWhere), and writers must be serialized externally —
+// Planner.Update holds a write mutex for the whole batch.
+type StoreTx struct {
+	store *Store
+	undo  []func() error
+	done  bool
+}
+
+// Begin starts an undo-log transaction on the store.
+func (s *Store) Begin() *StoreTx { return &StoreTx{store: s} }
+
+func (tx *StoreTx) table(name string) (*Table, error) {
+	if tx.done {
+		return nil, fmt.Errorf("relational: transaction already finished")
+	}
+	t := tx.store.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("relational: no table %s", name)
+	}
+	return t, nil
+}
+
+// Insert appends a row to the named table, recording its removal as undo.
+func (tx *StoreTx) Insert(table string, r Row) error {
+	t, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	r = r.Clone()
+	if err := t.Insert(r); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, func() error {
+		removed := false
+		var match func(Row) bool
+		if pk := t.Schema().PrimaryKey; pk != "" {
+			pi := t.Schema().ColumnIndex(pk)
+			key := r[pi].Key()
+			match = func(row Row) bool { return row[pi].Key() == key }
+		} else {
+			key := r.Key()
+			match = func(row Row) bool { return row.Key() == key }
+		}
+		t.DeleteWhere(func(row Row) bool {
+			if removed || !match(row) {
+				return false
+			}
+			removed = true
+			return true
+		})
+		if !removed {
+			return fmt.Errorf("relational: table %s: undo insert: row vanished", table)
+		}
+		return nil
+	})
+	return nil
+}
+
+// DeleteWhere removes matching rows from the named table, recording their
+// re-insertion as undo.
+func (tx *StoreTx) DeleteWhere(table string, pred func(Row) bool) (int, error) {
+	t, err := tx.table(table)
+	if err != nil {
+		return 0, err
+	}
+	var removed []Row
+	n := t.DeleteWhere(func(r Row) bool {
+		if pred(r) {
+			removed = append(removed, r)
+			return true
+		}
+		return false
+	})
+	if n > 0 {
+		tx.undo = append(tx.undo, func() error {
+			for _, r := range removed {
+				if err := t.Insert(r); err != nil {
+					return fmt.Errorf("relational: table %s: undo delete: %w", table, err)
+				}
+			}
+			return nil
+		})
+	}
+	return n, nil
+}
+
+// UpdateWhere rewrites matching rows in the named table, recording the
+// restoration of the originals as undo.
+func (tx *StoreTx) UpdateWhere(table string, pred func(Row) bool, fn func(Row) Row) (int, error) {
+	t, err := tx.table(table)
+	if err != nil {
+		return 0, err
+	}
+	var olds, news []Row
+	n, uerr := t.UpdateWhere(
+		func(r Row) bool {
+			if pred(r) {
+				olds = append(olds, r.Clone())
+				return true
+			}
+			return false
+		},
+		func(r Row) Row {
+			nr := fn(r)
+			news = append(news, nr.Clone())
+			return nr
+		},
+	)
+	if uerr != nil || n == 0 {
+		return n, uerr
+	}
+	tx.undo = append(tx.undo, func() error {
+		// Restore each rewritten row to its original, matching by the
+		// rewritten contents (exact under a primary key; multiset-correct
+		// without one).
+		remaining := map[string][]Row{}
+		for i := range news {
+			k := news[i].Key()
+			remaining[k] = append(remaining[k], olds[i])
+		}
+		restored := 0
+		_, err := t.UpdateWhere(
+			func(r Row) bool { return len(remaining[r.Key()]) > 0 },
+			func(r Row) Row {
+				k := r.Key()
+				rs := remaining[k]
+				remaining[k] = rs[1:]
+				restored++
+				return rs[0]
+			},
+		)
+		if err != nil {
+			return fmt.Errorf("relational: table %s: undo update: %w", table, err)
+		}
+		if restored != len(olds) {
+			return fmt.Errorf("relational: table %s: undo update: restored %d of %d rows", table, restored, len(olds))
+		}
+		return nil
+	})
+	return n, nil
+}
+
+// Commit finalizes the transaction, discarding the undo log. The mutations
+// are already applied; Commit only marks the transaction finished.
+func (tx *StoreTx) Commit() {
+	tx.undo = nil
+	tx.done = true
+}
+
+// Rollback replays the undo log in reverse, returning the store to its
+// pre-transaction contents. It is a no-op after Commit or a prior Rollback.
+func (tx *StoreTx) Rollback() error {
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	var first error
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		if err := tx.undo[i](); err != nil && first == nil {
+			first = err
+		}
+	}
+	tx.undo = nil
+	return first
+}

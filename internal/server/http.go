@@ -27,12 +27,12 @@ type queryRequest struct {
 
 // queryResponse is a served query's JSON answer.
 type queryResponse struct {
-	Tenant    string  `json:"tenant"`
-	Query     string  `json:"query"`
+	Tenant    string   `json:"tenant"`
+	Query     string   `json:"query"`
 	Cols      []string `json:"cols"`
-	Rows      [][]any `json:"rows"`
-	RowCount  int     `json:"row_count"`
-	ElapsedNs int64   `json:"elapsed_ns"`
+	Rows      [][]any  `json:"rows"`
+	RowCount  int      `json:"row_count"`
+	ElapsedNs int64    `json:"elapsed_ns"`
 }
 
 // errorResponse is every error's JSON shape; shed responses also carry the
@@ -89,6 +89,7 @@ func (s *Server) Stats() ServerStats {
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/audit", s.handleAudit)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -157,18 +158,123 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// updateMutationWire is one mutation on the wire: the operation spelled out
+// ("insert" / "delete" / "replace") instead of the internal enum.
+type updateMutationWire struct {
+	Op   string `json:"op"`
+	Path string `json:"path"`
+	XML  string `json:"xml,omitempty"`
+}
+
+// updateRequest is the POST /update body.
+type updateRequest struct {
+	Tenant    string               `json:"tenant"`
+	Mutations []updateMutationWire `json:"mutations"`
+}
+
+// updateResponse is an applied batch's JSON answer.
+type updateResponse struct {
+	Tenant    string   `json:"tenant"`
+	Mutations int      `json:"mutations"`
+	Stmts     int      `json:"stmts"`
+	Touched   []string `json:"touched_relations"`
+	Written   int      `json:"written_tuples"`
+	Deleted   int      `json:"deleted_tuples"`
+	// AuditClean is the post-apply incremental audit's verdict over the
+	// batch's neighborhood; Preexisting flags violations that predate the
+	// batch (the batch itself was valid and applied).
+	AuditClean  bool   `json:"audit_clean"`
+	Preexisting bool   `json:"preexisting_violations,omitempty"`
+	Trust       string `json:"trust"`
+	ElapsedNs   int64  `json:"elapsed_ns"`
+}
+
+// decodeBatch converts wire mutations to an UpdateBatch.
+func decodeBatch(muts []updateMutationWire) (xmlsql.UpdateBatch, error) {
+	var b xmlsql.UpdateBatch
+	if len(muts) == 0 {
+		return b, fmt.Errorf("empty mutation list")
+	}
+	for i, m := range muts {
+		var op xmlsql.UpdateOp
+		switch m.Op {
+		case "insert":
+			op = xmlsql.UpdateInsert
+		case "delete":
+			op = xmlsql.UpdateDelete
+		case "replace":
+			op = xmlsql.UpdateReplace
+		default:
+			return b, fmt.Errorf("mutation %d: unknown op %q (want insert, delete, or replace)", i, m.Op)
+		}
+		if m.Path == "" {
+			return b, fmt.Errorf("mutation %d: missing path", i)
+		}
+		b.Muts = append(b.Muts, xmlsql.UpdateMutation{Op: op, Path: m.Path, XML: m.XML})
+	}
+	return b, nil
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "bad_request", "", "POST required", 0)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "", fmt.Sprintf("reading body: %v", err), 0)
+		return
+	}
+	var req updateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "", fmt.Sprintf("parsing body: %v", err), 0)
+		return
+	}
+	if req.Tenant == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "", "missing tenant", 0)
+		return
+	}
+	t := s.Tenant(req.Tenant)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "unknown_tenant", req.Tenant, fmt.Sprintf("tenant %q not registered", req.Tenant), 0)
+		return
+	}
+	batch, err := decodeBatch(req.Mutations)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", req.Tenant, err.Error(), 0)
+		return
+	}
+	res, elapsed, err := s.executeUpdate(r.Context(), t, batch)
+	if err != nil {
+		s.writeExecError(w, req.Tenant, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		Tenant:      req.Tenant,
+		Mutations:   len(batch.Muts),
+		Stmts:       res.Stmts,
+		Touched:     res.Touched.Relations(),
+		Written:     len(res.Touched.Written),
+		Deleted:     len(res.Touched.Deleted),
+		AuditClean:  res.Audit.Clean(),
+		Preexisting: res.Preexisting != nil,
+		Trust:       t.planner.TrustState().String(),
+		ElapsedNs:   elapsed.Nanoseconds(),
+	})
+}
+
 // explainResponse is /explain's JSON: the adaptive planner's cost-based
 // decision for the query under the tenant's current statistics.
 type explainResponse struct {
-	Tenant           string `json:"tenant"`
-	Query            string `json:"query"`
-	StatsFingerprint string `json:"stats_fingerprint"`
-	UsePruned        bool   `json:"use_pruned"`
-	Factored         bool   `json:"factored"`
-	Reordered        bool   `json:"reordered"`
+	Tenant           string  `json:"tenant"`
+	Query            string  `json:"query"`
+	StatsFingerprint string  `json:"stats_fingerprint"`
+	UsePruned        bool    `json:"use_pruned"`
+	Factored         bool    `json:"factored"`
+	Reordered        bool    `json:"reordered"`
 	EstimatedRows    float64 `json:"estimated_rows"`
 	EstimatedCost    float64 `json:"estimated_cost"`
-	SQL              string `json:"sql"`
+	SQL              string  `json:"sql"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -258,11 +364,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeExecError maps an execution-path error to its HTTP shape: typed shed
-// errors to 429/503 with Retry-After, timeouts to 504, resource guards to
-// 422, breaker-open to 503, everything else to 500.
+// errors to 429/503 with Retry-After, timeouts to 504, resource guards and
+// rejected update batches to 422, unsupported-update backends to 501,
+// breaker-open to 503, everything else to 500.
 func (s *Server) writeExecError(w http.ResponseWriter, tenant string, err error) {
 	var shed *ShedError
+	var ue *xmlsql.UpdateError
 	switch {
+	case errors.As(err, &ue):
+		code := http.StatusUnprocessableEntity
+		if ue.Kind == xmlsql.UpdateErrUnsupported {
+			code = http.StatusNotImplemented
+		}
+		writeError(w, code, "update_"+ue.Kind.String(), tenant, err.Error(), 0)
 	case errors.As(err, &shed):
 		code := http.StatusTooManyRequests
 		if shed.Reason == ShedDraining || shed.Reason == ShedConnections {

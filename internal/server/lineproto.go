@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"xmlsql"
 	"xmlsql/internal/engine"
 	"xmlsql/internal/pathexpr"
 	"xmlsql/internal/relational"
@@ -24,6 +26,10 @@ import (
 //	Q <tenant> <query>   execute; respond "OK <rows> <elapsed_ns>"
 //	D <tenant> <query>   execute; respond "ROWS <n>", n tab-separated value
 //	                     lines, then "."
+//	U <tenant> <json>    apply a mutation batch; <json> is a one-line JSON
+//	                     array of {"op","path","xml"} objects (op: insert /
+//	                     delete / replace). Respond "OK <stmts> <written>
+//	                     <deleted> <elapsed_ns>"; the batch is atomic.
 //	PING                 respond "PONG"
 //	STATS                respond "OK" followed by one "<tenant> <queries>
 //	                     <shed>" line per tenant, then "."
@@ -99,18 +105,41 @@ func (s *Server) handleLine(w *bufio.Writer, line string) bool {
 		return false
 	}
 	verb, rest, ok := strings.Cut(line, " ")
-	if !ok || (verb != "Q" && verb != "D") {
+	if !ok || (verb != "Q" && verb != "D" && verb != "U") {
 		writeLineErrorCode(w, "bad_request", 0, fmt.Sprintf("unknown command %q", line))
 		return false
 	}
 	tenant, query, ok := strings.Cut(rest, " ")
 	if !ok || tenant == "" || query == "" {
-		writeLineErrorCode(w, "bad_request", 0, fmt.Sprintf("%s wants: %s <tenant> <query>", verb, verb))
+		arg := "query"
+		if verb == "U" {
+			arg = "json-mutations"
+		}
+		writeLineErrorCode(w, "bad_request", 0, fmt.Sprintf("%s wants: %s <tenant> <%s>", verb, verb, arg))
 		return false
 	}
 	t := s.Tenant(tenant)
 	if t == nil {
 		writeLineErrorCode(w, "unknown_tenant", 0, fmt.Sprintf("tenant %q not registered", tenant))
+		return false
+	}
+	if verb == "U" {
+		var muts []updateMutationWire
+		if err := json.Unmarshal([]byte(query), &muts); err != nil {
+			writeLineErrorCode(w, "bad_request", 0, fmt.Sprintf("parsing mutations: %v", err))
+			return false
+		}
+		batch, err := decodeBatch(muts)
+		if err != nil {
+			writeLineErrorCode(w, "bad_request", 0, err.Error())
+			return false
+		}
+		res, elapsed, err := s.executeUpdate(context.Background(), t, batch)
+		if err != nil {
+			writeLineError(w, err)
+			return false
+		}
+		fmt.Fprintf(w, "OK %d %d %d %d\n", res.Stmts, len(res.Touched.Written), len(res.Touched.Deleted), elapsed.Nanoseconds())
 		return false
 	}
 	if _, err := pathexpr.Parse(query); err != nil {
@@ -159,7 +188,10 @@ func lineValue(v relational.Value) string {
 func writeLineError(w *bufio.Writer, err error) {
 	var shed *ShedError
 	var re *engine.ResourceError
+	var ue *xmlsql.UpdateError
 	switch {
+	case errors.As(err, &ue):
+		writeLineErrorCode(w, "update_"+ue.Kind.String(), 0, err.Error())
 	case errors.As(err, &shed):
 		writeLineErrorCode(w, string(shed.Reason), shed.RetryAfter, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):

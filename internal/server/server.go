@@ -232,6 +232,35 @@ func (s *Server) execute(ctx context.Context, t *Tenant, query string) (*xmlsql.
 	return res, elapsed, err
 }
 
+// executeUpdate runs the same admission pipeline as execute for a mutation
+// batch: writes compete with reads for the tenant's rate and in-flight
+// budget, so an update storm sheds instead of starving queries.
+func (s *Server) executeUpdate(ctx context.Context, t *Tenant, b xmlsql.UpdateBatch) (*xmlsql.UpdateResult, time.Duration, error) {
+	if s.draining.Load() {
+		s.shedDraining.Add(1)
+		return nil, 0, &ShedError{Reason: ShedDraining, Tenant: t.name, RetryAfter: s.cfg.RetryAfter}
+	}
+	release, err := t.admit(ctx, s.cfg.RetryAfter)
+	if err != nil {
+		var shed *ShedError
+		if s.cfg.LogRequests && errors.As(err, &shed) {
+			s.cfg.Logf("server: tenant=%s shed reason=%s retry_after=%v", t.name, shed.Reason, shed.RetryAfter)
+		}
+		return nil, 0, err
+	}
+	defer release()
+	res, elapsed, err := t.update(ctx, b)
+	if s.cfg.LogRequests {
+		if err != nil {
+			s.cfg.Logf("server: tenant=%s update muts=%d error=%v", t.name, len(b.Muts), err)
+		} else {
+			s.cfg.Logf("server: tenant=%s update muts=%d stmts=%d touched=%v elapsed=%v",
+				t.name, len(b.Muts), res.Stmts, res.Touched.Relations(), elapsed)
+		}
+	}
+	return res, elapsed, err
+}
+
 // Shutdown drains the server gracefully: new work is refused with typed
 // draining responses, listeners stop accepting, in-flight queries run to
 // completion, and only when ctx expires are the survivors cut off. Safe to

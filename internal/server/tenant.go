@@ -158,6 +158,19 @@ func (t *Tenant) exec(ctx context.Context, query string) (*xmlsql.Result, time.D
 	return res, elapsed, err
 }
 
+// update applies one admitted mutation batch through the tenant's planner.
+// The planner tracks the applied/rejected counters; the tenant's error
+// counter still moves so /stats error rates cover writes too.
+func (t *Tenant) update(ctx context.Context, b xmlsql.UpdateBatch) (*xmlsql.UpdateResult, time.Duration, error) {
+	start := time.Now()
+	res, err := t.planner.Update(ctx, b)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.errors.Add(1)
+	}
+	return res, elapsed, err
+}
+
 // PlanCacheStats is the tenant's plan-cache counter snapshot on /stats.
 type PlanCacheStats struct {
 	Hits      int64 `json:"hits"`
@@ -194,6 +207,8 @@ type TenantStats struct {
 	ViolationsFound int64  `json:"violations_found"`
 	SafeModeServes  int64  `json:"safe_mode_serves"`
 	StatsCollects   int64  `json:"stats_collects"`
+	Updates         int64  `json:"updates"`
+	UpdateRejects   int64  `json:"update_rejects"`
 	Trust           string `json:"trust"`
 
 	Engine    *EngineStats     `json:"engine,omitempty"`
@@ -218,6 +233,8 @@ func (t *Tenant) Stats() TenantStats {
 		ViolationsFound: ps.ViolationsFound,
 		SafeModeServes:  ps.SafeModeServes,
 		StatsCollects:   ps.StatsCollects,
+		Updates:         ps.Updates,
+		UpdateRejects:   ps.UpdateRejects,
 		Trust:           ps.Trust.String(),
 		Limits:          t.limits,
 	}

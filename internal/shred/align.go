@@ -32,6 +32,18 @@ func (a *Alignment) SchemaNodeOf(n *xmltree.Node) (schema.NodeID, bool) {
 // element is chosen; mappings intended for lossless shredding are
 // deterministic, and the checker reports genuinely ambiguous ones.
 func Align(s *schema.Schema, d *xmltree.Document) (*Alignment, error) {
+	return alignFrom(s, d, d.Root, s.Root())
+}
+
+// AlignAt matches a subtree rooted at elem against the schema subtree rooted
+// at the given node, for the update path: a subtree being inserted under an
+// existing element must conform at exactly the schema position it lands in,
+// not at the document root.
+func AlignAt(s *schema.Schema, elem *xmltree.Node, at schema.NodeID) (*Alignment, error) {
+	return alignFrom(s, &xmltree.Document{Root: elem}, elem, at)
+}
+
+func alignFrom(s *schema.Schema, d *xmltree.Document, root *xmltree.Node, at schema.NodeID) (*Alignment, error) {
 	a := &Alignment{Schema: s, Doc: d, nodeOf: map[*xmltree.Node]schema.NodeID{}}
 	memo := map[*xmltree.Node]map[schema.NodeID]bool{}
 
@@ -66,8 +78,8 @@ func Align(s *schema.Schema, d *xmltree.Document) (*Alignment, error) {
 		return ok
 	}
 
-	if !accepts(d.Root, s.Root()) {
-		return nil, fmt.Errorf("shred: document root <%s> does not conform to schema %s", d.Root.Label, s.Name)
+	if !accepts(root, at) {
+		return nil, fmt.Errorf("shred: element <%s> does not conform to schema node %s of %s", root.Label, s.Node(at).Name, s.Name)
 	}
 
 	var assign func(n *xmltree.Node, id schema.NodeID) error
@@ -92,7 +104,7 @@ func Align(s *schema.Schema, d *xmltree.Document) (*Alignment, error) {
 		}
 		return nil
 	}
-	if err := assign(d.Root, s.Root()); err != nil {
+	if err := assign(root, at); err != nil {
 		return nil, err
 	}
 	return a, nil

@@ -200,6 +200,50 @@ func (s *Stats) Fingerprint() string {
 	return s.fp
 }
 
+// FingerprintFor hashes only the named relations' statistics, without the
+// store-wide Version. A plan cached under the scoped fingerprint of the
+// relations it reads stays valid across writes to *other* relations — the
+// store version moves, but this hash does not — while a refreshed snapshot
+// of a touched relation changes the hash and forces a re-plan. rels is
+// sorted internally; unknown relations hash as absent.
+func (s *Stats) FingerprintFor(rels []string) string {
+	if s == nil {
+		return "stats:none"
+	}
+	h := fnv.New64a()
+	names := append([]string(nil), rels...)
+	sort.Strings(names)
+	for _, n := range names {
+		t := s.Relations[n]
+		if t == nil {
+			fmt.Fprintf(h, "%s:absent{}", n)
+			continue
+		}
+		fmt.Fprintf(h, "%s:%d{", n, t.Rows)
+		cols := make([]string, 0, len(t.Columns))
+		for c := range t.Columns {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		for _, cn := range cols {
+			c := t.Columns[cn]
+			fmt.Fprintf(h, "%s=%d,%d,%d,%d;", cn, c.Distinct, c.Nulls, c.Min, c.Max)
+			if c.Histogram != nil {
+				keys := make([]string, 0, len(c.Histogram))
+				for k := range c.Histogram {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(h, "%s=%d,", k, c.Histogram[k])
+				}
+			}
+		}
+		h.Write([]byte("}"))
+	}
+	return "stats/rel:" + strconv.FormatUint(h.Sum64(), 36)
+}
+
 // MarshalJSON includes the fingerprint alongside the snapshot so dumps
 // (xml2sql -stats) identify exactly which statistics a plan was chosen
 // under.

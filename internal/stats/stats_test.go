@@ -269,3 +269,40 @@ func TestEstimatorRecursiveCTE(t *testing.T) {
 		t.Fatal("no bench case translated to recursive SQL; estimator's CTE path untested")
 	}
 }
+
+// TestFingerprintForScope checks the relation-scoped fingerprint: stable
+// across writes to other relations (and across version-only changes), moved
+// by writes to a named relation, and stable under rels ordering.
+func TestFingerprintForScope(t *testing.T) {
+	store := handStore(t)
+	before := stats.CollectStore(store)
+
+	fpChild := before.FingerprintFor([]string{"child"})
+	fpParent := before.FingerprintFor([]string{"parent"})
+	fpBoth := before.FingerprintFor([]string{"parent", "child"})
+	if fpBoth != before.FingerprintFor([]string{"child", "parent"}) {
+		t.Fatal("FingerprintFor is order-sensitive")
+	}
+
+	// Mutate parent only.
+	store.Table("parent").MustInsert(relational.Row{relational.Int(99), relational.String("z")})
+	after := stats.CollectStore(store)
+
+	if got := after.FingerprintFor([]string{"child"}); got != fpChild {
+		t.Fatalf("child fingerprint moved on a parent-only write: %s -> %s", fpChild, got)
+	}
+	if got := after.FingerprintFor([]string{"parent"}); got == fpParent {
+		t.Fatal("parent fingerprint unchanged by a parent write")
+	}
+	if got := after.FingerprintFor([]string{"parent", "child"}); got == fpBoth {
+		t.Fatal("union fingerprint unchanged by a member write")
+	}
+	// The full (unscoped) fingerprint must also have moved.
+	if before.Fingerprint() == after.Fingerprint() {
+		t.Fatal("global fingerprint unchanged by a write")
+	}
+	// Unknown relations are representable and distinct from known ones.
+	if after.FingerprintFor([]string{"nope"}) == after.FingerprintFor([]string{"child"}) {
+		t.Fatal("absent relation fingerprints like a present one")
+	}
+}

@@ -1,0 +1,95 @@
+package update
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/translate"
+)
+
+// target is one resolved schema position a mutation addresses, with the ids
+// of the tuples sitting there in the pre-batch instance.
+type target struct {
+	sid schema.NodeID
+	rel string
+	ids []int64
+}
+
+// resolve turns a mutation's path expression into concrete target tuples,
+// using the same translation pipeline queries use: build the path/schema
+// cross product, enumerate its root-to-accepting paths, translate each to
+// SQL(p) and run it. Relation-annotated accepting nodes project the tuple
+// id, so the query results *are* the target ids.
+//
+// Resolution always runs against the pre-batch instance (the Source sees no
+// staged effects), giving batches snapshot semantics.
+func (a *Applier) resolve(ctx context.Context, idx int, m Mutation) ([]target, error) {
+	p, err := pathexpr.Parse(m.Path)
+	if err != nil {
+		return nil, &Error{Kind: ErrPath, Index: idx, Path: m.Path, Msg: err.Error()}
+	}
+	g, err := pathid.Build(a.s, p)
+	if err != nil {
+		return nil, &Error{Kind: ErrPath, Index: idx, Path: m.Path, Msg: err.Error()}
+	}
+	if g.Empty() {
+		return nil, &Error{Kind: ErrTarget, Index: idx, Path: m.Path,
+			Msg: "path matches no position of schema " + a.s.Name}
+	}
+	paths, complete := g.EnumeratePaths(translate.MaxEnumeratedPaths, 1)
+	if !complete {
+		return nil, &Error{Kind: ErrPath, Index: idx, Path: m.Path,
+			Msg: "path reaches its targets through recursion or too many routes; updates need an enumerable target set"}
+	}
+
+	bySchema := map[schema.NodeID][][]int{}
+	for _, nodes := range paths {
+		last := nodes[len(nodes)-1]
+		sid := g.Node(last).Schema
+		bySchema[sid] = append(bySchema[sid], nodes)
+	}
+	sids := make([]schema.NodeID, 0, len(bySchema))
+	for sid := range bySchema {
+		sids = append(sids, sid)
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+
+	anchored := translate.NeedsAnchor(a.s)
+	var out []target
+	for _, sid := range sids {
+		sn := a.s.Node(sid)
+		if !sn.HasRelation() {
+			return nil, &Error{Kind: ErrTarget, Index: idx, Path: m.Path,
+				Msg: fmt.Sprintf("path ends at %s, which produces no tuple; address the enclosing tuple-producing element instead", sn.Name)}
+		}
+		ids := map[int64]bool{}
+		for _, nodes := range bySchema[sid] {
+			sel, err := translate.BuildPathSelect(g, translate.PathSpec{Nodes: nodes, Anchored: anchored})
+			if err != nil {
+				return nil, &Error{Kind: ErrPath, Index: idx, Path: m.Path, Msg: err.Error()}
+			}
+			res, err := a.src.Execute(ctx, sqlast.SingleSelect(sel))
+			if err != nil {
+				return nil, fmt.Errorf("update: resolving %s: %w", m.Path, err)
+			}
+			for _, row := range res.Rows {
+				if len(row) > 0 && !row[0].IsNull() && row[0].Kind() == relational.KindInt {
+					ids[row[0].AsInt()] = true
+				}
+			}
+		}
+		t := target{sid: sid, rel: sn.Relation}
+		for id := range ids {
+			t.ids = append(t.ids, id)
+		}
+		sort.Slice(t.ids, func(i, j int) bool { return t.ids[i] < t.ids[j] })
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,276 @@
+package update
+
+import (
+	"context"
+	"sort"
+
+	"xmlsql/internal/integrity"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/sqlast"
+)
+
+// staging accumulates a batch's planned effects: the DML statements to
+// apply, plus a row-level image of those effects so the rest of the batch
+// (and the pre-apply audit) can see them before anything is written.
+type staging struct {
+	a *Applier
+	// rows holds the post-batch image of every inserted or rewritten tuple,
+	// in TableSchema column order.
+	rows map[string]map[int64]relational.Row
+	// deleted marks tuples the batch removes.
+	deleted map[string]map[int64]bool
+	// fresh marks staged tuples that do not exist pre-batch (inserts, as
+	// opposed to rewrites of existing tuples).
+	fresh map[tupleKey]bool
+	// byMut attributes each staged tuple to the mutation that staged it, so
+	// integrity rejections can name the violating path.
+	byMut map[tupleKey]int
+	stmts []sqlast.DMLStmt
+}
+
+type tupleKey struct {
+	rel string
+	id  int64
+}
+
+func newStaging(a *Applier) *staging {
+	return &staging{
+		a:       a,
+		rows:    map[string]map[int64]relational.Row{},
+		deleted: map[string]map[int64]bool{},
+		fresh:   map[tupleKey]bool{},
+		byMut:   map[tupleKey]int{},
+	}
+}
+
+// lookup returns the batch's view of one tuple: the staged image if the
+// batch wrote it, nothing if the batch deleted it, otherwise the stored row.
+func (st *staging) lookup(ctx context.Context, rel string, id int64) (relational.Row, bool, error) {
+	if st.deleted[rel][id] {
+		return nil, false, nil
+	}
+	if row, ok := st.rows[rel][id]; ok {
+		return row, true, nil
+	}
+	rows, err := st.a.probe.FetchByID(ctx, rel, []int64{id})
+	if err != nil || len(rows) == 0 {
+		return nil, false, err
+	}
+	return rows[0], true, nil
+}
+
+// stageInsert records a fresh tuple.
+func (st *staging) stageInsert(mut int, rel string, id int64, row relational.Row) {
+	st.stage(mut, rel, id, row)
+	st.fresh[tupleKey{rel, id}] = true
+}
+
+// stageRewrite records the new image of an existing tuple.
+func (st *staging) stageRewrite(mut int, rel string, id int64, row relational.Row) {
+	st.stage(mut, rel, id, row)
+}
+
+func (st *staging) stage(mut int, rel string, id int64, row relational.Row) {
+	if st.rows[rel] == nil {
+		st.rows[rel] = map[int64]relational.Row{}
+	}
+	st.rows[rel][id] = row
+	st.byMut[tupleKey{rel, id}] = mut
+}
+
+// stageDelete records a removal. A tuple both staged and deleted (a batch
+// inserting under an element a later mutation deletes) nets out to nothing.
+func (st *staging) stageDelete(mut int, rel string, id int64) {
+	if st.deleted[rel] == nil {
+		st.deleted[rel] = map[int64]bool{}
+	}
+	st.deleted[rel][id] = true
+	if st.rows[rel] != nil {
+		delete(st.rows[rel], id)
+	}
+	st.byMut[tupleKey{rel, id}] = mut
+}
+
+func (st *staging) isDeleted(rel string, id int64) bool { return st.deleted[rel][id] }
+
+// mutationFor returns the index of the mutation that staged a tuple, or -1.
+func (st *staging) mutationFor(rel string, id int64) int {
+	if i, ok := st.byMut[tupleKey{rel, id}]; ok {
+		return i
+	}
+	return -1
+}
+
+// touched is the batch's footprint. A rewritten-then-deleted tuple counts
+// only as deleted; fresh inserts that were deleted again are dropped by
+// stageDelete and surface as Deleted refs (harmless: the audit probes find
+// nothing live there, and invalidation keys on relations).
+func (st *staging) touched() integrity.Touched {
+	var t integrity.Touched
+	for rel, rows := range st.rows {
+		for id := range rows {
+			t.Written = append(t.Written, integrity.TupleRef{Rel: rel, ID: id})
+		}
+	}
+	for rel, ids := range st.deleted {
+		for id := range ids {
+			t.Deleted = append(t.Deleted, integrity.TupleRef{Rel: rel, ID: id})
+		}
+	}
+	sortRefs(t.Written)
+	sortRefs(t.Deleted)
+	return t
+}
+
+// baseTouched anchors the same neighborhood in the *pre-batch* instance:
+// deleted and rewritten tuples exist there as themselves, and fresh inserts
+// are represented by their parent tuples (a fresh id resolves to nothing
+// pre-batch, which would otherwise hide pre-existing dirt on its ancestors
+// from the base audit that Apply uses to tell old dirt from new).
+func (st *staging) baseTouched() integrity.Touched {
+	var t integrity.Touched
+	seen := map[tupleKey]bool{}
+	add := func(refs *[]integrity.TupleRef, rel string, id int64) {
+		k := tupleKey{rel, id}
+		if !seen[k] {
+			seen[k] = true
+			*refs = append(*refs, integrity.TupleRef{Rel: rel, ID: id})
+		}
+	}
+	for rel, rows := range st.rows {
+		for id, row := range rows {
+			if !st.fresh[tupleKey{rel, id}] {
+				add(&t.Written, rel, id)
+				continue
+			}
+			if pid, ok := parentID(row); ok {
+				// The relation is only a label here; neighborhood probes
+				// fetch every id in every relation regardless.
+				add(&t.Written, rel, pid)
+			}
+		}
+	}
+	for rel, ids := range st.deleted {
+		for id := range ids {
+			add(&t.Deleted, rel, id)
+		}
+	}
+	sortRefs(t.Written)
+	sortRefs(t.Deleted)
+	return t
+}
+
+func sortRefs(refs []integrity.TupleRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Rel != refs[j].Rel {
+			return refs[i].Rel < refs[j].Rel
+		}
+		return refs[i].ID < refs[j].ID
+	})
+}
+
+// appendStmt queues one DML statement, in plan order.
+func (st *staging) appendStmt(s sqlast.DMLStmt) { st.stmts = append(st.stmts, s) }
+
+func (st *staging) statements() []sqlast.DMLStmt { return st.stmts }
+
+// overlayProbe is the pre-apply view: the base instance with the batch's
+// staged effects layered on. The incremental audit runs over it, so a batch
+// is judged on the instance it *would* produce — which is what lets invalid
+// batches be rejected before any backend write, even on backends that
+// cannot roll back after commit.
+type overlayProbe struct {
+	base integrity.Probe
+	st   *staging
+}
+
+func (p *overlayProbe) FetchByID(ctx context.Context, rel string, ids []int64) ([]relational.Row, error) {
+	base, err := p.base.FetchByID(ctx, rel, ids)
+	if err != nil {
+		return nil, err
+	}
+	staged := p.st.rows[rel]
+	var out []relational.Row
+	emitted := map[int64]bool{}
+	for _, row := range base {
+		if len(row) == 0 || row[0].IsNull() || row[0].Kind() != relational.KindInt {
+			out = append(out, row)
+			continue
+		}
+		id := row[0].AsInt()
+		if p.st.isDeleted(rel, id) {
+			continue
+		}
+		if sr, ok := staged[id]; ok {
+			out = append(out, sr)
+			emitted[id] = true
+			continue
+		}
+		out = append(out, row)
+	}
+	for _, id := range ids {
+		if sr, ok := staged[id]; ok && !emitted[id] && !p.st.isDeleted(rel, id) {
+			out = append(out, sr)
+			emitted[id] = true
+		}
+	}
+	return out, nil
+}
+
+func (p *overlayProbe) FetchByParent(ctx context.Context, rel string, parents []int64) ([]relational.Row, error) {
+	base, err := p.base.FetchByParent(ctx, rel, parents)
+	if err != nil {
+		return nil, err
+	}
+	staged := p.st.rows[rel]
+	want := make(map[int64]bool, len(parents))
+	for _, par := range parents {
+		want[par] = true
+	}
+	var out []relational.Row
+	for _, row := range base {
+		if len(row) > 0 && !row[0].IsNull() && row[0].Kind() == relational.KindInt {
+			id := row[0].AsInt()
+			if p.st.isDeleted(rel, id) {
+				continue
+			}
+			if _, ok := staged[id]; ok {
+				// The staged image may have moved or rewritten the tuple;
+				// it is emitted below iff its new parent still matches.
+				continue
+			}
+		}
+		out = append(out, row)
+	}
+	ids := make([]int64, 0, len(staged))
+	for id := range staged {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		row := staged[id]
+		if len(row) > 1 && !row[1].IsNull() && row[1].Kind() == relational.KindInt && want[row[1].AsInt()] {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+var _ integrity.Probe = (*overlayProbe)(nil)
+
+// rowValue reads one named column from a TableSchema-ordered row.
+func rowValue(ts *relational.TableSchema, row relational.Row, col string) relational.Value {
+	i := ts.ColumnIndex(col)
+	if i < 0 || i >= len(row) {
+		return relational.Null
+	}
+	return row[i]
+}
+
+// parentID extracts a row's parent id, if it is a usable integer.
+func parentID(row relational.Row) (int64, bool) {
+	if len(row) > 1 && !row[1].IsNull() && row[1].Kind() == relational.KindInt {
+		return row[1].AsInt(), true
+	}
+	return 0, false
+}

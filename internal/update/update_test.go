@@ -1,0 +1,387 @@
+package update
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"xmlsql/internal/integrity"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/workloads"
+	"xmlsql/internal/xmltree"
+)
+
+func newXMarkStore(t *testing.T, cfg workloads.XMarkConfig) (*schema.Schema, *relational.Store) {
+	t.Helper()
+	s := workloads.XMark()
+	store := relational.NewStore()
+	if _, err := shred.ShredAll(s, store, shred.Options{}, workloads.GenerateXMark(cfg)); err != nil {
+		t.Fatalf("shred: %v", err)
+	}
+	return s, store
+}
+
+func newApplier(t *testing.T, s *schema.Schema, store *relational.Store) *Applier {
+	t.Helper()
+	a, err := ForStore(s, store, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return a
+}
+
+func fullAudit(t *testing.T, s *schema.Schema, store *relational.Store) *integrity.Report {
+	t.Helper()
+	rep, err := integrity.Audit(context.Background(), integrity.StoreSource(store), s)
+	if err != nil {
+		t.Fatalf("full audit: %v", err)
+	}
+	return rep
+}
+
+func TestInsertSubtree(t *testing.T) {
+	s, store := newXMarkStore(t, workloads.XMarkConfig{ItemsPerContinent: 3, CategoriesPerItem: 1, NumCategories: 5, Seed: 1})
+	a := newApplier(t, s, store)
+	before := store.Table("InCat").Len()
+
+	res, err := a.Apply(context.Background(), Batch{Muts: []Mutation{{
+		Op: OpInsert, Path: "/Site/Regions/Africa/Item",
+		XML: "<InCategory><Category>fresh</Category></InCategory>",
+	}}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := store.Table("InCat").Len(); got != before+3 {
+		t.Fatalf("InCat rows = %d, want %d", got, before+3)
+	}
+	if !res.Audit.Clean() {
+		t.Fatalf("post-apply audit dirty: %s", res.Audit)
+	}
+	if got := res.Touched.Relations(); len(got) != 1 || got[0] != "InCat" {
+		t.Fatalf("touched relations = %v, want [InCat]", got)
+	}
+	if len(res.Touched.Written) != 3 {
+		t.Fatalf("written = %v, want 3 refs", res.Touched.Written)
+	}
+	if rep := fullAudit(t, s, store); !rep.Clean() {
+		t.Fatalf("full audit dirty after insert: %s", rep)
+	}
+}
+
+func TestInsertValueLeafUpdatesOwner(t *testing.T) {
+	s := workloads.XMark()
+	store := relational.NewStore()
+	// One nameless Africa item: the name insert must land on its tuple.
+	doc := &xmltree.Document{Root: xmltree.NewElem("Site",
+		xmltree.NewElem("Regions",
+			xmltree.NewElem("Africa", xmltree.NewElem("Item"))))}
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		t.Fatalf("shred: %v", err)
+	}
+	a := newApplier(t, s, store)
+
+	res, err := a.Apply(context.Background(), Batch{Muts: []Mutation{{
+		Op: OpInsert, Path: "//Item", XML: "<name>late-name</name>",
+	}}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := res.Touched.Relations(); len(got) != 1 || got[0] != "Item" {
+		t.Fatalf("touched relations = %v, want [Item]", got)
+	}
+	itemTS := store.Table("Item").Schema()
+	ni := itemTS.ColumnIndex("name")
+	rows := store.Table("Item").Rows()
+	if len(rows) != 1 || rows[0][ni].AsString() != "late-name" {
+		t.Fatalf("item name not updated: %v", rows)
+	}
+	// The same insert again must now conflict: the column already holds a
+	// value, and nothing may be half-applied.
+	pre := store.Dump()
+	_, err = a.Apply(context.Background(), Batch{Muts: []Mutation{{
+		Op: OpInsert, Path: "//Item", XML: "<name>other</name>",
+	}}})
+	var uerr *Error
+	if !errors.As(err, &uerr) || uerr.Kind != ErrConflict {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+	if uerr.Path != "//Item" {
+		t.Fatalf("error path = %q, want //Item", uerr.Path)
+	}
+	if store.Dump() != pre {
+		t.Fatal("store changed on rejected batch")
+	}
+}
+
+func TestDeleteSubtreeSweepsDescendants(t *testing.T) {
+	s, store := newXMarkStore(t, workloads.XMarkConfig{ItemsPerContinent: 2, CategoriesPerItem: 2, NumCategories: 5, Seed: 2})
+	a := newApplier(t, s, store)
+
+	res, err := a.Apply(context.Background(), Batch{Muts: []Mutation{{
+		Op: OpDelete, Path: "//Item",
+	}}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := store.Table("Item").Len(); got != 0 {
+		t.Fatalf("Item rows = %d, want 0", got)
+	}
+	if got := store.Table("InCat").Len(); got != 0 {
+		t.Fatalf("InCat rows = %d after deleting items, want 0 (descendants must be swept)", got)
+	}
+	if got := store.Table("Site").Len(); got != 1 {
+		t.Fatalf("Site rows = %d, want 1", got)
+	}
+	if !res.Audit.Clean() {
+		t.Fatalf("post-apply audit dirty: %s", res.Audit)
+	}
+	if len(res.Touched.Deleted) == 0 || len(res.Touched.Written) != 0 {
+		t.Fatalf("touched = %+v, want only deletions", res.Touched)
+	}
+	if rep := fullAudit(t, s, store); !rep.Clean() {
+		t.Fatalf("full audit dirty after delete: %s", rep)
+	}
+}
+
+func TestReplacePreservesPlacement(t *testing.T) {
+	s, store := newXMarkStore(t, workloads.XMarkConfig{ItemsPerContinent: 1, CategoriesPerItem: 1, NumCategories: 3, Seed: 3})
+	a := newApplier(t, s, store)
+
+	res, err := a.Apply(context.Background(), Batch{Muts: []Mutation{{
+		Op: OpReplace, Path: "/Site/Regions/Africa/Item",
+		XML: "<Item><name>replacement</name><InCategory><Category>swapped</Category></InCategory></Item>",
+	}}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !res.Audit.Clean() {
+		t.Fatalf("post-apply audit dirty: %s", res.Audit)
+	}
+	itemT := store.Table("Item")
+	ts := itemT.Schema()
+	pci, ni := ts.ColumnIndex("parentcode"), ts.ColumnIndex("name")
+	found := false
+	for _, row := range itemT.Rows() {
+		if row[ni].AsString() == "replacement" {
+			found = true
+			if row[pci].AsInt() != 1 {
+				t.Fatalf("replacement parentcode = %v, want 1 (Africa)", row[pci])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("replacement item not found")
+	}
+	if rep := fullAudit(t, s, store); !rep.Clean() {
+		t.Fatalf("full audit dirty after replace: %s", rep)
+	}
+}
+
+func TestBatchRejectionIsAtomic(t *testing.T) {
+	s, store := newXMarkStore(t, workloads.XMarkConfig{ItemsPerContinent: 2, CategoriesPerItem: 1, NumCategories: 4, Seed: 4})
+	a := newApplier(t, s, store)
+	pre := store.Dump()
+
+	// Mutation 0 is valid; mutation 1 conflicts (items already have names).
+	_, err := a.Apply(context.Background(), Batch{Muts: []Mutation{
+		{Op: OpInsert, Path: "/Site/Regions/Asia/Item", XML: "<InCategory><Category>ok</Category></InCategory>"},
+		{Op: OpInsert, Path: "//Item", XML: "<name>dup</name>"},
+	}})
+	var uerr *Error
+	if !errors.As(err, &uerr) {
+		t.Fatalf("err = %v, want *update.Error", err)
+	}
+	if uerr.Kind != ErrConflict || uerr.Index != 1 || uerr.Path != "//Item" {
+		t.Fatalf("got kind=%v index=%d path=%q, want conflict/1///Item", uerr.Kind, uerr.Index, uerr.Path)
+	}
+	if store.Dump() != pre {
+		t.Fatal("store changed although the batch was rejected")
+	}
+}
+
+func TestSnapshotSemanticsInsertThenDelete(t *testing.T) {
+	s, store := newXMarkStore(t, workloads.XMarkConfig{ItemsPerContinent: 1, CategoriesPerItem: 1, NumCategories: 3, Seed: 5})
+	a := newApplier(t, s, store)
+
+	// The delete sweeps the insert staged under the same items: net effect
+	// is item removal, and the audit must accept the combined instance.
+	res, err := a.Apply(context.Background(), Batch{Muts: []Mutation{
+		{Op: OpInsert, Path: "//Item", XML: "<InCategory><Category>doomed</Category></InCategory>"},
+		{Op: OpDelete, Path: "//Item"},
+	}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := store.Table("Item").Len(); got != 0 {
+		t.Fatalf("Item rows = %d, want 0", got)
+	}
+	if got := store.Table("InCat").Len(); got != 0 {
+		t.Fatalf("InCat rows = %d, want 0", got)
+	}
+	if !res.Audit.Clean() {
+		t.Fatalf("post-apply audit dirty: %s", res.Audit)
+	}
+}
+
+func TestInsertUnderDeletedTargetConflicts(t *testing.T) {
+	s, store := newXMarkStore(t, workloads.XMarkConfig{ItemsPerContinent: 1, CategoriesPerItem: 1, NumCategories: 3, Seed: 6})
+	a := newApplier(t, s, store)
+	pre := store.Dump()
+
+	_, err := a.Apply(context.Background(), Batch{Muts: []Mutation{
+		{Op: OpDelete, Path: "//Item"},
+		{Op: OpInsert, Path: "//Item", XML: "<InCategory><Category>orphan</Category></InCategory>"},
+	}})
+	var uerr *Error
+	if !errors.As(err, &uerr) || uerr.Kind != ErrConflict || uerr.Index != 1 {
+		t.Fatalf("err = %v, want ErrConflict on mutation 1", err)
+	}
+	if store.Dump() != pre {
+		t.Fatal("store changed although the batch was rejected")
+	}
+}
+
+func TestTargetErrors(t *testing.T) {
+	s, store := newXMarkStore(t, workloads.XMarkConfig{ItemsPerContinent: 1, CategoriesPerItem: 1, NumCategories: 3, Seed: 7})
+	a := newApplier(t, s, store)
+	cases := []struct {
+		path string
+		kind ErrorKind
+	}{
+		{"//Nope", ErrTarget},                     // matches no schema position
+		{"//Item/InCategory/Category", ErrTarget}, // value leaf, no tuple
+		{"//Item[", ErrPath},                      // unparsable
+	}
+	for _, c := range cases {
+		_, err := a.Apply(context.Background(), Batch{Muts: []Mutation{{Op: OpDelete, Path: c.path}}})
+		var uerr *Error
+		if !errors.As(err, &uerr) || uerr.Kind != c.kind {
+			t.Errorf("path %q: err = %v, want kind %v", c.path, err, c.kind)
+		}
+		if uerr != nil && uerr.Path != c.path {
+			t.Errorf("path %q: error carries path %q", c.path, uerr.Path)
+		}
+	}
+}
+
+func TestNoMatchingTuplesIsNoop(t *testing.T) {
+	s := workloads.XMark()
+	store := relational.NewStore()
+	doc := &xmltree.Document{Root: xmltree.NewElem("Site",
+		xmltree.NewElem("Regions",
+			xmltree.NewElem("Africa", xmltree.NewElem("Item", xmltree.NewText("name", "only")))))}
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		t.Fatalf("shred: %v", err)
+	}
+	a := newApplier(t, s, store)
+	pre := store.Dump()
+	res, err := a.Apply(context.Background(), Batch{Muts: []Mutation{{
+		Op: OpDelete, Path: "/Site/Regions/Asia/Item",
+	}}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !res.Touched.Empty() || res.Stmts != 0 {
+		t.Fatalf("expected a no-op, got touched=%+v stmts=%d", res.Touched, res.Stmts)
+	}
+	if store.Dump() != pre {
+		t.Fatal("store changed on no-op batch")
+	}
+}
+
+func TestNonConformingSubtreeRejected(t *testing.T) {
+	s, store := newXMarkStore(t, workloads.XMarkConfig{ItemsPerContinent: 1, CategoriesPerItem: 1, NumCategories: 3, Seed: 8})
+	a := newApplier(t, s, store)
+	pre := store.Dump()
+	_, err := a.Apply(context.Background(), Batch{Muts: []Mutation{{
+		Op: OpInsert, Path: "//Item", XML: "<Bogus>nope</Bogus>",
+	}}})
+	var uerr *Error
+	if !errors.As(err, &uerr) || uerr.Kind != ErrConform {
+		t.Fatalf("err = %v, want ErrConform", err)
+	}
+	if store.Dump() != pre {
+		t.Fatal("store changed on rejected batch")
+	}
+}
+
+// ambiguousSchema maps two same-labelled, identically-conditioned positions
+// onto one relation: any <a> tuple aligns to both, breaking P1. Planning
+// cannot see that (the subtree conforms, the conditions are consistent) —
+// only the pre-apply audit catches it, exercising the integrity rejection.
+func ambiguousSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	b := schema.NewBuilder("ambig")
+	b.Node("1", "r", schema.Rel("R"))
+	b.Node("2", "a", schema.Rel("A"))
+	b.Node("3", "a", schema.Rel("A"))
+	b.Root("1")
+	b.EdgeCondInt("1", "2", "c", 1)
+	b.EdgeCondInt("1", "3", "c", 1)
+	s, err := b.Build()
+	if err != nil {
+		t.Skipf("builder rejects ambiguous mapping: %v", err)
+	}
+	return s
+}
+
+func TestIntegrityViolationRejectedAtomically(t *testing.T) {
+	s := ambiguousSchema(t)
+	store := relational.NewStore()
+	doc := &xmltree.Document{Root: xmltree.NewElem("r")}
+	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+		t.Fatalf("shred: %v", err)
+	}
+	a := newApplier(t, s, store)
+	pre := store.Dump()
+
+	_, err := a.Apply(context.Background(), Batch{Muts: []Mutation{{
+		Op: OpInsert, Path: "/r", XML: "<a/>",
+	}}})
+	var uerr *Error
+	if !errors.As(err, &uerr) {
+		t.Fatalf("err = %v, want *update.Error", err)
+	}
+	if uerr.Kind != ErrIntegrity {
+		t.Fatalf("kind = %v, want ErrIntegrity", uerr.Kind)
+	}
+	if uerr.Path != "/r" || uerr.Report == nil || uerr.Report.Clean() {
+		t.Fatalf("error must carry the violating path and the audit report: %+v", uerr)
+	}
+	if !strings.Contains(err.Error(), "/r") {
+		t.Fatalf("rendered error %q does not name the path", err)
+	}
+	if store.Dump() != pre {
+		t.Fatal("store changed although the batch was rejected")
+	}
+}
+
+func TestPreexistingDirtDoesNotBlockValidBatch(t *testing.T) {
+	s, store := newXMarkStore(t, workloads.XMarkConfig{ItemsPerContinent: 1, CategoriesPerItem: 1, NumCategories: 3, Seed: 9})
+	// Dangle the Site root's parent link: a P2 violation on an ancestor of
+	// the staged inserts — inside the batch's audit neighborhood, and
+	// present both with and without the batch's effects.
+	site := store.Table("Site")
+	pi := site.Schema().ColumnIndex(schema.ParentIDColumn)
+	if _, err := site.UpdateWhere(
+		func(r relational.Row) bool { return true },
+		func(r relational.Row) relational.Row { r[pi] = relational.Int(12345); return r },
+	); err != nil {
+		t.Fatalf("corrupting store: %v", err)
+	}
+
+	a := newApplier(t, s, store)
+	res, err := a.Apply(context.Background(), Batch{Muts: []Mutation{{
+		Op: OpInsert, Path: "/Site/Regions/Africa/Item",
+		XML: "<InCategory><Category>fine</Category></InCategory>",
+	}}})
+	if err != nil {
+		t.Fatalf("Apply: %v (pre-existing dirt must not block a valid batch)", err)
+	}
+	if res.Preexisting == nil || res.Preexisting.Clean() {
+		t.Fatal("Result.Preexisting must report the pre-existing violations")
+	}
+}

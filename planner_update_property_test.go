@@ -1,0 +1,172 @@
+package xmlsql_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xmlsql"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/workloads"
+)
+
+// The update property suite: random mutation batches against the planner,
+// with the incremental audit's verdict checked against a full audit of the
+// whole instance after every batch. Valid batches must apply with both
+// verdicts clean; invalid batches must be rejected with a typed error naming
+// the violating mutation's path, leaving the store byte-identical. The rand
+// schedules are seeded, so every run replays the same batches.
+
+// destructibleContinents are the continents random deletes and replaces may
+// target. Africa is reserved: its items must survive the whole run so the
+// final preexisting-dirt phase has guaranteed insert targets.
+var destructibleContinents = workloads.Continents[1:]
+
+// randomValidBatch builds a batch of mutations that are valid by
+// construction: inserts land set-valued InCategory subtrees (always legal),
+// deletes and replaces each claim a distinct destructible continent so no
+// two mutations of one batch contend for the same targets.
+func randomValidBatch(rng *rand.Rand, serial int) xmlsql.UpdateBatch {
+	var muts []xmlsql.UpdateMutation
+	perm := rng.Perm(len(destructibleContinents))
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		cont := destructibleContinents[perm[i]]
+		switch rng.Intn(4) {
+		case 0, 1: // inserts dominate so the instance keeps growing
+			muts = append(muts, xmlsql.UpdateMutation{
+				Op:   xmlsql.UpdateInsert,
+				Path: "/Site/Regions/" + cont + "/Item",
+				XML:  fmt.Sprintf("<InCategory><Category>prop-%d-%d</Category></InCategory>", serial, i),
+			})
+		case 2:
+			muts = append(muts, xmlsql.UpdateMutation{
+				Op:   xmlsql.UpdateReplace,
+				Path: "/Site/Regions/" + cont + "/Item",
+				XML:  fmt.Sprintf("<Item><name>repl-%d-%d</name></Item>", serial, i),
+			})
+		default:
+			muts = append(muts, xmlsql.UpdateMutation{
+				Op:   xmlsql.UpdateDelete,
+				Path: "/Site/Regions/" + cont + "/Item",
+			})
+		}
+	}
+	return xmlsql.UpdateBatch{Muts: muts}
+}
+
+// invalidBatches are rejection fixtures: each fails planning or validation
+// with the expected kind, anchored at the expected mutation path.
+var invalidBatches = []struct {
+	batch xmlsql.UpdateBatch
+	kind  xmlsql.UpdateErrorKind
+	path  string
+}{
+	{xmlsql.UpdateBatch{Muts: []xmlsql.UpdateMutation{
+		{Op: xmlsql.UpdateInsert, Path: "//Item", XML: "<Bogus/>"},
+	}}, xmlsql.UpdateErrConform, "//Item"},
+	{xmlsql.UpdateBatch{Muts: []xmlsql.UpdateMutation{
+		{Op: xmlsql.UpdateInsert, Path: "/Site/Regions/Africa/Item", XML: "<InCategory><Category>ok</Category></InCategory>"},
+		{Op: xmlsql.UpdateDelete, Path: "//Item/name"},
+	}}, xmlsql.UpdateErrTarget, "//Item/name"},
+	{xmlsql.UpdateBatch{Muts: []xmlsql.UpdateMutation{
+		{Op: xmlsql.UpdateInsert, Path: "/Site[", XML: "<InCategory><Category>x</Category></InCategory>"},
+	}}, xmlsql.UpdateErrPath, "/Site["},
+}
+
+func TestPlannerUpdatePropertyIncrementalMatchesFull(t *testing.T) {
+	for _, seed := range []int64{1, 17, 4242} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(seed))
+			p, store := newUpdatePlanner(t, nil)
+
+			applied, rejected := 0, 0
+			for round := 0; round < 30; round++ {
+				if rng.Float64() < 0.25 {
+					fix := invalidBatches[rng.Intn(len(invalidBatches))]
+					pre := store.Dump()
+					_, err := p.Update(ctx, fix.batch)
+					var uerr *xmlsql.UpdateError
+					if !errors.As(err, &uerr) {
+						t.Fatalf("round %d: invalid batch returned %v, want *UpdateError", round, err)
+					}
+					if uerr.Kind != fix.kind || uerr.Path != fix.path {
+						t.Fatalf("round %d: rejection (%v at %q), want (%v at %q)",
+							round, uerr.Kind, uerr.Path, fix.kind, fix.path)
+					}
+					if store.Dump() != pre {
+						t.Fatalf("round %d: rejected batch changed the store", round)
+					}
+					rejected++
+					continue
+				}
+
+				res, err := p.Update(ctx, randomValidBatch(rng, round))
+				if err != nil {
+					t.Fatalf("round %d: valid batch rejected: %v", round, err)
+				}
+				applied++
+				full, err := p.Audit(ctx)
+				if err != nil {
+					t.Fatalf("round %d: full audit: %v", round, err)
+				}
+				if res.Audit.Clean() != full.Clean() {
+					t.Fatalf("round %d: incremental verdict (clean=%v over %v) disagrees with full audit (clean=%v, %d violations)",
+						round, res.Audit.Clean(), res.Touched.Relations(), full.Clean(), full.Total)
+				}
+				if !full.Clean() {
+					t.Fatalf("round %d: valid batches dirtied the instance: %v", round, full.Violations)
+				}
+			}
+			if applied == 0 || rejected == 0 {
+				t.Fatalf("vacuous schedule: %d applied, %d rejected", applied, rejected)
+			}
+
+			// Dirty phase: corrupt a tuple inside the next batch's audit
+			// neighborhood (the Site root's parent link dangles — a P2
+			// violation on an ancestor of any insert). The incremental audit
+			// must see the dirt exactly as the full audit does, and attribute
+			// it as pre-existing rather than blaming the batch.
+			corruptSiteParent(t, store)
+			res, err := p.Update(ctx, xmlsql.UpdateBatch{Muts: []xmlsql.UpdateMutation{{
+				Op:   xmlsql.UpdateInsert,
+				Path: "/Site/Regions/Africa/Item",
+				XML:  "<InCategory><Category>after-dirt</Category></InCategory>",
+			}}})
+			if err != nil {
+				t.Fatalf("pre-existing dirt must not block a valid batch: %v", err)
+			}
+			full, err := p.Audit(ctx)
+			if err != nil {
+				t.Fatalf("full audit over dirty instance: %v", err)
+			}
+			if full.Clean() {
+				t.Fatal("corruption did not register in the full audit; the dirty phase is vacuous")
+			}
+			if res.Audit.Clean() {
+				t.Fatal("incremental audit missed dirt the full audit sees in the batch's neighborhood")
+			}
+			if res.Preexisting == nil || res.Preexisting.Clean() {
+				t.Fatal("dirt that predates the batch must be reported as Preexisting")
+			}
+		})
+	}
+}
+
+// corruptSiteParent dangles the Site root's parentid, planting a P2
+// violation that predates any subsequent batch.
+func corruptSiteParent(t *testing.T, store *xmlsql.Store) {
+	t.Helper()
+	site := store.Table("Site")
+	pi := site.Schema().ColumnIndex("parentid")
+	if _, err := site.UpdateWhere(
+		func(r relational.Row) bool { return true },
+		func(r relational.Row) relational.Row { r[pi] = relational.Int(987654); return r },
+	); err != nil {
+		t.Fatalf("corrupting store: %v", err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"database/sql"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"xmlsql/internal/sqlast"
 	"xmlsql/internal/stats"
 	"xmlsql/internal/translate"
+	"xmlsql/internal/update"
 	"xmlsql/internal/xmltree"
 )
 
@@ -496,6 +498,15 @@ type Planner struct {
 	// observed store's mutation version moves) and the re-plan counter.
 	statsSnap     atomic.Pointer[statsEntry]
 	statsCollects atomic.Int64
+
+	// Update machinery: the lazily-built batch applier (rebuilt when the
+	// installed schema changes) and the write counters. applierMu guards
+	// construction only; the applier itself serializes batches.
+	applierMu     sync.Mutex
+	applierFor    *Schema
+	applier       *update.Applier
+	updates       atomic.Int64
+	updateRejects atomic.Int64
 }
 
 // statsEntry is one cached statistics snapshot. store is the in-memory store
@@ -583,7 +594,7 @@ func (p *Planner) planMode(query string, safe bool) (*Translation, error) {
 			return nil, err
 		}
 	}
-	p.cache.Put(k, tr)
+	p.cache.PutTagged(k, tr, sqlast.Relations(tr.Query))
 	return tr, nil
 }
 
@@ -648,25 +659,34 @@ func (p *Planner) RefreshStats(ctx context.Context) (*Statistics, error) {
 
 // planAdaptive runs the cost-based plan path: translate both candidates,
 // choose with the estimator over snap, cache the outcome. Caching is
-// two-level, so the keys literally incorporate the chosen knob vector and the
-// statistics fingerprint: an index entry (options = base options + "|auto|" +
-// stats fingerprint) maps the query to its chosen knob vector, and the full
+// three-level, so the keys literally incorporate the chosen knob vector and
+// the statistics fingerprint of exactly the relations the query reads: a
+// relation-set entry (options = base options + "|rels") maps the query to its
+// relation footprint, an index entry (options = base options + "|auto|" +
+// scoped stats fingerprint) maps it to its chosen knob vector, and the full
 // entry (options = base options + "|" + knob vector + "|" + fingerprint)
-// holds the plan. Mutating the data changes the fingerprint, misses both
-// levels, and re-plans against fresh statistics; stale entries age out of
-// the LRU.
+// holds the plan. Mutating a relation the query reads changes the scoped
+// fingerprint (stats.FingerprintFor), misses the lower levels, and re-plans
+// against fresh statistics — while a query whose relations were *not* touched
+// keeps hitting its existing entries: writes invalidate only the plans that
+// could observe them. All three levels are tagged with the relation set, so
+// a write batch's PurgeTagged drops them together.
 func (p *Planner) planAdaptive(query string, snap *Statistics) (*Translation, *PlanDecision, error) {
 	s := p.schema.Load()
-	fp := snap.Fingerprint()
 	base := plancache.Key{SchemaFP: s.Fingerprint(), Query: query}
-	idx := base
-	idx.Options = p.optKey + "|auto|" + fp
-	if v, ok := p.cache.Get(idx); ok {
-		full := base
-		full.Options = v.(string)
-		if v2, ok := p.cache.Get(full); ok {
-			ap := v2.(*adaptivePlan)
-			return ap.tr, ap.dec, nil
+	relsKey := base
+	relsKey.Options = p.optKey + "|rels"
+	if v, ok := p.cache.Get(relsKey); ok {
+		fp := snap.FingerprintFor(v.([]string))
+		idx := base
+		idx.Options = p.optKey + "|auto|" + fp
+		if v, ok := p.cache.Get(idx); ok {
+			full := base
+			full.Options = v.(string)
+			if v2, ok := p.cache.Get(full); ok {
+				ap := v2.(*adaptivePlan)
+				return ap.tr, ap.dec, nil
+			}
 		}
 	}
 	q, err := ParseQuery(query)
@@ -691,11 +711,38 @@ func (p *Planner) planAdaptive(query string, snap *Statistics) (*Translation, *P
 	if dec.UsePruned {
 		out.Classes = tr.Classes
 	}
+	// The footprint is the union over both candidates: whichever plan a
+	// future statistics state favors, its relations are covered.
+	rels := relationUnion(naive, pruned)
+	fp := snap.FingerprintFor(rels)
 	full := base
 	full.Options = p.optKey + "|" + dec.KnobKey() + "|" + fp
-	p.cache.Put(full, &adaptivePlan{tr: out, dec: dec})
-	p.cache.Put(idx, full.Options)
+	idx := base
+	idx.Options = p.optKey + "|auto|" + fp
+	p.cache.PutTagged(full, &adaptivePlan{tr: out, dec: dec}, rels)
+	p.cache.PutTagged(idx, full.Options, rels)
+	p.cache.PutTagged(relsKey, rels, rels)
 	return out, dec, nil
+}
+
+// relationUnion is the sorted union of the relations two candidate plans read.
+func relationUnion(a, b *SQL) []string {
+	ra := sqlast.Relations(a)
+	if b == nil {
+		return ra
+	}
+	seen := make(map[string]bool, len(ra))
+	for _, r := range ra {
+		seen[r] = true
+	}
+	for _, r := range sqlast.Relations(b) {
+		if !seen[r] {
+			seen[r] = true
+			ra = append(ra, r)
+		}
+	}
+	sort.Strings(ra)
+	return ra
 }
 
 // Explanation is the adaptive planner's answer to "what would you do with
@@ -752,12 +799,49 @@ func (p *Planner) TrustState() TrustState { return TrustState(p.trust.Load()) }
 // tests, or for operators who repaired (or deliberately distrust) the
 // instance out of band. Transitioning into TrustViolated purges the plan
 // cache, dropping the pruned plans the verdict invalidated.
-func (p *Planner) SetTrustState(st TrustState) { p.setTrust(st) }
+func (p *Planner) SetTrustState(st TrustState) { p.setTrust(st, nil) }
 
-func (p *Planner) setTrust(st TrustState) {
+// setTrust installs a trust verdict. On a transition into TrustViolated the
+// plans the verdict impeaches are dropped: all of them when rels is nil (the
+// whole instance is suspect — an operator override, or a truncated audit
+// whose full footprint is unknown), only the entries reading one of rels when
+// the violations are pinned to specific relations. Plans over untouched
+// relations keep serving from cache; under TrustViolated they are not *hit*
+// (Exec switches to safe-mode keys), but they resurface intact when a later
+// clean audit restores TrustVerified.
+func (p *Planner) setTrust(st TrustState, rels []string) {
 	if TrustState(p.trust.Swap(int32(st))) != st && st == TrustViolated {
-		p.cache.Purge()
+		if rels == nil {
+			p.cache.Purge()
+		} else {
+			p.cache.PurgeTagged(rels)
+		}
 	}
+}
+
+// violatedRelations extracts the sorted relation set a report pins violations
+// on, or nil when the set is unknowable (truncated report, or violations not
+// attributed to a relation) — nil tells setTrust to purge globally.
+func violatedRelations(rep *IntegrityReport) []string {
+	if rep == nil || rep.Truncated || rep.Total > len(rep.Violations) {
+		return nil
+	}
+	seen := map[string]bool{}
+	var rels []string
+	for _, v := range rep.Violations {
+		if v.Relation == "" {
+			return nil
+		}
+		if !seen[v.Relation] {
+			seen[v.Relation] = true
+			rels = append(rels, v.Relation)
+		}
+	}
+	if len(rels) == 0 {
+		return nil
+	}
+	sort.Strings(rels)
+	return rels
 }
 
 // Audit probes the planner's backend for violations of the lossless-from-XML
@@ -775,10 +859,10 @@ func (p *Planner) Audit(ctx context.Context) (*IntegrityReport, error) {
 	p.audits.Add(1)
 	p.lastAudit.Store(rep)
 	if rep.Clean() {
-		p.setTrust(TrustVerified)
+		p.setTrust(TrustVerified, nil)
 	} else {
 		p.violations.Add(int64(rep.Total))
-		p.setTrust(TrustViolated)
+		p.setTrust(TrustViolated, violatedRelations(rep))
 	}
 	return rep, nil
 }
@@ -917,6 +1001,11 @@ type PlannerStats struct {
 	// StatsCollects counts statistics snapshot collections; under a steady
 	// adaptive workload it grows only when the data actually mutates.
 	StatsCollects int64 `json:"stats_collects"`
+	// Updates counts mutation batches applied through Update;
+	// UpdateRejects counts batches rejected (invalid, conflicting, or
+	// failed) — rejected batches left the instance untouched.
+	Updates       int64 `json:"updates"`
+	UpdateRejects int64 `json:"update_rejects"`
 	// Trust is the planner's current audit disposition.
 	Trust TrustState `json:"trust"`
 }
@@ -931,6 +1020,8 @@ func (p *Planner) Stats() PlannerStats {
 		ViolationsFound: p.violations.Load(),
 		SafeModeServes:  p.safeServes.Load(),
 		StatsCollects:   p.statsCollects.Load(),
+		Updates:         p.updates.Load(),
+		UpdateRejects:   p.updateRejects.Load(),
 		Trust:           TrustState(p.trust.Load()),
 	}
 }
