@@ -39,7 +39,7 @@ func validateFlags() error {
 			if v := get().(time.Duration); v <= 0 {
 				err = fmt.Errorf("-%s must be a positive duration, got %v", f.Name, v)
 			}
-		case "frontend-overload-max-p99x", "frontend-over-rate", "updates-min-audit-speedup":
+		case "frontend-overload-max-p99x", "frontend-over-rate", "updates-min-audit-speedup", "recovery-min-relative":
 			if v := get().(float64); v <= 0 {
 				err = fmt.Errorf("-%s must be positive, got %v", f.Name, v)
 			}
@@ -73,6 +73,8 @@ func main() {
 	frontendGate := flag.Float64("frontend-overload-max-p99x", 2.0, "fail if the overload run's accepted-query p99 exceeds this multiple of the matching under-capacity p99 (also fails on any shed at under-capacity load)")
 	updates := flag.Bool("updates", true, "also run the transactional update suite (batch apply throughput, incremental-vs-full audit, post-write hot-query recovery)")
 	updatesGate := flag.Float64("updates-min-audit-speedup", 5.0, "fail if the incremental audit is not at least this many times faster than a full audit after a write")
+	recovery := flag.Bool("recovery", true, "also run the durability suite (write-ahead-logged vs volatile update throughput, cold recovery with verified replay)")
+	recoveryGate := flag.Float64("recovery-min-relative", 0.5, "fail if durable (fsync-per-commit) update throughput falls below this fraction of volatile throughput")
 	backendName := flag.String("backend", "mem", "where measured queries run: mem (in-memory engine) or fakedb (database/sql over the in-repo fake driver)")
 	jsonPath := flag.String("json", "", "write the comparison table as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
@@ -232,8 +234,25 @@ func main() {
 		}
 	}
 
+	var rec []*bench.RecoveryComparison
+	if *recovery {
+		rec, err = bench.RunRecovery(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: recovery: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(bench.FormatRecovery(rec))
+		if errs := bench.RecoveryGate(rec, *recoveryGate); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "benchrunner: RECOVERY GATE: %v\n", e)
+			}
+			os.Exit(1)
+		}
+	}
+
 	if *jsonPath != "" {
-		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt, sw, adp, fe, upd)
+		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt, sw, adp, fe, upd, rec)
 		out := os.Stdout
 		if *jsonPath != "-" {
 			f, err := os.Create(*jsonPath)

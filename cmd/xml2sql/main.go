@@ -35,6 +35,13 @@
 //
 //	xml2sql -workload xmark -update \
 //	  '[{"op":"insert","path":"//Item","xml":"<InCategory><Category>x</Category></InCategory>"}]'
+//
+// With -data-dir the -update path is durable: the instance lives in a
+// write-ahead-logged data directory (first run shreds and checkpoints it,
+// later runs recover snapshot + log), and the batch is fsynced before it is
+// acknowledged — run the command twice and the second run replays the first
+// run's batch. -fsync widens the group-commit window (default: fsync per
+// commit).
 package main
 
 import (
@@ -61,6 +68,7 @@ import (
 	"xmlsql/internal/stats"
 	"xmlsql/internal/translate"
 	"xmlsql/internal/update"
+	"xmlsql/internal/wal"
 )
 
 func main() {
@@ -82,10 +90,20 @@ func main() {
 	showStats := flag.Bool("stats", false, "generate a workload document, shred it, and dump the collected table statistics as JSON (built-in workloads only)")
 	explain := flag.Bool("explain", false, "print the adaptive planner's cost-based decision for the query: candidate estimates, per-branch cardinalities, chosen plan and knobs (built-in workloads only; with -execute also estimated vs actual rows)")
 	updateJSON := flag.String("update", "", `apply a JSON mutation batch ('[{"op":"insert","path":"//Item","xml":"<...>"}]'; ops: insert, delete, replace) to a generated workload instance, printing the planned DML and the incremental audit verdict (built-in workloads only)`)
+	dataDir := flag.String("data-dir", "", "durable data directory for -update: recover the instance from its write-ahead log (first run initializes it) and fsync the batch before acknowledging")
+	fsyncEvery := flag.Duration("fsync", 0, "group-commit window for the -data-dir log; unset or 0 fsyncs every commit")
 	flag.Parse()
 
-	if err := validateFlags(*timeout, *maxRows, *maxCTEIter); err != nil {
+	if err := validateFlags(*timeout, *maxRows, *maxCTEIter, *dataDir, *fsyncEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "xml2sql: %v\n", err)
+		os.Exit(2)
+	}
+	if *dataDir != "" && *updateJSON == "" {
+		fmt.Fprintln(os.Stderr, "xml2sql: -data-dir only applies to the -update path")
+		os.Exit(2)
+	}
+	if *fsyncEvery != 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "xml2sql: -fsync requires -data-dir")
 		os.Exit(2)
 	}
 	if *explain && *query == "" {
@@ -135,7 +153,7 @@ func main() {
 		}
 	}
 	if *updateJSON != "" {
-		if err := runUpdate(s, *workload, *updateJSON, dialect); err != nil {
+		if err := runUpdate(s, *workload, *updateJSON, dialect, *dataDir, *fsyncEvery); err != nil {
 			fmt.Fprintf(os.Stderr, "xml2sql: update: %v\n", err)
 			os.Exit(1)
 		}
@@ -225,7 +243,7 @@ func factoredLabel(changed bool) string {
 // validateFlags rejects explicitly-set flag values that make no sense, with
 // a one-line error and usage exit. The zero defaults mean "off", so only
 // flags the user actually passed are checked.
-func validateFlags(timeout time.Duration, maxRows, maxCTEIter int) error {
+func validateFlags(timeout time.Duration, maxRows, maxCTEIter int, dataDir string, fsyncEvery time.Duration) error {
 	var err error
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -240,6 +258,16 @@ func validateFlags(timeout time.Duration, maxRows, maxCTEIter int) error {
 		case "max-cte-iterations":
 			if maxCTEIter < 0 {
 				err = fmt.Errorf("-max-cte-iterations must be >= 0, got %d", maxCTEIter)
+			}
+		case "data-dir":
+			if dataDir == "" {
+				err = fmt.Errorf("-data-dir must not be empty")
+			} else if mkErr := os.MkdirAll(dataDir, 0o755); mkErr != nil {
+				err = fmt.Errorf("-data-dir %s is not creatable: %v", dataDir, mkErr)
+			}
+		case "fsync":
+			if fsyncEvery <= 0 {
+				err = fmt.Errorf("-fsync must be a positive duration (omit it for fsync-per-commit), got %v", fsyncEvery)
 			}
 		}
 	})
@@ -497,10 +525,12 @@ type cliMutation struct {
 	XML  string `json:"xml,omitempty"`
 }
 
-// runUpdate shreds a generated workload instance, applies the JSON mutation
-// batch transactionally, and prints the planned DML plus the incremental and
-// full audit verdicts — the command-line face of the update path.
-func runUpdate(s *schema.Schema, workload, mutsJSON string, dialect *sqlast.Dialect) error {
+// runUpdate applies the JSON mutation batch transactionally over a workload
+// instance and prints the planned DML plus the incremental and full audit
+// verdicts — the command-line face of the update path. Without dataDir the
+// instance is generated in memory and discarded; with dataDir it is
+// recovered from (and durably committed to) a write-ahead-logged directory.
+func runUpdate(s *schema.Schema, workload, mutsJSON string, dialect *sqlast.Dialect, dataDir string, fsyncEvery time.Duration) error {
 	if workload == "" {
 		return fmt.Errorf("-update requires a built-in -workload to generate an instance for")
 	}
@@ -527,18 +557,54 @@ func runUpdate(s *schema.Schema, workload, mutsJSON string, dialect *sqlast.Dial
 		batch.Muts = append(batch.Muts, update.Mutation{Op: op, Path: m.Path, XML: m.XML})
 	}
 
-	doc, err := cli.GenerateDoc(workload)
-	if err != nil {
-		return err
+	var store *relational.Store
+	var applier *update.Applier
+	var mgr *wal.Manager
+	if dataDir == "" {
+		doc, err := cli.GenerateDoc(workload)
+		if err != nil {
+			return err
+		}
+		store = relational.NewStore()
+		if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+			return err
+		}
+		if applier, err = update.ForStore(s, store, update.Options{}); err != nil {
+			return err
+		}
+	} else {
+		var info *wal.RecoveryInfo
+		var err error
+		mgr, info, err = wal.Open(dataDir, wal.Options{SyncEvery: fsyncEvery})
+		if err != nil {
+			return err
+		}
+		defer mgr.Close()
+		store = mgr.Store()
+		if !info.SnapshotLoaded {
+			doc, err := cli.GenerateDoc(workload)
+			if err != nil {
+				return err
+			}
+			if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+				return err
+			}
+			if err := mgr.Checkpoint(); err != nil {
+				return err
+			}
+			fmt.Printf("-- initialized %s: shredded a generated %s instance and checkpointed\n", dataDir, workload)
+		} else {
+			fmt.Printf("-- recovered %s: snapshot lsn %d, %d batch(es) replayed in %v, truncated_tail=%v\n",
+				dataDir, info.SnapshotLSN, info.ReplayedBatches,
+				info.Elapsed.Round(time.Microsecond), info.TruncatedTail)
+		}
+		mem := backend.NewMemOn(store)
+		mem.SetCommitLog(mgr)
+		if applier, err = update.New(s, integrity.StoreSource(store), integrity.StoreProbe(store), mem, update.Options{}); err != nil {
+			return err
+		}
 	}
-	store := relational.NewStore()
-	if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
-		return err
-	}
-	applier, err := update.ForStore(s, store, update.Options{})
-	if err != nil {
-		return err
-	}
+
 	res, err := applier.Apply(context.Background(), batch)
 	if err != nil {
 		var ue *update.Error
@@ -552,8 +618,12 @@ func runUpdate(s *schema.Schema, workload, mutsJSON string, dialect *sqlast.Dial
 		}
 		return err
 	}
-	fmt.Printf("-- applied %d mutation(s) as %d DML statement(s) over a generated %s instance\n",
-		len(batch.Muts), res.Stmts, workload)
+	instance := fmt.Sprintf("a generated %s instance", workload)
+	if dataDir != "" {
+		instance = fmt.Sprintf("the durable %s instance in %s", workload, dataDir)
+	}
+	fmt.Printf("-- applied %d mutation(s) as %d DML statement(s) over %s\n",
+		len(batch.Muts), res.Stmts, instance)
 	for _, stmt := range res.Statements {
 		fmt.Printf("%s;\n", stmt.SQLFor(dialect))
 	}
@@ -570,5 +640,10 @@ func runUpdate(s *schema.Schema, workload, mutsJSON string, dialect *sqlast.Dial
 	}
 	fmt.Printf("-- full audit for comparison: clean=%v (%d tuples in %v)\n",
 		full.Clean(), full.Tuples, full.Elapsed.Round(time.Microsecond))
+	if mgr != nil {
+		st := mgr.Stats()
+		fmt.Printf("-- durably committed: %d record(s), %d log byte(s), last seq %d, %d snapshot(s)\n",
+			st.Records, st.Bytes, st.LastSeq, st.Snapshots)
+	}
 	return nil
 }

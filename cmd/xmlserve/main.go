@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -41,6 +42,7 @@ import (
 	"xmlsql/internal/resilient"
 	"xmlsql/internal/server"
 	"xmlsql/internal/sqlast"
+	"xmlsql/internal/wal"
 )
 
 func main() {
@@ -58,10 +60,16 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "enable cost-based adaptive planning per tenant")
 	useResilient := flag.Bool("resilient", true, "wrap database-backed tenants with the retry/circuit-breaker layer")
 	logRequests := flag.Bool("log-requests", false, "log every served query and shed event")
+	dataDir := flag.String("data-dir", "", "root directory for durable tenants: each tenant recovers from (and write-ahead logs to) <data-dir>/<name>; mem backends only")
+	fsyncEvery := flag.Duration("fsync", 0, "group-commit window for durable tenants' logs; unset or 0 fsyncs every commit")
 	flag.Parse()
 
 	if err := validateFlags(); err != nil {
 		fmt.Fprintf(os.Stderr, "xmlserve: %v\n", err)
+		os.Exit(2)
+	}
+	if *fsyncEvery != 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "xmlserve: -fsync requires -data-dir")
 		os.Exit(2)
 	}
 	if *tenants == "" {
@@ -90,11 +98,17 @@ func main() {
 	})
 
 	for _, spec := range specs {
-		if err := addTenant(srv, spec, *timeout, *cacheSize, *adaptive, *useResilient); err != nil {
+		ten, err := addTenant(srv, spec, *timeout, *cacheSize, *adaptive, *useResilient, *dataDir, *fsyncEvery)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "xmlserve: tenant %s: %v\n", spec.Name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("xmlserve: tenant %s ready (workload %s, backend %s)\n", spec.Name, spec.Workload, spec.Backend)
+		if ri := ten.RecoveryInfo(); ri != nil {
+			fmt.Printf("xmlserve: tenant %s durable in %s: recovery %s (snapshot lsn %d, %d batch(es) replayed in %v, truncated_tail=%v)\n",
+				spec.Name, *dataDir, ten.RecoveryState(), ri.SnapshotLSN,
+				ri.ReplayedBatches, ri.Elapsed.Round(time.Microsecond), ri.TruncatedTail)
+		}
 	}
 
 	if err := srv.Start(); err != nil {
@@ -123,15 +137,40 @@ func main() {
 
 // addTenant materializes one tenant spec: built-in schema, a generated
 // default-sized document, and a loaded mem or fakedb backend (the latter
-// wrapped with the resilient layer when enabled).
-func addTenant(srv *server.Server, spec server.TenantSpec, timeout time.Duration, cacheSize int, adaptive, useResilient bool) error {
+// wrapped with the resilient layer when enabled). With dataDir the tenant is
+// durable: its store recovers from <dataDir>/<name> (first boot shreds the
+// generated document and checkpoints) and commits are write-ahead logged —
+// mem backends only, since a real database is its own durability domain.
+func addTenant(srv *server.Server, spec server.TenantSpec, timeout time.Duration, cacheSize int, adaptive, useResilient bool, dataDir string, fsyncEvery time.Duration) (*server.Tenant, error) {
 	s, err := cli.BuiltinSchema(spec.Workload)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	pc := xmlsql.PlannerConfig{Timeout: timeout, CacheSize: cacheSize}
+	pc.Translate.Adaptive = adaptive
+	if dataDir != "" {
+		if spec.Backend != "" && spec.Backend != "mem" {
+			return nil, fmt.Errorf("-data-dir requires the mem backend, got %q (a database backend owns its own durability)", spec.Backend)
+		}
+		return srv.AddTenant(server.TenantConfig{
+			Name:    spec.Name,
+			Schema:  s,
+			Planner: pc,
+			DataDir: filepath.Join(dataDir, spec.Name),
+			WAL:     wal.Options{SyncEvery: fsyncEvery},
+			Load: func(m *backend.Mem) error {
+				doc, err := cli.GenerateDoc(spec.Workload)
+				if err != nil {
+					return err
+				}
+				_, err = m.Load(s, doc)
+				return err
+			},
+		})
 	}
 	doc, err := cli.GenerateDoc(spec.Workload)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var b xmlsql.Backend
 	switch spec.Backend {
@@ -145,23 +184,20 @@ func addTenant(srv *server.Server, spec server.TenantSpec, timeout time.Duration
 			b = db
 		}
 	default:
-		return fmt.Errorf("unknown backend %q", spec.Backend)
+		return nil, fmt.Errorf("unknown backend %q", spec.Backend)
 	}
 	if err := b.EnsureSchema(s); err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := b.Load(s, doc); err != nil {
-		return err
+		return nil, err
 	}
-	pc := xmlsql.PlannerConfig{Timeout: timeout, CacheSize: cacheSize}
-	pc.Translate.Adaptive = adaptive
-	_, err = srv.AddTenant(server.TenantConfig{
+	return srv.AddTenant(server.TenantConfig{
 		Name:    spec.Name,
 		Schema:  s,
 		Backend: b,
 		Planner: pc,
 	})
-	return err
 }
 
 // validateFlags rejects explicitly-set non-positive serving knobs with exit
@@ -202,6 +238,16 @@ func validateFlags() error {
 		case "cache-size":
 			if v := flag.Lookup("cache-size").Value.(flag.Getter).Get().(int); v <= 0 {
 				err = fmt.Errorf("-cache-size must be positive, got %d", v)
+			}
+		case "data-dir":
+			if v := flag.Lookup("data-dir").Value.String(); v == "" {
+				err = fmt.Errorf("-data-dir must not be empty")
+			} else if mkErr := os.MkdirAll(v, 0o755); mkErr != nil {
+				err = fmt.Errorf("-data-dir %s is not creatable: %v", v, mkErr)
+			}
+		case "fsync":
+			if v := flag.Lookup("fsync").Value.(flag.Getter).Get().(time.Duration); v <= 0 {
+				err = fmt.Errorf("-fsync must be a positive duration (omit it for fsync-per-commit), got %v", v)
 			}
 		}
 	})

@@ -24,11 +24,34 @@ type DML interface {
 	ApplyDML(ctx context.Context, stmts []sqlast.DMLStmt) error
 }
 
+// CommitLog is the durability hook of the Mem backend, implemented by
+// wal.Manager. Commit must make the batch durable (write and fsync, per its
+// sync policy) before returning; an error means the batch never became
+// durable and the caller rolls it back.
+type CommitLog interface {
+	Commit(stmts []sqlast.DMLStmt) error
+}
+
+// SetCommitLog attaches a write-ahead log to the backend: from now on
+// ApplyDML acknowledges a batch only after the log has accepted it. Must be
+// set before the backend starts serving writes.
+func (m *Mem) SetCommitLog(l CommitLog) { m.log = l }
+
 // ApplyDML implements DML for the in-memory backend by interpreting the
 // statements over the store under an undo-log transaction: any failed
 // statement (or context cancellation between statements) rolls the whole
 // batch back.
+//
+// With a CommitLog attached the ordering is apply → log (fsync) → commit:
+// a batch that fails to apply is never logged, and a batch whose log write
+// fails is rolled back before the error is returned — so after a crash the
+// store recovers to exactly the pre-batch state (record absent or torn,
+// truncated on replay) or the post-batch state (record durable), never a
+// torn one. Batches are serialized so record order always matches apply
+// order.
 func (m *Mem) ApplyDML(ctx context.Context, stmts []sqlast.DMLStmt) error {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
 	tx := m.store.Begin()
 	for _, stmt := range stmts {
 		if err := ctx.Err(); err != nil {
@@ -38,6 +61,12 @@ func (m *Mem) ApplyDML(ctx context.Context, stmts []sqlast.DMLStmt) error {
 		if _, err := ApplyStmt(tx, m.store, stmt); err != nil {
 			tx.Rollback()
 			return err
+		}
+	}
+	if m.log != nil {
+		if err := m.log.Commit(stmts); err != nil {
+			tx.Rollback()
+			return fmt.Errorf("backend: commit log: %w", err)
 		}
 	}
 	tx.Commit()

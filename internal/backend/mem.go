@@ -2,6 +2,8 @@ package backend
 
 import (
 	"context"
+	"io"
+	"sync"
 	"sync/atomic"
 
 	"xmlsql/internal/engine"
@@ -18,6 +20,14 @@ import (
 type Mem struct {
 	store *relational.Store
 	opts  engine.Options
+
+	// writeMu serializes ApplyDML batches so that, with a CommitLog
+	// attached, the log's record order always matches apply order (replay
+	// re-applies records in sequence). Readers are not blocked — StoreTx
+	// provides atomicity, not isolation.
+	writeMu sync.Mutex
+	// log, when set, is consulted before a batch commits: see SetCommitLog.
+	log CommitLog
 
 	// Accumulated shared-work memo counters across every Execute, so a
 	// serving layer can report engine-level reuse per backend (and, with
@@ -90,5 +100,12 @@ func (m *Mem) EngineStats() engine.Stats {
 	}
 }
 
-// Close implements Backend; the store is garbage-collected.
-func (m *Mem) Close() error { return nil }
+// Close implements Backend; the store is garbage-collected. An attached
+// CommitLog that is closeable (wal.Manager is) is closed with the backend,
+// flushing any group-commit window.
+func (m *Mem) Close() error {
+	if c, ok := m.log.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

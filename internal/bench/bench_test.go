@@ -70,7 +70,7 @@ func TestRunOnFakeDBBackend(t *testing.T) {
 	if cmp.Backend != "db(sqlite)" {
 		t.Errorf("backend label = %q, want db(sqlite)", cmp.Backend)
 	}
-	rep := bench.BuildReport("xmlsql", 1, []*bench.Comparison{cmp}, nil, nil, nil, nil, nil, nil, nil)
+	rep := bench.BuildReport("xmlsql", 1, []*bench.Comparison{cmp}, nil, nil, nil, nil, nil, nil, nil, nil)
 	if rep.Backend != "db(sqlite)" {
 		t.Errorf("report backend = %q, want db(sqlite)", rep.Backend)
 	}

@@ -43,7 +43,11 @@ type Report struct {
 	// incremental-vs-full audit latency, and post-write hot-query recovery
 	// with scoped cache invalidation.
 	Updates []*UpdateComparison `json:"updates,omitempty"`
-	Summary ReportSummary       `json:"summary"`
+	// Recovery records the durability suite: write-ahead-logged vs volatile
+	// update throughput, log footprint, and cold-recovery (snapshot load +
+	// verified replay) cost.
+	Recovery []*RecoveryComparison `json:"recovery,omitempty"`
+	Summary  ReportSummary         `json:"summary"`
 }
 
 // ReportCase is one experiment case's measurements.
@@ -73,7 +77,7 @@ type ReportSummary struct {
 }
 
 // BuildReport assembles the JSON report from measured comparisons.
-func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison, sharedWork []*SharedWorkComparison, adaptive []*AdaptiveComparison, frontend []*FrontendComparison, updates []*UpdateComparison) *Report {
+func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison, sharedWork []*SharedWorkComparison, adaptive []*AdaptiveComparison, frontend []*FrontendComparison, updates []*UpdateComparison, recovery []*RecoveryComparison) *Report {
 	r := &Report{
 		Name:            name,
 		Scale:           scale,
@@ -86,6 +90,7 @@ func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingC
 		Adaptive:        adaptive,
 		ServingFrontend: frontend,
 		Updates:         updates,
+		Recovery:        recovery,
 		Summary:         ReportSummary{AllVerified: true},
 	}
 	for _, c := range cmps {

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xmlsql/internal/backend"
+	"xmlsql/internal/integrity"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/update"
+	"xmlsql/internal/wal"
+	"xmlsql/internal/workloads"
+)
+
+// RecoveryComparison measures the price and payoff of durability on the
+// XMark update workload: the same batch sequence applied through a volatile
+// applier and through a write-ahead-logged one (every commit fsynced), the
+// log's size counters, and the cost of recovering the instance from disk.
+// Verified means the durable store matched the volatile twin byte for byte
+// after the run, the recovered store matched both after replay, and the
+// incremental audit over the replayed neighborhoods came back clean.
+type RecoveryComparison struct {
+	Workload string `json:"workload"`
+	Tuples   int    `json:"tuples"`
+	Batches  int    `json:"batches"`
+
+	// Batch cost with and without the log in the commit path.
+	// DurableRelative is volatile/durable batch time: 1.0 means free
+	// durability, 0.5 means half the throughput.
+	VolatileBatchNs float64 `json:"volatile_batch_ns"`
+	DurableBatchNs  float64 `json:"durable_batch_ns"`
+	DurableRelative float64 `json:"durable_relative"`
+
+	// Log footprint after the run.
+	WALRecords   int64 `json:"wal_records"`
+	WALBytes     int64 `json:"wal_bytes"`
+	WALSnapshots int64 `json:"wal_snapshots"`
+
+	// Recovery: wall time of a cold Open (snapshot load + replay + index
+	// rebuild), how many batches it replayed, and the recovered row count.
+	ReplayNs        float64 `json:"replay_ns"`
+	ReplayedBatches int     `json:"replayed_batches"`
+	RecoveredRows   int     `json:"recovered_rows"`
+
+	Verified bool `json:"verified"`
+}
+
+// recoveryBatch mirrors the update suite's measured write: one fresh
+// InCategory under every Africa item.
+func recoveryBatch(serial int) update.Batch {
+	return update.Batch{Muts: []update.Mutation{{
+		Op:   update.OpInsert,
+		Path: "/Site/Regions/Africa/Item",
+		XML:  fmt.Sprintf("<InCategory><Category>bench-%d</Category></InCategory>", serial),
+	}}}
+}
+
+// RunRecovery measures durable-vs-volatile update throughput and crash
+// recovery on the XMark workload at the given scale. The durable side runs
+// in a throwaway data directory with fsync-per-commit — the strictest (and
+// slowest) durability setting, so the gate bounds the worst case.
+func RunRecovery(sc Scale) ([]*RecoveryComparison, error) {
+	ctx := context.Background()
+	s := workloads.XMark()
+	cfg := workloads.XMarkConfig{
+		ItemsPerContinent: sc.ItemsPerContinent, CategoriesPerItem: 2, NumCategories: 50, Seed: 1,
+	}
+	cmp := &RecoveryComparison{Workload: "xmark", Verified: true}
+	const batches = 16
+	cmp.Batches = batches
+
+	// Volatile reference: same instance, no log.
+	volStore := relational.NewStore()
+	if _, err := shred.ShredAll(s, volStore, shred.Options{}, workloads.GenerateXMark(cfg)); err != nil {
+		return nil, fmt.Errorf("recovery: shred: %w", err)
+	}
+	volApp, err := update.ForStore(s, volStore, update.Options{})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		if _, err := volApp.Apply(ctx, recoveryBatch(i)); err != nil {
+			return nil, fmt.Errorf("recovery: volatile batch %d: %w", i, err)
+		}
+	}
+	cmp.VolatileBatchNs = float64(time.Since(start).Nanoseconds()) / batches
+
+	// Durable run: same document, same batches, every commit logged and
+	// fsynced before acknowledgement.
+	dir, err := os.MkdirTemp("", "xmlsql-recovery-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	mgr, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("recovery: wal open: %w", err)
+	}
+	if _, err := shred.ShredAll(s, mgr.Store(), shred.Options{}, workloads.GenerateXMark(cfg)); err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	if err := mgr.Checkpoint(); err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	mem := backend.NewMemOn(mgr.Store())
+	mem.SetCommitLog(mgr)
+	durApp, err := update.New(s, integrity.StoreSource(mgr.Store()), integrity.StoreProbe(mgr.Store()), mem, update.Options{})
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < batches; i++ {
+		if _, err := durApp.Apply(ctx, recoveryBatch(i)); err != nil {
+			mgr.Close()
+			return nil, fmt.Errorf("recovery: durable batch %d: %w", i, err)
+		}
+	}
+	cmp.DurableBatchNs = float64(time.Since(start).Nanoseconds()) / batches
+	if cmp.DurableBatchNs > 0 {
+		cmp.DurableRelative = cmp.VolatileBatchNs / cmp.DurableBatchNs
+	}
+	st := mgr.Stats()
+	cmp.WALRecords, cmp.WALBytes, cmp.WALSnapshots = st.Records, st.Bytes, st.Snapshots
+	cmp.Tuples = mgr.Store().TotalRows()
+
+	// Deterministic ids make the two stores byte-comparable.
+	liveDump := mgr.Store().Dump()
+	if liveDump != volStore.Dump() {
+		cmp.Verified = false
+	}
+	if err := mgr.Close(); err != nil {
+		return nil, err
+	}
+
+	// Cold recovery of the directory the run left behind.
+	start = time.Now()
+	mgr2, info2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("recovery: reopen: %w", err)
+	}
+	defer mgr2.Close()
+	cmp.ReplayNs = float64(time.Since(start).Nanoseconds())
+	cmp.ReplayedBatches = info2.ReplayedBatches
+	cmp.RecoveredRows = mgr2.Store().TotalRows()
+	if mgr2.Store().Dump() != liveDump {
+		cmp.Verified = false
+	}
+	if info2.ReplayedBatches > 0 {
+		if !info2.TouchedComplete {
+			cmp.Verified = false
+		} else {
+			rep, err := integrity.AuditIncremental(ctx, integrity.StoreProbe(mgr2.Store()), s, info2.Touched)
+			if err != nil || !rep.Clean() {
+				cmp.Verified = false
+			}
+		}
+	}
+	return []*RecoveryComparison{cmp}, nil
+}
+
+// RecoveryGate returns one error per gate violation: an unverified run
+// (recovered state or audit mismatch), or durable throughput below
+// minRelative of volatile throughput.
+func RecoveryGate(cmps []*RecoveryComparison, minRelative float64) []error {
+	var errs []error
+	for _, c := range cmps {
+		if !c.Verified {
+			errs = append(errs, fmt.Errorf("recovery %s: verification failed (recovered store, twin store, or replay audit mismatch)", c.Workload))
+		}
+		if c.DurableRelative < minRelative {
+			errs = append(errs, fmt.Errorf("recovery %s: durable throughput %.2fx of volatile (gate %.2fx)",
+				c.Workload, c.DurableRelative, minRelative))
+		}
+	}
+	return errs
+}
+
+// FormatRecovery renders the durability table for the benchrunner's stdout
+// report.
+func FormatRecovery(cmps []*RecoveryComparison) string {
+	var b strings.Builder
+	b.WriteString("Durability: write-ahead-logged vs volatile updates, crash recovery\n")
+	fmt.Fprintf(&b, "%-8s %8s %10s %10s %9s %8s %10s %6s %10s %8s %9s\n",
+		"workload", "tuples", "volatile", "durable", "relative", "records", "log-bytes", "snaps", "replay", "batches", "verified")
+	for _, c := range cmps {
+		fmt.Fprintf(&b, "%-8s %8d %10s %10s %8.2fx %8d %10d %6d %10s %8d %9v\n",
+			c.Workload, c.Tuples,
+			time.Duration(c.VolatileBatchNs).Round(time.Microsecond),
+			time.Duration(c.DurableBatchNs).Round(time.Microsecond),
+			c.DurableRelative,
+			c.WALRecords, c.WALBytes, c.WALSnapshots,
+			time.Duration(c.ReplayNs).Round(time.Microsecond),
+			c.ReplayedBatches, c.Verified)
+	}
+	return b.String()
+}

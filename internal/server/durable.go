@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"xmlsql"
+	"xmlsql/internal/backend"
+	"xmlsql/internal/integrity"
+	"xmlsql/internal/wal"
+)
+
+// RecoveryState is a tenant's durability lifecycle, exposed per tenant on
+// /healthz and /stats. Volatile tenants (no DataDir) stay "volatile"; a
+// durable tenant passes through "recovering" while its log replays and lands
+// on one of the terminal states.
+type RecoveryState string
+
+const (
+	// RecoveryVolatile marks a tenant with no write-ahead log.
+	RecoveryVolatile RecoveryState = "volatile"
+	// RecoveryRecovering is the transient state while the snapshot loads,
+	// the log suffix replays, and the verification audit runs.
+	RecoveryRecovering RecoveryState = "recovering"
+	// RecoveryRecovered is the clean terminal state: the log replayed whole
+	// and (if anything was replayed) the audit over the replayed
+	// neighborhoods passed.
+	RecoveryRecovered RecoveryState = "recovered"
+	// RecoveryTruncated means recovery succeeded but the log ended in a torn
+	// or corrupt record that was truncated away; the batch it belonged to was
+	// never acknowledged, so no acknowledged write was lost.
+	RecoveryTruncated RecoveryState = "replay_truncated"
+	// RecoveryViolated means the post-replay audit found violations: the
+	// tenant serves in integrity safe mode until re-audited clean.
+	RecoveryViolated RecoveryState = "replay_violated"
+)
+
+// durableBackend is what openDurable hands back to newTenant: the wired
+// backend plus everything the verification step needs.
+type durableBackend struct {
+	mem  *backend.Mem
+	mgr  *wal.Manager
+	info *wal.RecoveryInfo
+}
+
+// openDurable recovers the tenant's data directory and builds a Mem backend
+// whose commits are logged through the recovered WAL manager. On a first
+// boot (no snapshot) the optional Load hook populates the store and a base
+// checkpoint is taken — the WAL refuses to commit batches before a snapshot
+// exists, so a durable tenant is never in a state its log cannot rebuild.
+func openDurable(cfg TenantConfig) (*durableBackend, error) {
+	mgr, info, err := wal.Open(cfg.DataDir, cfg.WAL)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %q: recover %s: %w", cfg.Name, cfg.DataDir, err)
+	}
+	mem := backend.NewMemOn(mgr.Store())
+	if err := mem.EnsureSchema(cfg.Schema); err != nil {
+		mgr.Close()
+		return nil, fmt.Errorf("server: tenant %q: ensure schema: %w", cfg.Name, err)
+	}
+	if !info.SnapshotLoaded {
+		if cfg.Load != nil {
+			if err := cfg.Load(mem); err != nil {
+				mgr.Close()
+				return nil, fmt.Errorf("server: tenant %q: initial load: %w", cfg.Name, err)
+			}
+		}
+		if err := mgr.Checkpoint(); err != nil {
+			mgr.Close()
+			return nil, fmt.Errorf("server: tenant %q: base checkpoint: %w", cfg.Name, err)
+		}
+	}
+	mem.SetCommitLog(mgr)
+	return &durableBackend{mem: mem, mgr: mgr, info: info}, nil
+}
+
+// verifyReplay is the verified-replay step: a recovery that replayed batches
+// is not trusted until the integrity properties hold over what it touched.
+// With a complete footprint the audit is incremental over the replayed
+// tuples' P1–P3 neighborhoods; an incomplete footprint demands a full audit.
+// A clean audit promotes the planner to verified trust; a dirty one demotes
+// it to violated, which puts serving into integrity safe mode.
+func verifyReplay(p *xmlsql.Planner, s *xmlsql.Schema, d *durableBackend) (RecoveryState, error) {
+	state := RecoveryRecovered
+	if d.info.TruncatedTail {
+		state = RecoveryTruncated
+	}
+	if d.info.ReplayedBatches == 0 {
+		// Pure snapshot state: the snapshot is a byte-level copy of a store
+		// that was already serving, so there is nothing new to verify. Trust
+		// starts wherever the planner's policy puts it.
+		return state, nil
+	}
+	ctx := context.Background()
+	var clean bool
+	if d.info.TouchedComplete {
+		rep, err := integrity.AuditIncremental(ctx, integrity.StoreProbe(d.mgr.Store()), s, d.info.Touched)
+		if err != nil {
+			return "", fmt.Errorf("server: verify replay: %w", err)
+		}
+		clean = rep.Clean()
+	} else {
+		// Audit installs the verdict on the planner itself.
+		rep, err := p.Audit(ctx)
+		if err != nil {
+			return "", fmt.Errorf("server: verify replay: %w", err)
+		}
+		clean = rep.Clean()
+	}
+	if !clean {
+		p.SetTrustState(xmlsql.TrustViolated)
+		return RecoveryViolated, nil
+	}
+	p.SetTrustState(xmlsql.TrustVerified)
+	return state, nil
+}

@@ -1,0 +1,280 @@
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmlsql"
+	"xmlsql/internal/backend"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/server"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/wal"
+	"xmlsql/internal/workloads"
+)
+
+// durableTenantConfig returns a durable xmark tenant over dir whose first
+// boot shreds a small deterministic document.
+func durableTenantConfig(name, dir string) server.TenantConfig {
+	return server.TenantConfig{
+		Name:    name,
+		Schema:  workloads.XMark(),
+		DataDir: dir,
+		Load: func(m *backend.Mem) error {
+			doc := workloads.GenerateXMark(workloads.XMarkConfig{
+				ItemsPerContinent: 3, CategoriesPerItem: 2, NumCategories: 5, Seed: 11,
+			})
+			_, err := m.Load(workloads.XMark(), doc)
+			return err
+		},
+	}
+}
+
+// bootDurable builds a server hosting one durable tenant and mounts its
+// handler, returning both plus a shutdown function that flushes the WAL.
+func bootDurable(t *testing.T, dir string) (*server.Server, *server.Tenant) {
+	t.Helper()
+	srv := server.New(server.Config{Logf: func(string, ...any) {}})
+	ten, err := srv.AddTenant(durableTenantConfig("auctions", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, ten
+}
+
+// mountHandler serves srv's handler on an httptest server, returning its URL.
+func mountHandler(t *testing.T, srv *server.Server) string {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestDurableTenantLifecycle drives a durable tenant through first boot,
+// an acknowledged durable update, a graceful shutdown, and a reboot: the
+// reboot must replay the update, re-verify integrity over what it touched,
+// mark the tenant recovered and verified on /healthz and /stats, and serve
+// the updated data.
+func TestDurableTenantLifecycle(t *testing.T) {
+	dir := t.TempDir()
+
+	srv, ten := bootDurable(t, dir)
+	if got := ten.RecoveryState(); got != server.RecoveryRecovered {
+		t.Fatalf("first boot recovery state = %q, want recovered", got)
+	}
+	if ri := ten.RecoveryInfo(); ri == nil || ri.SnapshotLoaded || ri.ReplayedBatches != 0 {
+		t.Fatalf("first boot RecoveryInfo = %+v, want fresh", ten.RecoveryInfo())
+	}
+
+	ts := mountHandler(t, srv)
+	var ur updateResp
+	resp := postJSON(t, ts+"/update", map[string]any{
+		"tenant": "auctions",
+		"mutations": []map[string]string{{
+			"op":   "insert",
+			"path": "/Site/Regions/Africa/Item",
+			"xml":  "<InCategory><Category>durable</Category></InCategory>",
+		}},
+	}, &ur)
+	if resp.StatusCode != http.StatusOK || !ur.AuditClean {
+		t.Fatalf("durable update: status %d, %+v", resp.StatusCode, ur)
+	}
+
+	var health struct {
+		Recovery map[string]string `json:"recovery"`
+	}
+	getJSON(t, ts+"/healthz", &health)
+	if health.Recovery["auctions"] != string(server.RecoveryRecovered) {
+		t.Fatalf("healthz recovery = %v", health.Recovery)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Reboot on the same directory. Load must not run again (the snapshot
+	// exists), the logged batch must replay, and the incremental audit over
+	// its neighborhood must promote the tenant to verified trust.
+	srv2 := server.New(server.Config{Logf: func(string, ...any) {}})
+	cfg := durableTenantConfig("auctions", dir)
+	cfg.Load = func(*backend.Mem) error {
+		t.Error("Load ran on a reboot with a snapshot on disk")
+		return nil
+	}
+	ten2, err := srv2.AddTenant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown(context.Background())
+	ri := ten2.RecoveryInfo()
+	if !ri.SnapshotLoaded || ri.ReplayedBatches != 1 || ri.TruncatedTail || !ri.TouchedComplete {
+		t.Fatalf("reboot RecoveryInfo = %+v, want snapshot + 1 replayed batch", ri)
+	}
+	if got := ten2.RecoveryState(); got != server.RecoveryRecovered {
+		t.Fatalf("reboot recovery state = %q, want recovered", got)
+	}
+	if got := ten2.Planner().TrustState(); got != xmlsql.TrustVerified {
+		t.Fatalf("post-replay trust = %v, want verified", got)
+	}
+
+	ts2 := mountHandler(t, srv2)
+	var q struct {
+		Rows [][]any `json:"rows"`
+	}
+	getJSON(t, ts2+"/query?tenant=auctions&q=//Item/InCategory/Category", &q)
+	found := false
+	for _, r := range q.Rows {
+		for _, v := range r {
+			if s, ok := v.(string); ok && s == "durable" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("replayed update not served after reboot")
+	}
+
+	var st struct {
+		Tenants map[string]struct {
+			Recovery string `json:"recovery"`
+			Trust    string `json:"trust"`
+		} `json:"tenants"`
+	}
+	getJSON(t, ts2+"/stats", &st)
+	if got := st.Tenants["auctions"]; got.Recovery != "recovered" {
+		t.Fatalf("stats recovery = %+v", got)
+	}
+}
+
+// TestDurableReplayViolatedEntersSafeMode commits a batch that breaks the
+// parent-child integrity properties (a raw DML delete of an Item row whose
+// InCategory children survive — below the update layer, so no cascade), then
+// reboots: replay reproduces the broken store, the verification audit must
+// catch it, and the tenant must come up violated, not verified.
+func TestDurableReplayViolatedEntersSafeMode(t *testing.T) {
+	dir := t.TempDir()
+	srv, ten := bootDurable(t, dir)
+
+	mem := ten.Planner().Backend().(*backend.Mem)
+	items := mem.Store().Table("Item")
+	if items == nil || items.Len() == 0 {
+		t.Fatal("no Item rows after load")
+	}
+	id := items.Rows()[0][0]
+	del := &sqlast.DeleteStmt{
+		Table: "Item",
+		Where: sqlast.Eq(sqlast.ColRef{Table: "Item", Column: schema.IDColumn}, sqlast.Lit{Value: id}),
+	}
+	if err := mem.ApplyDML(context.Background(), []sqlast.DMLStmt{del}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := server.New(server.Config{Logf: func(string, ...any) {}})
+	ten2, err := srv2.AddTenant(durableTenantConfig("auctions", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown(context.Background())
+	if got := ten2.RecoveryState(); got != server.RecoveryViolated {
+		t.Fatalf("recovery state = %q, want replay_violated", got)
+	}
+	if got := ten2.Planner().TrustState(); got != xmlsql.TrustViolated {
+		t.Fatalf("trust = %v, want violated", got)
+	}
+}
+
+// TestDurableTenantRejectsExplicitBackend pins the config contract: a
+// durable store is recovered from its log, never handed in.
+func TestDurableTenantRejectsExplicitBackend(t *testing.T) {
+	srv := server.New(server.Config{Logf: func(string, ...any) {}})
+	cfg := durableTenantConfig("auctions", t.TempDir())
+	cfg.Backend = backend.NewMem()
+	if _, err := srv.AddTenant(cfg); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("AddTenant with DataDir+Backend: err = %v", err)
+	}
+}
+
+// TestDurableGroupCommitFlushedOnShutdown opens the tenant with a very long
+// group-commit window: an update acknowledged inside the window is only in
+// the WAL's buffer, and the server drain must flush it so the reboot replays
+// it. This is the drain-closes-WAL contract under -race as well.
+func TestDurableGroupCommitFlushedOnShutdown(t *testing.T) {
+	dir := t.TempDir()
+	srv := server.New(server.Config{Logf: func(string, ...any) {}})
+	cfg := durableTenantConfig("auctions", dir)
+	cfg.WAL = wal.Options{SyncEvery: 3600e9} // never syncs on its own
+	ten, err := srv.AddTenant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := ten.Planner().Backend().(*backend.Mem)
+	ins := &sqlast.InsertStmt{
+		Table:   "InCat",
+		Columns: []string{schema.IDColumn, schema.ParentIDColumn, "category"},
+		Rows: [][]sqlast.Lit{{
+			sqlast.IntLit(900001),
+			{Value: mem.Store().Table("Item").Rows()[0][0]},
+			{Value: relational.String("window")},
+		}},
+	}
+	if err := mem.ApplyDML(context.Background(), []sqlast.DMLStmt{ins}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ten2 := bootDurable(t, dir)
+	defer srv2.Shutdown(context.Background())
+	if ri := ten2.RecoveryInfo(); ri.ReplayedBatches != 1 {
+		t.Fatalf("replayed %d batches after windowed shutdown, want 1", ri.ReplayedBatches)
+	}
+}
+
+// TestShutdownConcurrent is the idempotence/race contract of Shutdown: many
+// goroutines calling Shutdown and Close concurrently must all block until
+// the one real drain finishes and then observe the same answer; run under
+// -race this also proves the drain body is entered exactly once.
+func TestShutdownConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := bootDurable(t, dir)
+
+	const callers = 8
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				errs[i] = srv.Shutdown(context.Background())
+			} else {
+				errs[i] = srv.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != errs[0] {
+			t.Fatalf("caller %d got %v, caller 0 got %v", i, err, errs[0])
+		}
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	// A late call returns immediately with the stored result, and the WAL is
+	// closed exactly once underneath (a double-close would error).
+	if err := srv.Close(); err != nil {
+		t.Fatalf("post-drain Close: %v", err)
+	}
+	if !srv.Draining() {
+		t.Error("server not draining after concurrent shutdown")
+	}
+}

@@ -48,11 +48,15 @@ type errorBody struct {
 	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
 }
 
-// healthResponse is GET /healthz.
+// healthResponse is GET /healthz. Recovery maps each tenant to its
+// durability lifecycle state (recovering | recovered | replay_truncated |
+// replay_violated, or volatile for tenants without a write-ahead log), so a
+// load balancer can tell a booted-but-unverified instance from a healthy one.
 type healthResponse struct {
-	Status   string `json:"status"`
-	Tenants  int    `json:"tenants"`
-	UptimeMs int64  `json:"uptime_ms"`
+	Status   string                   `json:"status"`
+	Tenants  int                      `json:"tenants"`
+	UptimeMs int64                    `json:"uptime_ms"`
+	Recovery map[string]RecoveryState `json:"recovery,omitempty"`
 }
 
 // ServerStats is GET /stats: process-wide connection/drain counters plus the
@@ -349,7 +353,16 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := healthResponse{Status: "ok", Tenants: len(s.tenantNames()), UptimeMs: time.Since(s.start).Milliseconds()}
+	names := s.tenantNames()
+	resp := healthResponse{Status: "ok", Tenants: len(names), UptimeMs: time.Since(s.start).Milliseconds()}
+	if len(names) > 0 {
+		resp.Recovery = make(map[string]RecoveryState, len(names))
+		for _, name := range names {
+			if t := s.Tenant(name); t != nil {
+				resp.Recovery[name] = t.RecoveryState()
+			}
+		}
+	}
 	code := http.StatusOK
 	if s.draining.Load() {
 		resp.Status = "draining"

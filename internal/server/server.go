@@ -93,8 +93,15 @@ type Server struct {
 	lineWG       sync.WaitGroup
 	acceptWG     sync.WaitGroup
 	draining     atomic.Bool
-	closed       atomic.Bool
 	shedDraining atomic.Int64
+
+	// Shutdown is single-shot: the first caller runs the drain, every
+	// concurrent or later caller blocks on shutdownDone and shares the
+	// stored error. sync.Once (not an atomic swap) so "safe to call more
+	// than once" also means "returns only after the drain finished".
+	shutdownOnce sync.Once
+	shutdownDone chan struct{}
+	shutdownErr  error
 }
 
 // New creates a Server; add tenants with AddTenant, then Start it (or mount
@@ -110,11 +117,12 @@ func New(cfg Config) *Server {
 		cfg.Logf = log.Printf
 	}
 	s := &Server{
-		cfg:       cfg,
-		tenants:   make(map[string]*Tenant),
-		conns:     newConnLimiter(cfg.MaxConns),
-		lineConns: make(map[net.Conn]struct{}),
-		start:     time.Now(),
+		cfg:          cfg,
+		tenants:      make(map[string]*Tenant),
+		conns:        newConnLimiter(cfg.MaxConns),
+		lineConns:    make(map[net.Conn]struct{}),
+		start:        time.Now(),
+		shutdownDone: make(chan struct{}),
 	}
 	s.mux = s.buildMux()
 	return s
@@ -263,12 +271,21 @@ func (s *Server) executeUpdate(ctx context.Context, t *Tenant, b xmlsql.UpdateBa
 
 // Shutdown drains the server gracefully: new work is refused with typed
 // draining responses, listeners stop accepting, in-flight queries run to
-// completion, and only when ctx expires are the survivors cut off. Safe to
-// call more than once.
+// completion, durable tenants flush and close their write-ahead logs, and
+// only when ctx expires are the survivors cut off. Safe to call from any
+// number of goroutines: exactly one runs the drain, the rest block until it
+// finishes and return the same error.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.closed.Swap(true) {
-		return nil
-	}
+	s.shutdownOnce.Do(func() {
+		defer close(s.shutdownDone)
+		s.shutdownErr = s.drain(ctx)
+	})
+	<-s.shutdownDone
+	return s.shutdownErr
+}
+
+// drain is the single-shot body of Shutdown.
+func (s *Server) drain(ctx context.Context) error {
 	s.draining.Store(true)
 	var err error
 	if s.httpSrv != nil {
@@ -302,6 +319,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.acceptWG.Wait()
+	// With the front ends quiet, flush and close every durable tenant's log
+	// so a group-commit window still in memory reaches disk before exit.
+	for _, name := range s.tenantNames() {
+		if t := s.Tenant(name); t != nil {
+			if e := t.closeDurable(); e != nil {
+				err = errors.Join(err, fmt.Errorf("tenant %s: close wal: %w", name, e))
+			}
+		}
+	}
 	s.logSummary()
 	return err
 }

@@ -11,6 +11,7 @@ import (
 	"xmlsql"
 	"xmlsql/internal/backend"
 	"xmlsql/internal/resilient"
+	"xmlsql/internal/wal"
 )
 
 // Limits is the per-tenant admission-control configuration. The zero value
@@ -55,6 +56,20 @@ type TenantConfig struct {
 	Planner xmlsql.PlannerConfig
 	// Limits overrides the server's default per-tenant admission limits.
 	Limits *Limits
+
+	// DataDir, when set, makes the tenant durable: its store is recovered
+	// from the write-ahead log in this directory on boot, and every update
+	// batch is logged (and fsynced, per WAL's sync policy) before it is
+	// acknowledged. Mutually exclusive with Backend — a durable store is
+	// rebuilt from its log, not handed in.
+	DataDir string
+	// WAL tunes the durable tenant's log (group-commit window, snapshot
+	// cadence). Ignored unless DataDir is set.
+	WAL wal.Options
+	// Load populates a durable tenant's store on first boot (no snapshot on
+	// disk yet); after it returns, a base checkpoint is written. Ignored
+	// unless DataDir is set; nil starts the tenant empty.
+	Load func(*backend.Mem) error
 }
 
 // Tenant is one hosted mapping: a private planner (its own plan cache,
@@ -69,6 +84,11 @@ type Tenant struct {
 	limits  Limits
 	bucket  *tokenBucket
 	sem     chan struct{}
+
+	// Durability (nil / zero for volatile tenants).
+	wal          *wal.Manager
+	recoveryInfo *wal.RecoveryInfo
+	recovery     atomic.Value // RecoveryState
 
 	queries      atomic.Int64
 	errors       atomic.Int64
@@ -94,12 +114,35 @@ func newTenant(cfg TenantConfig, defaults Limits) (*Tenant, error) {
 	if cfg.Backend != nil {
 		pc.Backend = cfg.Backend
 	}
+	var db *durableBackend
+	if cfg.DataDir != "" {
+		if cfg.Backend != nil {
+			return nil, fmt.Errorf("server: tenant %q: DataDir and Backend are mutually exclusive (a durable store is recovered from its log)", cfg.Name)
+		}
+		var err error
+		if db, err = openDurable(cfg); err != nil {
+			return nil, err
+		}
+		pc.Backend = db.mem
+	}
 	t := &Tenant{
 		name:    cfg.Name,
 		planner: xmlsql.NewPlannerWith(cfg.Schema, pc),
 		limits:  limits,
 		bucket:  newTokenBucket(limits.RatePerSec, limits.Burst),
 		sem:     make(chan struct{}, limits.MaxInFlight),
+	}
+	t.recovery.Store(RecoveryVolatile)
+	if db != nil {
+		t.wal = db.mgr
+		t.recoveryInfo = db.info
+		t.recovery.Store(RecoveryRecovering)
+		state, err := verifyReplay(t.planner, cfg.Schema, db)
+		if err != nil {
+			db.mgr.Close()
+			return nil, err
+		}
+		t.recovery.Store(state)
 	}
 	return t, nil
 }
@@ -109,6 +152,28 @@ func (t *Tenant) Name() string { return t.name }
 
 // Planner exposes the tenant's private planner (audits, explain, tests).
 func (t *Tenant) Planner() *xmlsql.Planner { return t.planner }
+
+// RecoveryState reports the tenant's durability lifecycle state.
+func (t *Tenant) RecoveryState() RecoveryState {
+	return t.recovery.Load().(RecoveryState)
+}
+
+// RecoveryInfo returns what boot-time recovery found (nil for volatile
+// tenants): snapshot LSN, replayed batch count, truncation, elapsed time.
+func (t *Tenant) RecoveryInfo() *wal.RecoveryInfo { return t.recoveryInfo }
+
+// WAL exposes the tenant's log manager (nil for volatile tenants) so tests
+// and operators can force checkpoints or read durability counters.
+func (t *Tenant) WAL() *wal.Manager { return t.wal }
+
+// closeDurable flushes and closes the tenant's WAL, releasing any
+// group-commit window to disk. No-op for volatile tenants; idempotent.
+func (t *Tenant) closeDurable() error {
+	if t.wal == nil {
+		return nil
+	}
+	return t.wal.Close()
+}
 
 // admit runs the per-tenant admission stages in order — token bucket, then
 // bounded in-flight semaphore — returning a release function on success and
@@ -210,6 +275,9 @@ type TenantStats struct {
 	Updates         int64  `json:"updates"`
 	UpdateRejects   int64  `json:"update_rejects"`
 	Trust           string `json:"trust"`
+	// Recovery is the durability lifecycle state ("volatile" when the tenant
+	// has no write-ahead log).
+	Recovery string `json:"recovery"`
 
 	Engine    *EngineStats     `json:"engine,omitempty"`
 	Resilient *resilient.Stats `json:"resilient,omitempty"`
@@ -236,6 +304,7 @@ func (t *Tenant) Stats() TenantStats {
 		Updates:         ps.Updates,
 		UpdateRejects:   ps.UpdateRejects,
 		Trust:           ps.Trust.String(),
+		Recovery:        string(t.RecoveryState()),
 		Limits:          t.limits,
 	}
 	if q := st.Queries; q > 0 {

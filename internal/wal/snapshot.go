@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"xmlsql/internal/relational"
+)
+
+// A snapshot file is one checksummed blob: the whole store (catalog and
+// rows) plus the sequence number of the last record it covers. It is
+// written to a temp file, fsynced, and atomically renamed into place, so a
+// snapshot either exists completely or not at all; the checksum catches the
+// remaining failure mode (a torn write that somehow survived the rename
+// protocol, or later media corruption), in which case recovery falls back
+// to the previous snapshot and a longer replay.
+
+var snapshotMagic = []byte("XSQSNAP1")
+
+func frameSnapshot(payload []byte) []byte {
+	out := make([]byte, 0, len(snapshotMagic)+8+len(payload))
+	out = append(out, snapshotMagic...)
+	out = appendU32(out, uint32(len(payload)))
+	out = appendU32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// encodeSnapshot serializes the full store. Tables are emitted in sorted
+// name order; rows in current table order (order is irrelevant — recovery
+// re-inserts and re-indexes).
+func encodeSnapshot(store *relational.Store, lsn uint64) []byte {
+	var e encoder
+	e.uvarint(lsn)
+	names := store.TableNames()
+	e.uvarint(uint64(len(names)))
+	for _, name := range names {
+		t := store.Table(name)
+		ts := t.Schema()
+		e.str(ts.Name)
+		e.str(ts.PrimaryKey)
+		e.uvarint(uint64(len(ts.Columns)))
+		for _, c := range ts.Columns {
+			e.str(c.Name)
+			e.byte(byte(c.Kind))
+		}
+		rows := t.Rows()
+		e.uvarint(uint64(len(rows)))
+		for _, r := range rows {
+			for _, v := range r {
+				e.value(v)
+			}
+		}
+	}
+	return e.b
+}
+
+func decodeSnapshot(payload []byte) (*relational.Store, uint64, error) {
+	d := &decoder{buf: payload}
+	lsn := d.uvarint()
+	store := relational.NewStore()
+	nt := d.count()
+	for i := 0; i < nt && d.err == nil; i++ {
+		ts := &relational.TableSchema{Name: d.str(), PrimaryKey: d.str()}
+		nc := d.count()
+		for j := 0; j < nc && d.err == nil; j++ {
+			ts.Columns = append(ts.Columns, relational.Column{Name: d.str(), Kind: relational.Kind(d.byte())})
+		}
+		if d.err != nil {
+			break
+		}
+		t, err := store.CreateTable(ts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: snapshot: %w", err)
+		}
+		nr := d.count()
+		for j := 0; j < nr && d.err == nil; j++ {
+			row := make(relational.Row, nc)
+			for k := range row {
+				row[k] = d.value()
+			}
+			if d.err != nil {
+				break
+			}
+			if err := t.Insert(row); err != nil {
+				return nil, 0, fmt.Errorf("wal: snapshot: table %s: %w", ts.Name, err)
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if d.off != len(payload) {
+		return nil, 0, fmt.Errorf("wal: snapshot: %d trailing bytes", len(payload)-d.off)
+	}
+	return store, lsn, nil
+}
+
+// readSnapshot loads and validates one snapshot file.
+func readSnapshot(path string) (*relational.Store, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < len(snapshotMagic)+8 || string(data[:len(snapshotMagic)]) != string(snapshotMagic) {
+		return nil, 0, fmt.Errorf("wal: snapshot %s: bad header", path)
+	}
+	n := readU32(data[len(snapshotMagic):])
+	crc := readU32(data[len(snapshotMagic)+4:])
+	payload := data[len(snapshotMagic)+8:]
+	if uint32(len(payload)) != n {
+		return nil, 0, fmt.Errorf("wal: snapshot %s: truncated (%d of %d payload bytes)", path, len(payload), n)
+	}
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, 0, fmt.Errorf("wal: snapshot %s: checksum mismatch", path)
+	}
+	return decodeSnapshot(payload)
+}

@@ -1,0 +1,468 @@
+package wal_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xmlsql/internal/backend"
+	"xmlsql/internal/integrity"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/update"
+	"xmlsql/internal/wal"
+	"xmlsql/internal/workloads"
+)
+
+var xmarkCfg = workloads.XMarkConfig{ItemsPerContinent: 3, CategoriesPerItem: 1, NumCategories: 5, Seed: 7}
+
+// durable is one durable tenant under test: a recovered store, the log that
+// owns it, and an update applier whose DML path acknowledges through the log.
+type durable struct {
+	mgr  *wal.Manager
+	mem  *backend.Mem
+	s    *schema.Schema
+	app  *update.Applier
+	info *wal.RecoveryInfo
+}
+
+// openDurable opens (or boots) an xmark tenant in dir. On first boot it
+// shreds the deterministic generated document and checkpoints, exactly as a
+// server would.
+func openDurable(t *testing.T, dir string, opts wal.Options) *durable {
+	t.Helper()
+	mgr, info, err := wal.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	s := workloads.XMark()
+	store := mgr.Store()
+	if !info.SnapshotLoaded {
+		if _, err := shred.ShredAll(s, store, shred.Options{}, workloads.GenerateXMark(xmarkCfg)); err != nil {
+			t.Fatalf("shred: %v", err)
+		}
+		if err := mgr.Checkpoint(); err != nil {
+			t.Fatalf("bootstrap checkpoint: %v", err)
+		}
+	}
+	mem := backend.NewMemOn(store)
+	mem.SetCommitLog(mgr)
+	app, err := update.New(s, integrity.StoreSource(store), integrity.StoreProbe(store), mem, update.Options{})
+	if err != nil {
+		t.Fatalf("update.New: %v", err)
+	}
+	return &durable{mgr: mgr, mem: mem, s: s, app: app, info: info}
+}
+
+// volatileReference builds the same xmark instance without any log, for
+// differential comparison: ids and batch effects are deterministic, so
+// applying the same mutations yields byte-identical dumps.
+func volatileReference(t *testing.T) (*update.Applier, *relational.Store) {
+	t.Helper()
+	s := workloads.XMark()
+	store := relational.NewStore()
+	if _, err := shred.ShredAll(s, store, shred.Options{}, workloads.GenerateXMark(xmarkCfg)); err != nil {
+		t.Fatalf("shred: %v", err)
+	}
+	app, err := update.ForStore(s, store, update.Options{})
+	if err != nil {
+		t.Fatalf("update.ForStore: %v", err)
+	}
+	return app, store
+}
+
+func insertBatch(n int) update.Batch {
+	return update.Batch{Muts: []update.Mutation{{
+		Op:   update.OpInsert,
+		Path: "/Site/Regions/Africa/Item",
+		XML:  fmt.Sprintf("<InCategory><Category>wal-%d</Category></InCategory>", n),
+	}}}
+}
+
+func apply(t *testing.T, app *update.Applier, b update.Batch) {
+	t.Helper()
+	if _, err := app.Apply(context.Background(), b); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+}
+
+func auditClean(t *testing.T, s *schema.Schema, store *relational.Store, touched integrity.Touched) {
+	t.Helper()
+	rep, err := integrity.AuditIncremental(context.Background(), integrity.StoreProbe(store), s, touched)
+	if err != nil {
+		t.Fatalf("incremental audit: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("incremental audit dirty after replay: %s", rep)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	id := sqlast.ColRef{Table: "Item", Column: schema.IDColumn}
+	batches := [][]sqlast.DMLStmt{
+		{&sqlast.InsertStmt{
+			Table:   "Item",
+			Columns: []string{"id", "parentid", "name"},
+			Rows: [][]sqlast.Lit{
+				{sqlast.IntLit(1), sqlast.IntLit(0), {Value: relational.String("x")}},
+				{sqlast.IntLit(2), {Value: relational.Null}, {Value: relational.String("")}},
+			},
+		}},
+		{&sqlast.DeleteStmt{Table: "Item", Where: sqlast.Eq(id, sqlast.IntLit(5))}},
+		{&sqlast.DeleteStmt{Table: "Item", Where: sqlast.In{Left: id, List: []sqlast.Lit{sqlast.IntLit(1), sqlast.IntLit(9)}}}},
+		{&sqlast.UpdateStmt{
+			Table: "Item",
+			Set:   []sqlast.Assign{{Column: "name", Value: sqlast.Lit{Value: relational.String("y'z")}}},
+			Where: sqlast.And{Kids: []sqlast.Expr{
+				sqlast.Eq(id, sqlast.IntLit(3)),
+				sqlast.Or{Kids: []sqlast.Expr{
+					sqlast.IsNull{Left: sqlast.ColRef{Table: "Item", Column: "name"}},
+					sqlast.Cmp{Op: sqlast.OpNe, Left: sqlast.ColRef{Column: "name"}, Right: sqlast.Lit{Value: relational.String("q")}},
+				}},
+			}},
+		}},
+		{&sqlast.DeleteStmt{Table: "Item", Where: nil}},
+		{},
+	}
+	for i, stmts := range batches {
+		body, err := wal.EncodeBatch(stmts)
+		if err != nil {
+			t.Fatalf("batch %d: encode: %v", i, err)
+		}
+		got, err := wal.DecodeBatch(body)
+		if err != nil {
+			t.Fatalf("batch %d: decode: %v", i, err)
+		}
+		if len(got) != len(stmts) {
+			t.Fatalf("batch %d: %d stmts, want %d", i, len(got), len(stmts))
+		}
+		for j := range stmts {
+			if sqlast.DMLString(got[j]) != sqlast.DMLString(stmts[j]) {
+				t.Errorf("batch %d stmt %d:\n got %s\nwant %s", i, j, sqlast.DMLString(got[j]), sqlast.DMLString(stmts[j]))
+			}
+		}
+	}
+	if _, err := wal.DecodeBatch([]byte{0x02, 0x01}); err == nil {
+		t.Fatal("decode of truncated body succeeded")
+	}
+}
+
+func TestTouchedFromStmts(t *testing.T) {
+	id := sqlast.ColRef{Table: "Item", Column: schema.IDColumn}
+	touched, ok := wal.TouchedFromStmts([]sqlast.DMLStmt{
+		&sqlast.InsertStmt{Table: "Item", Columns: []string{"id", "name"},
+			Rows: [][]sqlast.Lit{{sqlast.IntLit(10), {Value: relational.String("a")}}}},
+		&sqlast.DeleteStmt{Table: "InCat", Where: sqlast.In{Left: sqlast.ColRef{Column: schema.IDColumn}, List: []sqlast.Lit{sqlast.IntLit(3), sqlast.IntLit(4)}}},
+		&sqlast.UpdateStmt{Table: "Item", Set: []sqlast.Assign{{Column: "name", Value: sqlast.Lit{Value: relational.String("b")}}},
+			Where: sqlast.And{Kids: []sqlast.Expr{sqlast.Eq(id, sqlast.IntLit(7)), sqlast.IsNull{Left: sqlast.ColRef{Column: "name"}}}}},
+	})
+	if !ok {
+		t.Fatal("footprint reported incomplete")
+	}
+	if len(touched.Written) != 2 || len(touched.Deleted) != 2 {
+		t.Fatalf("touched = %+v, want 2 written + 2 deleted", touched)
+	}
+
+	// An insert without the id column cannot contribute a footprint.
+	_, ok = wal.TouchedFromStmts([]sqlast.DMLStmt{
+		&sqlast.InsertStmt{Table: "Item", Columns: []string{"name"}, Rows: [][]sqlast.Lit{{{Value: relational.String("x")}}}},
+	})
+	if ok {
+		t.Fatal("id-less insert reported complete")
+	}
+	// A predicate not anchored on id either.
+	_, ok = wal.TouchedFromStmts([]sqlast.DMLStmt{
+		&sqlast.DeleteStmt{Table: "Item", Where: sqlast.Eq(sqlast.ColRef{Column: "name"}, sqlast.Lit{Value: relational.String("x")})},
+	})
+	if ok {
+		t.Fatal("name-scoped delete reported complete")
+	}
+}
+
+func TestBootstrapAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir, wal.Options{})
+	if d.info.SnapshotLoaded {
+		t.Fatal("fresh dir reported a snapshot")
+	}
+	want := d.mgr.Store().Dump()
+	if err := d.mgr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d2 := openDurable(t, dir, wal.Options{})
+	defer d2.mgr.Close()
+	if !d2.info.SnapshotLoaded {
+		t.Fatal("reopen found no snapshot")
+	}
+	if d2.info.ReplayedBatches != 0 {
+		t.Fatalf("replayed %d batches, want 0", d2.info.ReplayedBatches)
+	}
+	if got := d2.mgr.Store().Dump(); got != want {
+		t.Fatal("recovered store differs from bootstrapped store")
+	}
+}
+
+func TestCommitRequiresSnapshot(t *testing.T) {
+	mgr, _, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	defer mgr.Close()
+	err = mgr.Commit([]sqlast.DMLStmt{&sqlast.DeleteStmt{Table: "T"}})
+	if !errors.Is(err, wal.ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+// TestReplayAfterKill is the happy recovery path: commit batches, "kill"
+// the process (no Close, no final checkpoint), reopen, and require the
+// replayed store byte-identical to the live one, with a clean incremental
+// audit over the replayed footprint.
+func TestReplayAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir, wal.Options{SnapshotEvery: -1})
+	const batches = 5
+	for i := 0; i < batches; i++ {
+		apply(t, d.app, insertBatch(i))
+	}
+	want := d.mgr.Store().Dump()
+	// Process dies here: the manager is abandoned without Close. Records
+	// were fsynced per commit, so nothing is lost.
+
+	d2 := openDurable(t, dir, wal.Options{})
+	defer d2.mgr.Close()
+	if d2.info.ReplayedBatches != batches {
+		t.Fatalf("replayed %d batches, want %d", d2.info.ReplayedBatches, batches)
+	}
+	if d2.info.TruncatedTail {
+		t.Fatal("clean log reported a truncated tail")
+	}
+	if !d2.info.TouchedComplete {
+		t.Fatal("footprint incomplete for id-scoped batches")
+	}
+	if len(d2.info.Touched.Written) == 0 {
+		t.Fatal("no written tuples in replay footprint")
+	}
+	if got := d2.mgr.Store().Dump(); got != want {
+		t.Fatal("recovered store differs from pre-kill store")
+	}
+	auditClean(t, d2.s, d2.mgr.Store(), d2.info.Touched)
+
+	// The recovered tenant keeps working durably.
+	apply(t, d2.app, insertBatch(99))
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir, wal.Options{SnapshotEvery: -1})
+	apply(t, d.app, insertBatch(0))
+	want := d.mgr.Store().Dump()
+	if err := d.mgr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Append garbage to the tail segment: a torn record a crash mid-write
+	// would leave.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	tail := segs[len(segs)-1]
+	f, err := os.OpenFile(tail, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x55, 0x01, 0, 0, 0xde, 0xad, 0xbe})
+	f.Close()
+
+	d2 := openDurable(t, dir, wal.Options{})
+	defer d2.mgr.Close()
+	if !d2.info.TruncatedTail {
+		t.Fatal("torn tail not reported")
+	}
+	if d2.info.ReplayedBatches != 1 {
+		t.Fatalf("replayed %d batches, want 1", d2.info.ReplayedBatches)
+	}
+	if got := d2.mgr.Store().Dump(); got != want {
+		t.Fatal("recovered store differs after tail truncation")
+	}
+	// The truncated file must be physically clean: committing and
+	// re-opening again replays without another truncation.
+	apply(t, d2.app, insertBatch(1))
+	want2 := d2.mgr.Store().Dump()
+	d3 := openDurable(t, dir, wal.Options{})
+	defer d3.mgr.Close()
+	if d3.info.TruncatedTail {
+		t.Fatal("tail still torn after truncation")
+	}
+	if got := d3.mgr.Store().Dump(); got != want2 {
+		t.Fatal("second recovery differs")
+	}
+}
+
+// TestCorruptSnapshotFallsBackToOlder corrupts the newest snapshot while an
+// older snapshot plus the full segment chain between them are present (the
+// debris a crash between snapshot rename and rotation can leave): recovery
+// must skip the bad snapshot and reconstruct the same state from the older
+// one plus a longer replay.
+func TestCorruptSnapshotFallsBackToOlder(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir, wal.Options{SnapshotEvery: -1})
+	apply(t, d.app, insertBatch(0))
+	apply(t, d.app, insertBatch(1))
+	want := d.mgr.Store().Dump()
+	if err := d.mgr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Save the pre-checkpoint state: old snapshot + the segment holding
+	// both records.
+	saved := map[string][]byte{}
+	for _, pat := range []string{"snap-*.snap", "wal-*.log"} {
+		paths, _ := filepath.Glob(filepath.Join(dir, pat))
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			saved[filepath.Base(p)] = data
+		}
+	}
+
+	d2 := openDurable(t, dir, wal.Options{SnapshotEvery: -1})
+	if err := d2.mgr.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := d2.mgr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Corrupt the new snapshot and restore the old files alongside it.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %v, want exactly 1 after rotation", snaps)
+	}
+	data, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, content := range saved {
+		if err := os.WriteFile(filepath.Join(dir, name), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d3 := openDurable(t, dir, wal.Options{})
+	defer d3.mgr.Close()
+	if d3.info.SkippedSnapshots != 1 {
+		t.Fatalf("skipped snapshots = %d, want 1", d3.info.SkippedSnapshots)
+	}
+	if d3.info.ReplayedBatches != 2 {
+		t.Fatalf("replayed %d batches, want 2 from the older snapshot", d3.info.ReplayedBatches)
+	}
+	if got := d3.mgr.Store().Dump(); got != want {
+		t.Fatal("fallback recovery differs from the original state")
+	}
+	auditClean(t, d3.s, d3.mgr.Store(), d3.info.Touched)
+}
+
+func TestSnapshotRotationGC(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir, wal.Options{SnapshotEvery: 2})
+	for i := 0; i < 7; i++ {
+		apply(t, d.app, insertBatch(i))
+	}
+	want := d.mgr.Store().Dump()
+	st := d.mgr.Stats()
+	if st.Snapshots < 3 {
+		t.Fatalf("snapshots = %d, want >= 3 with SnapshotEvery=2", st.Snapshots)
+	}
+	if err := d.mgr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots on disk = %d, want 1 (older ones GC'd)", len(snaps))
+	}
+	if len(segs) != 1 {
+		t.Fatalf("segments on disk = %d, want 1 (older ones GC'd)", len(segs))
+	}
+
+	d2 := openDurable(t, dir, wal.Options{})
+	defer d2.mgr.Close()
+	if d2.info.ReplayedBatches > 2 {
+		t.Fatalf("replayed %d batches, want <= 2 (snapshot bounds the suffix)", d2.info.ReplayedBatches)
+	}
+	if got := d2.mgr.Store().Dump(); got != want {
+		t.Fatal("recovered store differs after rotation")
+	}
+}
+
+// TestGroupCommitWindow exercises SyncEvery > 0: acknowledged batches live
+// in the commit buffer until a sync point, so a kill before the window
+// flushes loses them atomically (pre-batch state), while Sync makes them
+// durable.
+func TestGroupCommitWindow(t *testing.T) {
+	dir := t.TempDir()
+	d := openDurable(t, dir, wal.Options{SyncEvery: time.Hour, SnapshotEvery: -1})
+	pre := d.mgr.Store().Dump()
+	apply(t, d.app, insertBatch(0))
+	// Kill before the syncer ever runs: the record is still buffered.
+	d2 := openDurable(t, dir, wal.Options{})
+	if d2.info.ReplayedBatches != 0 {
+		t.Fatalf("replayed %d batches, want 0 (unsynced window lost)", d2.info.ReplayedBatches)
+	}
+	if got := d2.mgr.Store().Dump(); got != pre {
+		t.Fatal("recovered store is not the pre-window state")
+	}
+	d2.mgr.Close()
+
+	// Same again, but Sync before the kill: the batch survives.
+	dir2 := t.TempDir()
+	d3 := openDurable(t, dir2, wal.Options{SyncEvery: time.Hour, SnapshotEvery: -1})
+	apply(t, d3.app, insertBatch(0))
+	want := d3.mgr.Store().Dump()
+	if err := d3.mgr.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	d4 := openDurable(t, dir2, wal.Options{})
+	defer d4.mgr.Close()
+	if d4.info.ReplayedBatches != 1 {
+		t.Fatalf("replayed %d batches, want 1 after Sync", d4.info.ReplayedBatches)
+	}
+	if got := d4.mgr.Store().Dump(); got != want {
+		t.Fatal("recovered store differs after synced window")
+	}
+}
+
+// TestCloseStopsFastSyncer pins a shutdown liveness bug: with a short
+// group-commit window the syncer goroutine re-enters its select between
+// ticks, and Close (which nils the stop-channel field before waiting) must
+// still be able to stop it — a syncer selecting on the nil field would
+// block Close forever.
+func TestCloseStopsFastSyncer(t *testing.T) {
+	d := openDurable(t, t.TempDir(), wal.Options{SyncEvery: time.Millisecond, SnapshotEvery: -1})
+	apply(t, d.app, insertBatch(0))
+	time.Sleep(10 * time.Millisecond) // let the syncer tick a few times
+	done := make(chan error, 1)
+	go func() { done <- d.mgr.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung: syncer goroutine not stopped")
+	}
+}
