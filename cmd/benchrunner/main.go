@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	benchrunner [-scale N] [-backend mem|fakedb] [-details] [-ablations] [-serving=false] [-chaos=false] [-json FILE]
+//	benchrunner [-scale N] [-backend mem|fakedb] [-details] [-ablations] [-serving=false] [-chaos=false] [-sharded] [-json FILE]
 package main
 
 import (
@@ -39,13 +39,13 @@ func validateFlags() error {
 			if v := get().(time.Duration); v <= 0 {
 				err = fmt.Errorf("-%s must be a positive duration, got %v", f.Name, v)
 			}
-		case "frontend-overload-max-p99x", "frontend-over-rate", "updates-min-audit-speedup", "recovery-min-relative":
+		case "frontend-overload-max-p99x", "frontend-over-rate", "updates-min-audit-speedup", "recovery-min-relative", "sharded-min-speedup":
 			if v := get().(float64); v <= 0 {
 				err = fmt.Errorf("-%s must be positive, got %v", f.Name, v)
 			}
-		case "scale":
+		case "scale", "sharded-gate-shards":
 			if v := get().(int); v <= 0 {
-				err = fmt.Errorf("-scale must be positive, got %d", v)
+				err = fmt.Errorf("-%s must be positive, got %d", f.Name, v)
 			}
 		}
 	})
@@ -75,6 +75,9 @@ func main() {
 	updatesGate := flag.Float64("updates-min-audit-speedup", 5.0, "fail if the incremental audit is not at least this many times faster than a full audit after a write")
 	recovery := flag.Bool("recovery", true, "also run the durability suite (write-ahead-logged vs volatile update throughput, cold recovery with verified replay)")
 	recoveryGate := flag.Float64("recovery-min-relative", 0.5, "fail if durable (fsync-per-commit) update throughput falls below this fraction of volatile throughput")
+	shardedSuite := flag.Bool("sharded", false, "also run the sharded scatter-gather suite (shard-count sweeps at scale=10/100 with differential verification and the mixed read/write serving comparison)")
+	shardedGateShards := flag.Int("sharded-gate-shards", 4, "the shard count the sharded mixed-serving gate applies to")
+	shardedGateSpeedup := flag.Float64("sharded-min-speedup", 1.5, "fail if the gated shard count's mixed-serving speedup over the single store falls below this at the largest measured scale")
 	backendName := flag.String("backend", "mem", "where measured queries run: mem (in-memory engine) or fakedb (database/sql over the in-repo fake driver)")
 	jsonPath := flag.String("json", "", "write the comparison table as JSON to this file (\"-\" for stdout)")
 	flag.Parse()
@@ -251,8 +254,41 @@ func main() {
 		}
 	}
 
+	var shr *bench.ShardedReport
+	if *shardedSuite {
+		shr, err = bench.RunSharded(bench.DefaultShardedConfig())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: sharded: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(bench.FormatSharded(shr))
+		if errs := bench.ShardedGate(shr, *shardedGateShards, *shardedGateSpeedup); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "benchrunner: SHARDED GATE: %v\n", e)
+			}
+			os.Exit(1)
+		}
+	}
+
+	var scl *bench.ScalingSection
+	if *scaling {
+		const scalingQuery = "//Item/InCategory/Category"
+		pts, err := bench.ScalingSeries(scalingQuery, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: scaling: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(bench.FormatScaling(scalingQuery, pts))
+		scl = &bench.ScalingSection{Query: scalingQuery, Points: pts}
+	}
+
 	if *jsonPath != "" {
-		report := bench.BuildReport("xmlsql", *scale, cmps, srv, chz, adt, sw, adp, fe, upd, rec)
+		report := bench.BuildReport("xmlsql", *scale, cmps, bench.Sections{
+			Serving: srv, Chaos: chz, Audit: adt, SharedWork: sw, Adaptive: adp,
+			Frontend: fe, Updates: upd, Recovery: rec, Scaling: scl, Sharded: shr,
+		})
 		out := os.Stdout
 		if *jsonPath != "-" {
 			f, err := os.Create(*jsonPath)
@@ -282,16 +318,6 @@ func main() {
 		}
 		fmt.Print(abl)
 	}
-	if *scaling {
-		fmt.Println()
-		pts, err := bench.ScalingSeries("//Item/InCategory/Category", []int{1, 2, 4, 8, 16})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchrunner: scaling: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Print(bench.FormatScaling("//Item/InCategory/Category", pts))
-	}
-
 	for _, c := range cmps {
 		if !c.Verified {
 			fmt.Fprintf(os.Stderr, "benchrunner: VERIFICATION FAILED for %s %s\n", c.Experiment, c.Query)

@@ -63,6 +63,7 @@ import (
 	"xmlsql/internal/pathid"
 	"xmlsql/internal/relational"
 	"xmlsql/internal/schema"
+	"xmlsql/internal/sharded"
 	"xmlsql/internal/shred"
 	"xmlsql/internal/sqlast"
 	"xmlsql/internal/stats"
@@ -92,10 +93,16 @@ func main() {
 	updateJSON := flag.String("update", "", `apply a JSON mutation batch ('[{"op":"insert","path":"//Item","xml":"<...>"}]'; ops: insert, delete, replace) to a generated workload instance, printing the planned DML and the incremental audit verdict (built-in workloads only)`)
 	dataDir := flag.String("data-dir", "", "durable data directory for -update: recover the instance from its write-ahead log (first run initializes it) and fsync the batch before acknowledging")
 	fsyncEvery := flag.Duration("fsync", 0, "group-commit window for the -data-dir log; unset or 0 fsyncs every commit")
+	shards := flag.Int("shards", 1, "with -execute: document-partition the instance across this many shard stores and run both translations through the scatter-gather composite, verifying against a single store")
+	scale := flag.Int("scale", 1, "with -execute: generate this many workload documents (scale multiplies document count)")
 	flag.Parse()
 
 	if err := validateFlags(*timeout, *maxRows, *maxCTEIter, *dataDir, *fsyncEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "xml2sql: %v\n", err)
+		os.Exit(2)
+	}
+	if (*shards > 1 || *scale > 1) && !*execute {
+		fmt.Fprintln(os.Stderr, "xml2sql: -shards and -scale only apply to the -execute path")
 		os.Exit(2)
 	}
 	if *dataDir != "" && *updateJSON == "" {
@@ -220,7 +227,12 @@ func main() {
 	}
 	if *execute {
 		opts := engine.Options{MaxRows: *maxRows, MaxCTEIterations: *maxCTEIter}
-		if err := runBoth(s, *workload, naive, pruned.Query, *timeout, opts); err != nil {
+		if *shards > 1 || *scale > 1 {
+			err = runSharded(s, *workload, naive, pruned.Query, *timeout, opts, *shards, *scale)
+		} else {
+			err = runBoth(s, *workload, naive, pruned.Query, *timeout, opts)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "xml2sql: %v\n", err)
 			os.Exit(1)
 		}
@@ -268,6 +280,14 @@ func validateFlags(timeout time.Duration, maxRows, maxCTEIter int, dataDir strin
 		case "fsync":
 			if fsyncEvery <= 0 {
 				err = fmt.Errorf("-fsync must be a positive duration (omit it for fsync-per-commit), got %v", fsyncEvery)
+			}
+		case "shards":
+			if v := flag.Lookup("shards").Value.(flag.Getter).Get().(int); v < 1 {
+				err = fmt.Errorf("-shards must be at least 1, got %d", v)
+			}
+		case "scale":
+			if v := flag.Lookup("scale").Value.(flag.Getter).Get().(int); v < 1 {
+				err = fmt.Errorf("-scale must be at least 1, got %d", v)
 			}
 		}
 	})
@@ -515,6 +535,77 @@ func runBoth(s *schema.Schema, workload string, naive, pruned *sqlast.Query, tim
 		workload, store.TotalRows(), pres.Len())
 	fmt.Printf("-- baseline %v, pruned %v (%.2fx); results verified equal\n",
 		naiveDur, prunedDur, float64(naiveDur)/float64(prunedDur))
+	return nil
+}
+
+// runSharded is the sharded/scaled variant of runBoth: it generates scale
+// documents, loads them once into a single store and once into an N-shard
+// scatter-gather composite, executes both translations on the composite, and
+// verifies each against the single store — the CLI face of the sharded
+// differential. Per-shard row counts expose the partition skew.
+func runSharded(s *schema.Schema, workload string, naive, pruned *sqlast.Query, timeout time.Duration, opts engine.Options, shards, scale int) error {
+	if workload == "" {
+		return fmt.Errorf("-execute requires a built-in -workload")
+	}
+	docs, err := cli.GenerateDocs(workload, scale)
+	if err != nil {
+		return err
+	}
+	single := backend.NewMem()
+	single.SetEngineOptions(opts)
+	if _, err := single.Load(s, docs...); err != nil {
+		return err
+	}
+	comp, err := sharded.NewMem(shards, sharded.Options{})
+	if err != nil {
+		return err
+	}
+	comp.SetEngineOptions(opts)
+	if err := comp.EnsureSchema(s); err != nil {
+		return err
+	}
+	if _, err := comp.Load(s, docs...); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	run := func(label string, q *sqlast.Query) (time.Duration, error) {
+		ref, err := single.Execute(ctx, q)
+		if err != nil {
+			return 0, fmt.Errorf("%s single-store execution: %w", label, err)
+		}
+		start := time.Now()
+		got, err := comp.Execute(ctx, q)
+		if err != nil {
+			return 0, fmt.Errorf("%s sharded execution: %w", label, err)
+		}
+		dur := time.Since(start)
+		if !ref.MultisetEqual(got) {
+			return 0, fmt.Errorf("%s: sharded result diverges from the single store", label)
+		}
+		return dur, nil
+	}
+	naiveDur, err := run("baseline", naive)
+	if err != nil {
+		return err
+	}
+	prunedDur, err := run("pruned", pruned)
+	if err != nil {
+		return err
+	}
+	m, err := comp.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n-- executed on %d generated %s document(s) across %d shard(s); both translations verified against a single store\n",
+		scale, workload, shards)
+	fmt.Printf("-- sharded baseline %v, sharded pruned %v (%.2fx)\n",
+		naiveDur, prunedDur, float64(naiveDur)/float64(prunedDur))
+	fmt.Printf("-- per-shard docs %v, rows %v\n", m.DocsPerShard, m.RowsPerShard)
 	return nil
 }
 

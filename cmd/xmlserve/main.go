@@ -17,8 +17,10 @@
 // (xmark, xmarkfull, xmarkauctions, s1, s2, s3, adex, with an optional
 // "-edge" suffix) and backend is mem (default) or fakedb (the in-repo
 // database/sql driver; wrapped with the resilient retry/breaker layer
-// unless -resilient=false). A default-sized workload document is generated,
-// shredded, and loaded at startup.
+// unless -resilient=false). -scale N generates N default-sized workload
+// documents per tenant (shredded and loaded at startup); -shards N
+// document-partitions each mem tenant across N stores and serves it through
+// the scatter-gather composite.
 //
 // Endpoints: GET/POST /query (?tenant=&q= or JSON {"tenant","query"}),
 // GET/POST /explain, POST /audit?tenant=, GET /healthz, GET /stats.
@@ -62,6 +64,8 @@ func main() {
 	logRequests := flag.Bool("log-requests", false, "log every served query and shed event")
 	dataDir := flag.String("data-dir", "", "root directory for durable tenants: each tenant recovers from (and write-ahead logs to) <data-dir>/<name>; mem backends only")
 	fsyncEvery := flag.Duration("fsync", 0, "group-commit window for durable tenants' logs; unset or 0 fsyncs every commit")
+	shards := flag.Int("shards", 1, "document-partition each mem tenant across this many shard stores (scatter-gather execution); 1 means a single store")
+	scale := flag.Int("scale", 1, "generate this many workload documents per tenant (the scale knob multiplies document count)")
 	flag.Parse()
 
 	if err := validateFlags(); err != nil {
@@ -98,12 +102,20 @@ func main() {
 	})
 
 	for _, spec := range specs {
-		ten, err := addTenant(srv, spec, *timeout, *cacheSize, *adaptive, *useResilient, *dataDir, *fsyncEvery)
+		ten, err := addTenant(srv, spec, tenantOptions{
+			timeout: *timeout, cacheSize: *cacheSize, adaptive: *adaptive,
+			useResilient: *useResilient, dataDir: *dataDir, fsyncEvery: *fsyncEvery,
+			shards: *shards, scale: *scale,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xmlserve: tenant %s: %v\n", spec.Name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("xmlserve: tenant %s ready (workload %s, backend %s)\n", spec.Name, spec.Workload, spec.Backend)
+		backendDesc := spec.Backend
+		if *shards > 1 {
+			backendDesc = fmt.Sprintf("%s x%d shards", spec.Backend, *shards)
+		}
+		fmt.Printf("xmlserve: tenant %s ready (workload %s, backend %s, %d doc(s))\n", spec.Name, spec.Workload, backendDesc, *scale)
 		if ri := ten.RecoveryInfo(); ri != nil {
 			fmt.Printf("xmlserve: tenant %s durable in %s: recovery %s (snapshot lsn %d, %d batch(es) replayed in %v, truncated_tail=%v)\n",
 				spec.Name, *dataDir, ten.RecoveryState(), ri.SnapshotLSN,
@@ -135,42 +147,68 @@ func main() {
 	fmt.Println("xmlserve: drained, bye")
 }
 
-// addTenant materializes one tenant spec: built-in schema, a generated
-// default-sized document, and a loaded mem or fakedb backend (the latter
+// tenantOptions carries the per-server flags addTenant applies to every
+// tenant spec.
+type tenantOptions struct {
+	timeout      time.Duration
+	cacheSize    int
+	adaptive     bool
+	useResilient bool
+	dataDir      string
+	fsyncEvery   time.Duration
+	shards       int
+	scale        int
+}
+
+// addTenant materializes one tenant spec: built-in schema, scale generated
+// default-sized documents, and a loaded mem or fakedb backend (the latter
 // wrapped with the resilient layer when enabled). With dataDir the tenant is
 // durable: its store recovers from <dataDir>/<name> (first boot shreds the
-// generated document and checkpoints) and commits are write-ahead logged —
+// generated documents and checkpoints) and commits are write-ahead logged —
 // mem backends only, since a real database is its own durability domain.
-func addTenant(srv *server.Server, spec server.TenantSpec, timeout time.Duration, cacheSize int, adaptive, useResilient bool, dataDir string, fsyncEvery time.Duration) (*server.Tenant, error) {
+// With shards > 1 a mem tenant is document-partitioned across that many
+// stores and served through the scatter-gather composite (per-shard logs
+// under <dataDir>/<name>/shard-<k> when durable).
+func addTenant(srv *server.Server, spec server.TenantSpec, opt tenantOptions) (*server.Tenant, error) {
 	s, err := cli.BuiltinSchema(spec.Workload)
 	if err != nil {
 		return nil, err
 	}
-	pc := xmlsql.PlannerConfig{Timeout: timeout, CacheSize: cacheSize}
-	pc.Translate.Adaptive = adaptive
-	if dataDir != "" {
+	pc := xmlsql.PlannerConfig{Timeout: opt.timeout, CacheSize: opt.cacheSize}
+	pc.Translate.Adaptive = opt.adaptive
+	if opt.shards > 1 && spec.Backend != "" && spec.Backend != "mem" {
+		return nil, fmt.Errorf("-shards requires the mem backend, got %q", spec.Backend)
+	}
+	loadBackend := func(b xmlsql.Backend) error {
+		docs, err := cli.GenerateDocs(spec.Workload, opt.scale)
+		if err != nil {
+			return err
+		}
+		_, err = b.Load(s, docs...)
+		return err
+	}
+	if opt.dataDir != "" {
 		if spec.Backend != "" && spec.Backend != "mem" {
 			return nil, fmt.Errorf("-data-dir requires the mem backend, got %q (a database backend owns its own durability)", spec.Backend)
 		}
 		return srv.AddTenant(server.TenantConfig{
-			Name:    spec.Name,
-			Schema:  s,
-			Planner: pc,
-			DataDir: filepath.Join(dataDir, spec.Name),
-			WAL:     wal.Options{SyncEvery: fsyncEvery},
-			Load: func(m *backend.Mem) error {
-				doc, err := cli.GenerateDoc(spec.Workload)
-				if err != nil {
-					return err
-				}
-				_, err = m.Load(s, doc)
-				return err
-			},
+			Name:        spec.Name,
+			Schema:      s,
+			Planner:     pc,
+			DataDir:     filepath.Join(opt.dataDir, spec.Name),
+			WAL:         wal.Options{SyncEvery: opt.fsyncEvery},
+			Shards:      opt.shards,
+			LoadBackend: loadBackend,
 		})
 	}
-	doc, err := cli.GenerateDoc(spec.Workload)
-	if err != nil {
-		return nil, err
+	if opt.shards > 1 {
+		return srv.AddTenant(server.TenantConfig{
+			Name:        spec.Name,
+			Schema:      s,
+			Planner:     pc,
+			Shards:      opt.shards,
+			LoadBackend: loadBackend,
+		})
 	}
 	var b xmlsql.Backend
 	switch spec.Backend {
@@ -178,7 +216,7 @@ func addTenant(srv *server.Server, spec server.TenantSpec, timeout time.Duration
 		b = backend.NewMem()
 	case "fakedb":
 		db := backend.NewDB(fakedb.Open(), sqlast.DialectSQLite)
-		if useResilient {
+		if opt.useResilient {
 			b = resilient.Wrap(db, resilient.Options{})
 		} else {
 			b = db
@@ -189,7 +227,7 @@ func addTenant(srv *server.Server, spec server.TenantSpec, timeout time.Duration
 	if err := b.EnsureSchema(s); err != nil {
 		return nil, err
 	}
-	if _, err := b.Load(s, doc); err != nil {
+	if err := loadBackend(b); err != nil {
 		return nil, err
 	}
 	return srv.AddTenant(server.TenantConfig{
@@ -248,6 +286,14 @@ func validateFlags() error {
 		case "fsync":
 			if v := flag.Lookup("fsync").Value.(flag.Getter).Get().(time.Duration); v <= 0 {
 				err = fmt.Errorf("-fsync must be a positive duration (omit it for fsync-per-commit), got %v", v)
+			}
+		case "shards":
+			if v := flag.Lookup("shards").Value.(flag.Getter).Get().(int); v < 1 {
+				err = fmt.Errorf("-shards must be at least 1, got %d", v)
+			}
+		case "scale":
+			if v := flag.Lookup("scale").Value.(flag.Getter).Get().(int); v < 1 {
+				err = fmt.Errorf("-scale must be at least 1, got %d", v)
 			}
 		}
 	})

@@ -71,20 +71,32 @@ func (b *DB) Load(s *schema.Schema, docs ...*xmltree.Document) ([]*shred.Result,
 	if err != nil {
 		return nil, err
 	}
+	if err := b.LoadStore(staging); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// LoadStore bulk-inserts every row of an already-shredded staging store, in
+// one transaction. It is the second half of Load, split out so callers that
+// need to control shredding themselves — the sharded loader continues one
+// global id sequence across shard stores — can still reuse the batched
+// prepared-INSERT path.
+func (b *DB) LoadStore(staging *relational.Store) error {
 	tx, err := b.db.Begin()
 	if err != nil {
-		return nil, fmt.Errorf("backend: begin load transaction: %w", err)
+		return fmt.Errorf("backend: begin load transaction: %w", err)
 	}
 	for _, name := range staging.TableNames() {
 		if err := b.copyTable(tx, staging.Table(name)); err != nil {
 			tx.Rollback()
-			return nil, err
+			return err
 		}
 	}
 	if err := tx.Commit(); err != nil {
-		return nil, fmt.Errorf("backend: commit load transaction: %w", err)
+		return fmt.Errorf("backend: commit load transaction: %w", err)
 	}
-	return results, nil
+	return nil
 }
 
 func (b *DB) copyTable(tx *sql.Tx, t *relational.Table) error {

@@ -9,6 +9,15 @@ import (
 	"xmlsql/internal/stats"
 )
 
+// StatsCollector is implemented by backends that can produce their own
+// statistics snapshot better than the generic probe path — the sharded
+// composite caches per-shard snapshots keyed by shard version and recollects
+// only mutated shards, so a write's statistics cost scales with one shard,
+// not the instance.
+type StatsCollector interface {
+	CollectStats(ctx context.Context, s *schema.Schema) (*stats.Stats, error)
+}
+
 // CollectStats gathers a statistics snapshot over any Backend for the
 // relations of the mapping s. The Mem backend is scanned directly (every
 // table of its store, one pass each); other backends are probed with one
@@ -21,6 +30,9 @@ import (
 // counter otherwise, and its Fingerprint() is what plan caches embed to
 // age out decisions made against since-mutated data.
 func CollectStats(ctx context.Context, b Backend, s *schema.Schema) (*stats.Stats, error) {
+	if sc, ok := b.(StatsCollector); ok {
+		return sc.CollectStats(ctx, s)
+	}
 	if m, ok := b.(*Mem); ok {
 		return stats.CollectStore(m.Store()), nil
 	}

@@ -70,7 +70,7 @@ func TestRunOnFakeDBBackend(t *testing.T) {
 	if cmp.Backend != "db(sqlite)" {
 		t.Errorf("backend label = %q, want db(sqlite)", cmp.Backend)
 	}
-	rep := bench.BuildReport("xmlsql", 1, []*bench.Comparison{cmp}, nil, nil, nil, nil, nil, nil, nil, nil)
+	rep := bench.BuildReport("xmlsql", 1, []*bench.Comparison{cmp}, bench.Sections{})
 	if rep.Backend != "db(sqlite)" {
 		t.Errorf("report backend = %q, want db(sqlite)", rep.Backend)
 	}
@@ -206,5 +206,55 @@ func TestRunUpdatesSmall(t *testing.T) {
 	// probe. The gate machinery itself must still flag an impossible bar.
 	if errs := bench.UpdatesGate(cmps, 1e12); len(errs) == 0 {
 		t.Error("UpdatesGate accepted an impossible speedup bar")
+	}
+}
+
+// TestRunShardedSmall runs a miniature sharded sweep: every point must
+// verify against the single store (before and after the mixed writes), skew
+// and merge overhead must be recorded, and the gate must pass with the
+// speedup requirement waived (a tiny instance has nothing to amortize).
+func TestRunShardedSmall(t *testing.T) {
+	rep, err := bench.RunSharded(bench.ShardedConfig{
+		Scales: []int{4}, ShardCounts: []int{1, 2}, MixedRounds: 1, MixedReads: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sweeps) != 1 || len(rep.Sweeps[0].Sweep) != 2 {
+		t.Fatalf("sweep shape: %d scales, %d points", len(rep.Sweeps), len(rep.Sweeps[0].Sweep))
+	}
+	for _, pt := range rep.Sweeps[0].Sweep {
+		if !pt.Verified {
+			t.Errorf("%d-shard point not verified", pt.Shards)
+		}
+		if len(pt.RowsPerShard) != pt.Shards || pt.MaxRowShare <= 0 {
+			t.Errorf("%d-shard point missing skew data: rows %v, share %v", pt.Shards, pt.RowsPerShard, pt.MaxRowShare)
+		}
+		if pt.MergeNsPerScatter <= 0 || pt.StatsRescans < 1 {
+			t.Errorf("%d-shard point missing overhead counters: merge %v, rescans %d", pt.Shards, pt.MergeNsPerScatter, pt.StatsRescans)
+		}
+	}
+	if errs := bench.ShardedGate(rep, 2, 0.01); len(errs) > 0 {
+		t.Fatalf("gate: %v", errs)
+	}
+}
+
+// TestScalingSeriesSmall pins the reworked series: one instance per scale,
+// both arms verified on it, monotone tuple counts, and JSON-ready points.
+func TestScalingSeriesSmall(t *testing.T) {
+	pts, err := bench.ScalingSeries("//Item/InCategory/Category", []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[1].Tuples <= pts[0].Tuples {
+		t.Errorf("tuples not growing with scale: %d then %d", pts[0].Tuples, pts[1].Tuples)
+	}
+	for _, p := range pts {
+		if !p.Verified || p.Speedup <= 0 {
+			t.Errorf("scale x%d: verified=%v speedup=%v", p.Scale, p.Verified, p.Speedup)
+		}
 	}
 }

@@ -47,7 +47,14 @@ type Report struct {
 	// update throughput, log footprint, and cold-recovery (snapshot load +
 	// verified replay) cost.
 	Recovery []*RecoveryComparison `json:"recovery,omitempty"`
-	Summary  ReportSummary         `json:"summary"`
+	// Scaling records the Q1 speedup-vs-document-size series (one generated
+	// and shredded instance per scale, shared by both arms).
+	Scaling *ScalingSection `json:"scaling,omitempty"`
+	// Sharded records the scatter-gather suite: shard-count sweeps at
+	// scale=10/100 with per-shard skew, merge overhead, and the mixed
+	// read/write serving comparison against the single store.
+	Sharded *ShardedReport `json:"sharded,omitempty"`
+	Summary ReportSummary  `json:"summary"`
 }
 
 // ReportCase is one experiment case's measurements.
@@ -76,21 +83,38 @@ type ReportSummary struct {
 	AllVerified bool    `json:"all_verified"`
 }
 
+// Sections carries every optional suite's results into BuildReport; nil
+// slices and pointers simply omit their section from the JSON.
+type Sections struct {
+	Serving    []*ServingComparison
+	Chaos      []*ChaosComparison
+	Audit      []*AuditComparison
+	SharedWork []*SharedWorkComparison
+	Adaptive   []*AdaptiveComparison
+	Frontend   []*FrontendComparison
+	Updates    []*UpdateComparison
+	Recovery   []*RecoveryComparison
+	Scaling    *ScalingSection
+	Sharded    *ShardedReport
+}
+
 // BuildReport assembles the JSON report from measured comparisons.
-func BuildReport(name string, scale int, cmps []*Comparison, serving []*ServingComparison, chaos []*ChaosComparison, audit []*AuditComparison, sharedWork []*SharedWorkComparison, adaptive []*AdaptiveComparison, frontend []*FrontendComparison, updates []*UpdateComparison, recovery []*RecoveryComparison) *Report {
+func BuildReport(name string, scale int, cmps []*Comparison, sec Sections) *Report {
 	r := &Report{
 		Name:            name,
 		Scale:           scale,
 		Backend:         "mem",
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
-		Serving:         serving,
-		Chaos:           chaos,
-		Audit:           audit,
-		SharedWork:      sharedWork,
-		Adaptive:        adaptive,
-		ServingFrontend: frontend,
-		Updates:         updates,
-		Recovery:        recovery,
+		Serving:         sec.Serving,
+		Chaos:           sec.Chaos,
+		Audit:           sec.Audit,
+		SharedWork:      sec.SharedWork,
+		Adaptive:        sec.Adaptive,
+		ServingFrontend: sec.Frontend,
+		Updates:         sec.Updates,
+		Recovery:        sec.Recovery,
+		Scaling:         sec.Scaling,
+		Sharded:         sec.Sharded,
 		Summary:         ReportSummary{AllVerified: true},
 	}
 	for _, c := range cmps {

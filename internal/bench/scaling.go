@@ -4,28 +4,60 @@ import (
 	"fmt"
 	"strings"
 
+	"xmlsql/internal/core"
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/relational"
+	"xmlsql/internal/shred"
+	"xmlsql/internal/translate"
 	"xmlsql/internal/workloads"
 )
 
 // ScalingPoint is one measurement of the scaling series: the speedup of the
 // pruned translation over the baseline at a given document size.
 type ScalingPoint struct {
-	Scale    int
-	Tuples   int
-	NaiveNs  float64
-	PrunedNs float64
-	Speedup  float64
-	Verified bool
+	Scale    int     `json:"scale"`
+	Tuples   int     `json:"tuples"`
+	NaiveNs  float64 `json:"naive_ns"`
+	PrunedNs float64 `json:"pruned_ns"`
+	Speedup  float64 `json:"speedup"`
+	Verified bool    `json:"verified"`
+}
+
+// ScalingSection is the JSON-report form of the series.
+type ScalingSection struct {
+	Query  string         `json:"query"`
+	Points []ScalingPoint `json:"points"`
 }
 
 // ScalingSeries measures the Q1 speedup across document sizes — the
-// figure-style companion to the E1 row. Under this engine's hash joins both
-// translations scale linearly, so the ratio is roughly constant (~30×,
-// fixed by the number of union branches and joins the pruning removed); on
-// join algorithms whose cost is superlinear in input size the gap widens
-// with data, which the nested-loop ablation demonstrates.
+// figure-style companion to the E1 row. Each scale generates and shreds its
+// instance exactly once; both translations then execute against that one
+// store, so the two arms see identical bytes and the ratio is a pure
+// plan-shape comparison. Under this engine's hash joins both translations
+// scale linearly, so the ratio is roughly constant (~30×, fixed by the
+// number of union branches and joins the pruning removed); on join
+// algorithms whose cost is superlinear in input size the gap widens with
+// data, which the nested-loop ablation demonstrates.
 func ScalingSeries(query string, scales []int) ([]ScalingPoint, error) {
 	s := workloads.XMark()
+	q, err := pathexpr.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	g, err := pathid.Build(s, q)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := translate.Naive(g)
+	if err != nil {
+		return nil, err
+	}
+	pruned, err := core.Translate(g)
+	if err != nil {
+		return nil, err
+	}
+
 	var out []ScalingPoint
 	for _, sc := range scales {
 		doc := workloads.GenerateXMark(workloads.XMarkConfig{
@@ -34,24 +66,30 @@ func ScalingSeries(query string, scales []int) ([]ScalingPoint, error) {
 			NumCategories:     50,
 			Seed:              1,
 		})
-		cmp, err := Run(Case{
-			Experiment: "S",
-			Workload:   fmt.Sprintf("xmark-x%d", sc),
-			Query:      query,
-			Schema:     s,
-			Doc:        doc,
-		})
-		if err != nil {
-			return nil, err
+		store := relational.NewStore()
+		if _, err := shred.ShredAll(s, store, shred.Options{}, doc); err != nil {
+			return nil, fmt.Errorf("scaling x%d: shred: %w", sc, err)
 		}
-		out = append(out, ScalingPoint{
+		exec := memExec(store)
+		nres, err := exec(naive)
+		if err != nil {
+			return nil, fmt.Errorf("scaling x%d: naive: %w", sc, err)
+		}
+		pres, err := exec(pruned.Query)
+		if err != nil {
+			return nil, fmt.Errorf("scaling x%d: pruned: %w", sc, err)
+		}
+		pt := ScalingPoint{
 			Scale:    sc,
-			Tuples:   cmp.TotalRows,
-			NaiveNs:  cmp.NaiveNs,
-			PrunedNs: cmp.PrunedNs,
-			Speedup:  cmp.Speedup,
-			Verified: cmp.Verified,
-		})
+			Tuples:   store.TotalRows(),
+			NaiveNs:  measure(exec, naive),
+			PrunedNs: measure(exec, pruned.Query),
+			Verified: nres.MultisetEqual(pres),
+		}
+		if pt.PrunedNs > 0 {
+			pt.Speedup = pt.NaiveNs / pt.PrunedNs
+		}
+		out = append(out, pt)
 	}
 	return out, nil
 }

@@ -89,6 +89,43 @@ func GenerateDoc(workload string) (*xmltree.Document, error) {
 	}
 }
 
+// GenerateDocs produces scale default-sized documents for a built-in
+// workload, one per derived seed — the scale knob multiplies document count,
+// never document size, so the instance partitions cleanly by document for
+// sharded execution and any prefix is a smaller scale of the same instance.
+func GenerateDocs(workload string, scale int) ([]*xmltree.Document, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("scale must be at least 1, got %d", scale)
+	}
+	base, _ := strings.CutSuffix(workload, "-edge")
+	switch base {
+	case "xmark":
+		return workloads.GenerateXMarkScale(workloads.DefaultXMarkConfig(), scale), nil
+	case "xmarkfull":
+		return workloads.GenerateXMarkFullScale(workloads.DefaultXMarkConfig(), scale), nil
+	case "xmarkauctions":
+		return workloads.GenerateXMarkAuctionsScale(workloads.DefaultXMarkAuctionsConfig(), scale), nil
+	case "s3":
+		return workloads.GenerateS3Scale(workloads.DefaultS3Config(), scale), nil
+	case "s1", "s2", "adex":
+		docs := make([]*xmltree.Document, 0, scale)
+		for i := 0; i < scale; i++ {
+			seed := int64(i + 1)
+			switch base {
+			case "s1":
+				docs = append(docs, workloads.GenerateS1(10, seed))
+			case "s2":
+				docs = append(docs, workloads.GenerateS2(10, seed))
+			case "adex":
+				docs = append(docs, workloads.GenerateADEX(workloads.ADEXConfig{AdsPerSection: 25, Seed: seed}))
+			}
+		}
+		return docs, nil
+	default:
+		return nil, fmt.Errorf("cannot generate documents for workload %q", workload)
+	}
+}
+
 // LoadDoc resolves the -in / -generate flag pair for document input.
 func LoadDoc(in, workload string, generate bool) (*xmltree.Document, error) {
 	if in != "" {

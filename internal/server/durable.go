@@ -3,10 +3,12 @@ package server
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 
 	"xmlsql"
 	"xmlsql/internal/backend"
 	"xmlsql/internal/integrity"
+	"xmlsql/internal/sharded"
 	"xmlsql/internal/wal"
 )
 
@@ -36,19 +38,33 @@ const (
 )
 
 // durableBackend is what openDurable hands back to newTenant: the wired
-// backend plus everything the verification step needs.
+// backend plus everything the verification step needs. A sharded durable
+// tenant has one WAL manager per shard (comp non-nil); a single-store tenant
+// has exactly one.
 type durableBackend struct {
-	mem  *backend.Mem
-	mgr  *wal.Manager
+	b    xmlsql.Backend
+	comp *sharded.Sharded
+	mgrs []*wal.Manager
 	info *wal.RecoveryInfo
 }
 
-// openDurable recovers the tenant's data directory and builds a Mem backend
-// whose commits are logged through the recovered WAL manager. On a first
-// boot (no snapshot) the optional Load hook populates the store and a base
-// checkpoint is taken — the WAL refuses to commit batches before a snapshot
-// exists, so a durable tenant is never in a state its log cannot rebuild.
+func (d *durableBackend) closeAll() {
+	for _, m := range d.mgrs {
+		m.Close()
+	}
+}
+
+// openDurable recovers the tenant's data directory and builds a backend
+// whose commits are logged through the recovered WAL manager(s). On a first
+// boot (no snapshot) the Load/LoadBackend hook populates the store and a
+// base checkpoint is written — the WAL refuses to commit batches before a
+// snapshot exists, so a durable tenant is never in a state its log cannot
+// rebuild. With Shards > 1 the instance is document-partitioned: each shard
+// store recovers from its own log under DataDir/shard-<k>.
 func openDurable(cfg TenantConfig) (*durableBackend, error) {
+	if cfg.Shards > 1 {
+		return openDurableSharded(cfg)
+	}
 	mgr, info, err := wal.Open(cfg.DataDir, cfg.WAL)
 	if err != nil {
 		return nil, fmt.Errorf("server: tenant %q: recover %s: %w", cfg.Name, cfg.DataDir, err)
@@ -59,11 +75,9 @@ func openDurable(cfg TenantConfig) (*durableBackend, error) {
 		return nil, fmt.Errorf("server: tenant %q: ensure schema: %w", cfg.Name, err)
 	}
 	if !info.SnapshotLoaded {
-		if cfg.Load != nil {
-			if err := cfg.Load(mem); err != nil {
-				mgr.Close()
-				return nil, fmt.Errorf("server: tenant %q: initial load: %w", cfg.Name, err)
-			}
+		if err := runLoadHook(cfg, mem); err != nil {
+			mgr.Close()
+			return nil, fmt.Errorf("server: tenant %q: initial load: %w", cfg.Name, err)
 		}
 		if err := mgr.Checkpoint(); err != nil {
 			mgr.Close()
@@ -71,15 +85,122 @@ func openDurable(cfg TenantConfig) (*durableBackend, error) {
 		}
 	}
 	mem.SetCommitLog(mgr)
-	return &durableBackend{mem: mem, mgr: mgr, info: info}, nil
+	return &durableBackend{b: mem, mgrs: []*wal.Manager{mgr}, info: info}, nil
+}
+
+// openDurableSharded is the sharded durable boot: per-shard WAL recovery,
+// composite assembly, and either a first-boot partitioned load (no shard has
+// a snapshot) or router adoption from the recovered stores (every shard
+// has one). A mixed state means the data directory was partially wiped or
+// assembled from different topologies — refuse to guess.
+func openDurableSharded(cfg TenantConfig) (*durableBackend, error) {
+	if cfg.Load != nil {
+		return nil, fmt.Errorf("server: tenant %q: the Load(*Mem) hook cannot populate a sharded tenant; use LoadBackend", cfg.Name)
+	}
+	n := cfg.Shards
+	mgrs := make([]*wal.Manager, 0, n)
+	infos := make([]*wal.RecoveryInfo, 0, n)
+	shards := make([]backend.Backend, 0, n)
+	fail := func(err error) (*durableBackend, error) {
+		for _, m := range mgrs {
+			m.Close()
+		}
+		return nil, err
+	}
+	for k := 0; k < n; k++ {
+		dir := filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%d", k))
+		mgr, info, err := wal.Open(dir, cfg.WAL)
+		if err != nil {
+			return fail(fmt.Errorf("server: tenant %q: recover shard %d (%s): %w", cfg.Name, k, dir, err))
+		}
+		mgrs = append(mgrs, mgr)
+		infos = append(infos, info)
+		shards = append(shards, backend.NewMemOn(mgr.Store()))
+	}
+	comp, err := sharded.New(shards, sharded.Options{})
+	if err != nil {
+		return fail(fmt.Errorf("server: tenant %q: %w", cfg.Name, err))
+	}
+	if err := comp.EnsureSchema(cfg.Schema); err != nil {
+		return fail(fmt.Errorf("server: tenant %q: ensure schema: %w", cfg.Name, err))
+	}
+	loaded := 0
+	for _, info := range infos {
+		if info.SnapshotLoaded {
+			loaded++
+		}
+	}
+	switch {
+	case loaded == 0:
+		if cfg.LoadBackend != nil {
+			if err := cfg.LoadBackend(comp); err != nil {
+				return fail(fmt.Errorf("server: tenant %q: initial load: %w", cfg.Name, err))
+			}
+		}
+		for k, mgr := range mgrs {
+			if err := mgr.Checkpoint(); err != nil {
+				return fail(fmt.Errorf("server: tenant %q: base checkpoint shard %d: %w", cfg.Name, k, err))
+			}
+		}
+	case loaded == n:
+		if err := comp.AdoptLoaded(cfg.Schema); err != nil {
+			return fail(fmt.Errorf("server: tenant %q: %w", cfg.Name, err))
+		}
+	default:
+		return fail(fmt.Errorf("server: tenant %q: inconsistent shard data dirs: %d of %d shards have snapshots", cfg.Name, loaded, n))
+	}
+	for k, sh := range shards {
+		sh.(*backend.Mem).SetCommitLog(mgrs[k])
+	}
+	return &durableBackend{b: comp, comp: comp, mgrs: mgrs, info: mergeRecoveryInfo(infos)}, nil
+}
+
+// runLoadHook populates a first-boot single store through whichever hook the
+// config set (LoadBackend preferred, Load kept for compatibility).
+func runLoadHook(cfg TenantConfig, mem *backend.Mem) error {
+	if cfg.LoadBackend != nil {
+		return cfg.LoadBackend(mem)
+	}
+	if cfg.Load != nil {
+		return cfg.Load(mem)
+	}
+	return nil
+}
+
+// mergeRecoveryInfo folds per-shard recovery outcomes into the tenant-level
+// view: counts add, truncation anywhere is truncation, the footprint is the
+// union (shard footprints are disjoint — shards partition tuples), and the
+// footprint is complete only if every shard's is.
+func mergeRecoveryInfo(infos []*wal.RecoveryInfo) *wal.RecoveryInfo {
+	m := &wal.RecoveryInfo{SnapshotLoaded: true, TouchedComplete: true}
+	for _, i := range infos {
+		m.SnapshotLoaded = m.SnapshotLoaded && i.SnapshotLoaded
+		m.SkippedSnapshots += i.SkippedSnapshots
+		m.ReplayedBatches += i.ReplayedBatches
+		if i.SnapshotLSN > m.SnapshotLSN {
+			m.SnapshotLSN = i.SnapshotLSN
+		}
+		if i.LastSeq > m.LastSeq {
+			m.LastSeq = i.LastSeq
+		}
+		m.TruncatedTail = m.TruncatedTail || i.TruncatedTail
+		m.TouchedComplete = m.TouchedComplete && i.TouchedComplete
+		m.Touched.Written = append(m.Touched.Written, i.Touched.Written...)
+		m.Touched.Deleted = append(m.Touched.Deleted, i.Touched.Deleted...)
+		if i.Elapsed > m.Elapsed {
+			m.Elapsed = i.Elapsed
+		}
+	}
+	return m
 }
 
 // verifyReplay is the verified-replay step: a recovery that replayed batches
 // is not trusted until the integrity properties hold over what it touched.
 // With a complete footprint the audit is incremental over the replayed
-// tuples' P1–P3 neighborhoods; an incomplete footprint demands a full audit.
-// A clean audit promotes the planner to verified trust; a dirty one demotes
-// it to violated, which puts serving into integrity safe mode.
+// tuples' P1–P3 neighborhoods — on a sharded tenant it routes each probe to
+// the owning shard; an incomplete footprint demands a full audit. A clean
+// audit promotes the planner to verified trust; a dirty one demotes it to
+// violated, which puts serving into integrity safe mode.
 func verifyReplay(p *xmlsql.Planner, s *xmlsql.Schema, d *durableBackend) (RecoveryState, error) {
 	state := RecoveryRecovered
 	if d.info.TruncatedTail {
@@ -94,7 +215,17 @@ func verifyReplay(p *xmlsql.Planner, s *xmlsql.Schema, d *durableBackend) (Recov
 	ctx := context.Background()
 	var clean bool
 	if d.info.TouchedComplete {
-		rep, err := integrity.AuditIncremental(ctx, integrity.StoreProbe(d.mgr.Store()), s, d.info.Touched)
+		var probe integrity.Probe
+		if d.comp != nil {
+			rp, err := d.comp.IntegrityProbe()
+			if err != nil {
+				return "", fmt.Errorf("server: verify replay: %w", err)
+			}
+			probe = rp
+		} else {
+			probe = integrity.StoreProbe(d.mgrs[0].Store())
+		}
+		rep, err := integrity.AuditIncremental(ctx, probe, s, d.info.Touched)
 		if err != nil {
 			return "", fmt.Errorf("server: verify replay: %w", err)
 		}

@@ -11,6 +11,7 @@ import (
 	"xmlsql"
 	"xmlsql/internal/backend"
 	"xmlsql/internal/resilient"
+	"xmlsql/internal/sharded"
 	"xmlsql/internal/wal"
 )
 
@@ -68,8 +69,19 @@ type TenantConfig struct {
 	WAL wal.Options
 	// Load populates a durable tenant's store on first boot (no snapshot on
 	// disk yet); after it returns, a base checkpoint is written. Ignored
-	// unless DataDir is set; nil starts the tenant empty.
+	// unless DataDir is set; nil starts the tenant empty. Incompatible with
+	// Shards > 1 (a composite has no single store) — use LoadBackend there.
 	Load func(*backend.Mem) error
+
+	// Shards > 1 document-partitions the tenant across that many in-memory
+	// stores and serves it through the sharded scatter-gather composite.
+	// Durable sharded tenants (DataDir set) recover each shard from its own
+	// log under DataDir/shard-<k>. Mutually exclusive with Backend.
+	Shards int
+	// LoadBackend populates a first-boot tenant through the full backend
+	// interface (works for both single-store and sharded tenants); for a
+	// volatile sharded tenant it runs at construction. Preferred over Load.
+	LoadBackend func(xmlsql.Backend) error
 }
 
 // Tenant is one hosted mapping: a private planner (its own plan cache,
@@ -85,8 +97,9 @@ type Tenant struct {
 	bucket  *tokenBucket
 	sem     chan struct{}
 
-	// Durability (nil / zero for volatile tenants).
-	wal          *wal.Manager
+	// Durability (empty / zero for volatile tenants). Sharded durable
+	// tenants have one log manager per shard.
+	wals         []*wal.Manager
 	recoveryInfo *wal.RecoveryInfo
 	recovery     atomic.Value // RecoveryState
 
@@ -112,10 +125,14 @@ func newTenant(cfg TenantConfig, defaults Limits) (*Tenant, error) {
 	limits = limits.withDefaults()
 	pc := cfg.Planner
 	if cfg.Backend != nil {
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("server: tenant %q: Shards and Backend are mutually exclusive (the composite is built from the shard count)", cfg.Name)
+		}
 		pc.Backend = cfg.Backend
 	}
 	var db *durableBackend
-	if cfg.DataDir != "" {
+	switch {
+	case cfg.DataDir != "":
 		if cfg.Backend != nil {
 			return nil, fmt.Errorf("server: tenant %q: DataDir and Backend are mutually exclusive (a durable store is recovered from its log)", cfg.Name)
 		}
@@ -123,7 +140,22 @@ func newTenant(cfg TenantConfig, defaults Limits) (*Tenant, error) {
 		if db, err = openDurable(cfg); err != nil {
 			return nil, err
 		}
-		pc.Backend = db.mem
+		pc.Backend = db.b
+	case cfg.Shards > 1:
+		// Volatile sharded tenant: document-partitioned in-memory composite.
+		comp, err := sharded.NewMem(cfg.Shards, sharded.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %q: %w", cfg.Name, err)
+		}
+		if err := comp.EnsureSchema(cfg.Schema); err != nil {
+			return nil, fmt.Errorf("server: tenant %q: ensure schema: %w", cfg.Name, err)
+		}
+		if cfg.LoadBackend != nil {
+			if err := cfg.LoadBackend(comp); err != nil {
+				return nil, fmt.Errorf("server: tenant %q: load: %w", cfg.Name, err)
+			}
+		}
+		pc.Backend = comp
 	}
 	t := &Tenant{
 		name:    cfg.Name,
@@ -134,12 +166,12 @@ func newTenant(cfg TenantConfig, defaults Limits) (*Tenant, error) {
 	}
 	t.recovery.Store(RecoveryVolatile)
 	if db != nil {
-		t.wal = db.mgr
+		t.wals = db.mgrs
 		t.recoveryInfo = db.info
 		t.recovery.Store(RecoveryRecovering)
 		state, err := verifyReplay(t.planner, cfg.Schema, db)
 		if err != nil {
-			db.mgr.Close()
+			db.closeAll()
 			return nil, err
 		}
 		t.recovery.Store(state)
@@ -162,17 +194,30 @@ func (t *Tenant) RecoveryState() RecoveryState {
 // tenants): snapshot LSN, replayed batch count, truncation, elapsed time.
 func (t *Tenant) RecoveryInfo() *wal.RecoveryInfo { return t.recoveryInfo }
 
-// WAL exposes the tenant's log manager (nil for volatile tenants) so tests
-// and operators can force checkpoints or read durability counters.
-func (t *Tenant) WAL() *wal.Manager { return t.wal }
-
-// closeDurable flushes and closes the tenant's WAL, releasing any
-// group-commit window to disk. No-op for volatile tenants; idempotent.
-func (t *Tenant) closeDurable() error {
-	if t.wal == nil {
+// WAL exposes the tenant's log manager (nil for volatile tenants; the first
+// shard's for sharded tenants) so tests and operators can force checkpoints
+// or read durability counters.
+func (t *Tenant) WAL() *wal.Manager {
+	if len(t.wals) == 0 {
 		return nil
 	}
-	return t.wal.Close()
+	return t.wals[0]
+}
+
+// WALs exposes every log manager of a sharded durable tenant, in shard
+// order (nil for volatile tenants).
+func (t *Tenant) WALs() []*wal.Manager { return t.wals }
+
+// closeDurable flushes and closes the tenant's WAL(s), releasing any
+// group-commit window to disk. No-op for volatile tenants; idempotent.
+func (t *Tenant) closeDurable() error {
+	var first error
+	for _, m := range t.wals {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // admit runs the per-tenant admission stages in order — token bucket, then
@@ -325,6 +370,23 @@ func (t *Tenant) Stats() TenantStats {
 			SharedHits:      es.SharedHits,
 			SharedMisses:    es.SharedMisses,
 			SharedSavedRows: es.SharedSavedRows,
+		}
+	} else if comp, ok := b.(*sharded.Sharded); ok {
+		// A sharded composite's engine counters are the sum over its
+		// per-shard mem engines.
+		sum := EngineStats{}
+		counted := false
+		for _, sh := range comp.Shards() {
+			if m, ok := sh.(*backend.Mem); ok {
+				es := m.EngineStats()
+				sum.SharedHits += es.SharedHits
+				sum.SharedMisses += es.SharedMisses
+				sum.SharedSavedRows += es.SharedSavedRows
+				counted = true
+			}
+		}
+		if counted {
+			st.Engine = &sum
 		}
 	}
 	return st

@@ -1,0 +1,233 @@
+package sharded_test
+
+import (
+	"context"
+	"testing"
+
+	"xmlsql/internal/backend"
+	"xmlsql/internal/backend/fakedb"
+	"xmlsql/internal/core"
+	"xmlsql/internal/engine"
+	"xmlsql/internal/pathexpr"
+	"xmlsql/internal/pathid"
+	"xmlsql/internal/schema"
+	"xmlsql/internal/sharded"
+	"xmlsql/internal/sqlast"
+	"xmlsql/internal/translate"
+	"xmlsql/internal/workloads"
+	"xmlsql/internal/xmltree"
+)
+
+// workloadCase is one (schema, multi-document instance, query set) unit of
+// the differential suite.
+type workloadCase struct {
+	name    string
+	schema  *schema.Schema
+	docs    []*xmltree.Document
+	queries []string
+}
+
+func diffWorkloads() []workloadCase {
+	xm := workloads.DefaultXMarkConfig()
+	au := workloads.DefaultXMarkAuctionsConfig()
+	s3 := workloads.DefaultS3Config()
+	s3.MaxDepth = 5
+	return []workloadCase{
+		{
+			name:    "xmark",
+			schema:  workloads.XMark(),
+			docs:    workloads.GenerateXMarkScale(xm, 6),
+			queries: []string{workloads.QueryQ1, workloads.QueryQ2},
+		},
+		{
+			name:   "auctions",
+			schema: workloads.XMarkAuctions(),
+			docs:   workloads.GenerateXMarkAuctionsScale(au, 5),
+			queries: []string{
+				"//Person/Name",
+				"//OpenAuction/Bidder/Increase",
+				"//ClosedAuction/Price",
+				"//Item/InCategory/Category",
+			},
+		},
+		{
+			// The recursive mapping: its descendant queries translate to
+			// recursive CTEs, proving the per-shard local fixpoint composes
+			// to the global one.
+			name:    "s3-recursive",
+			schema:  workloads.S3(),
+			docs:    workloads.GenerateS3Scale(s3, 6),
+			queries: []string{workloads.QueryQ4, workloads.QueryQ5, workloads.QueryQ6, workloads.QueryQ7},
+		},
+	}
+}
+
+// translations returns the naive and pruned SQL for a query, both of which
+// the differential runs — the naive plans are the wide UNION ALLs (and
+// recursive CTEs) that stress the scatter-gather merge hardest.
+func translations(t *testing.T, s *schema.Schema, query string) []*sqlast.Query {
+	t.Helper()
+	q, err := pathexpr.Parse(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	g, err := pathid.Build(s, q)
+	if err != nil {
+		t.Fatalf("pathid %q: %v", query, err)
+	}
+	naive, err := translate.Naive(g)
+	if err != nil {
+		t.Fatalf("naive %q: %v", query, err)
+	}
+	pruned, err := core.Translate(g)
+	if err != nil {
+		t.Fatalf("pruned %q: %v", query, err)
+	}
+	return []*sqlast.Query{naive, pruned.Query}
+}
+
+func singleReference(t *testing.T, w workloadCase) *backend.Mem {
+	t.Helper()
+	ref := backend.NewMem()
+	if _, err := ref.Load(w.schema, w.docs...); err != nil {
+		t.Fatalf("%s: reference load: %v", w.name, err)
+	}
+	return ref
+}
+
+func memShardTopology(t *testing.T, w workloadCase, n int) *sharded.Sharded {
+	t.Helper()
+	c, err := sharded.NewMem(n, sharded.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(w.schema, w.docs...); err != nil {
+		t.Fatalf("%s: sharded load (n=%d): %v", w.name, n, err)
+	}
+	return c
+}
+
+func dbShardTopology(t *testing.T, w workloadCase, n int) *sharded.Sharded {
+	t.Helper()
+	shards := make([]backend.Backend, n)
+	for i := range shards {
+		shards[i] = backend.NewDB(fakedb.Open(), sqlast.DialectSQLite)
+	}
+	c, err := sharded.New(shards, sharded.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(w.schema, w.docs...); err != nil {
+		t.Fatalf("%s: fakedb sharded load (n=%d): %v", w.name, n, err)
+	}
+	return c
+}
+
+func assertSameResult(t *testing.T, label string, want, got *engine.Result) {
+	t.Helper()
+	if !want.MultisetEqual(got) {
+		t.Errorf("%s: sharded result diverges from single-store:\n%s", label, want.MultisetDiff(got))
+	}
+}
+
+// TestShardedDifferentialMem proves sharded ≡ single-store across shard
+// counts for in-memory shards, on every workload, for both the naive and the
+// pruned translation of every query.
+func TestShardedDifferentialMem(t *testing.T) {
+	ctx := context.Background()
+	for _, w := range diffWorkloads() {
+		ref := singleReference(t, w)
+		for _, n := range []int{1, 2, 4, 8} {
+			c := memShardTopology(t, w, n)
+			for _, query := range w.queries {
+				for vi, q := range translations(t, w.schema, query) {
+					want, err := ref.Execute(ctx, q)
+					if err != nil {
+						t.Fatalf("%s: single-store exec: %v", w.name, err)
+					}
+					got, err := c.Execute(ctx, q)
+					if err != nil {
+						t.Fatalf("%s n=%d: sharded exec: %v", w.name, n, err)
+					}
+					label := w.name + "/" + query
+					if vi == 0 {
+						label += "/naive"
+					} else {
+						label += "/pruned"
+					}
+					assertSameResult(t, label, want, got)
+				}
+			}
+			if err := c.Close(); err != nil {
+				t.Fatalf("%s n=%d: close: %v", w.name, n, err)
+			}
+		}
+	}
+}
+
+// TestShardedDifferentialFakeDB runs the same differential with every shard
+// a fakedb-backed DB backend — the SQL-rendering route.
+func TestShardedDifferentialFakeDB(t *testing.T) {
+	ctx := context.Background()
+	for _, w := range diffWorkloads() {
+		ref := singleReference(t, w)
+		for _, n := range []int{1, 2, 4, 8} {
+			c := dbShardTopology(t, w, n)
+			for _, query := range w.queries {
+				for _, q := range translations(t, w.schema, query) {
+					want, err := ref.Execute(ctx, q)
+					if err != nil {
+						t.Fatalf("%s: single-store exec: %v", w.name, err)
+					}
+					got, err := c.Execute(ctx, q)
+					if err != nil {
+						t.Fatalf("%s n=%d (fakedb): sharded exec: %v", w.name, n, err)
+					}
+					assertSameResult(t, w.name+"/"+query+"/fakedb", want, got)
+				}
+			}
+			if err := c.Close(); err != nil {
+				t.Fatalf("%s n=%d: close: %v", w.name, n, err)
+			}
+		}
+	}
+}
+
+// TestShardedLoadIDsMatchSingleStore pins the id-assignment invariant
+// directly: the ids a sharded load assigns are exactly those a single-store
+// load assigns, document for document.
+func TestShardedLoadIDsMatchSingleStore(t *testing.T) {
+	w := diffWorkloads()[0]
+	ref := backend.NewMem()
+	refRes, err := ref.Load(w.schema, w.docs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sharded.NewMem(4, sharded.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shRes, err := c.Load(w.schema, w.docs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refRes) != len(shRes) {
+		t.Fatalf("result count: single %d, sharded %d", len(refRes), len(shRes))
+	}
+	for i := range refRes {
+		if refRes[i].Tuples != shRes[i].Tuples {
+			t.Fatalf("doc %d: tuple count: single %d, sharded %d", i, refRes[i].Tuples, shRes[i].Tuples)
+		}
+	}
+	// Same global id space: total rows agree and the union of shard rows
+	// equals the single store's rows per relation (checked via the engine on
+	// an id-projecting scan by the differential tests above; here check the
+	// totals to pin the counter continuation).
+	var total int
+	for _, sh := range c.Shards() {
+		total += sh.(*backend.Mem).Store().TotalRows()
+	}
+	if total != ref.Store().TotalRows() {
+		t.Fatalf("total rows: single %d, sharded %d", ref.Store().TotalRows(), total)
+	}
+}

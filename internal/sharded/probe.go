@@ -1,0 +1,98 @@
+package sharded
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"xmlsql/internal/integrity"
+	"xmlsql/internal/relational"
+)
+
+// IntegrityProbe returns an integrity.Probe that routes each keyed fetch to
+// the shard owning the id: a touched tuple, its ancestor chain, and its
+// children all live in one document, hence on one shard, so the incremental
+// audit's neighborhood load costs the same point lookups it would against a
+// single store — no scatter. Ids the router does not know (dangling parent
+// references under audit) are probed on every shard, which correctly finds
+// nothing. The planner detects this capability and prefers it over a
+// scatter-query source probe.
+func (c *Sharded) IntegrityProbe() (integrity.Probe, error) {
+	c.mu.Lock()
+	s := c.schema
+	c.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("sharded: no schema installed; EnsureSchema or Load first")
+	}
+	probes := make([]integrity.Probe, len(c.shards))
+	for i, sh := range c.shards {
+		switch b := sh.(type) {
+		case storeBacked:
+			probes[i] = integrity.StoreProbe(b.Store())
+		default:
+			p, err := integrity.NewSourceProbe(sh, s)
+			if err != nil {
+				return nil, err
+			}
+			probes[i] = p
+		}
+	}
+	return &routingProbe{c: c, probes: probes}, nil
+}
+
+type routingProbe struct {
+	c      *Sharded
+	probes []integrity.Probe
+}
+
+func (p *routingProbe) FetchByID(ctx context.Context, rel string, ids []int64) ([]relational.Row, error) {
+	return p.fetch(ctx, rel, ids, func(q integrity.Probe, ids []int64) ([]relational.Row, error) {
+		return q.FetchByID(ctx, rel, ids)
+	})
+}
+
+func (p *routingProbe) FetchByParent(ctx context.Context, rel string, parents []int64) ([]relational.Row, error) {
+	// Children live on their parent's shard, so parent ids route identically.
+	return p.fetch(ctx, rel, parents, func(q integrity.Probe, ids []int64) ([]relational.Row, error) {
+		return q.FetchByParent(ctx, rel, ids)
+	})
+}
+
+func (p *routingProbe) fetch(ctx context.Context, rel string, ids []int64, one func(integrity.Probe, []int64) ([]relational.Row, error)) ([]relational.Row, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	byShard := map[int][]int64{}
+	var unknown []int64
+	for _, id := range ids {
+		if k := p.c.shardOf(id); k >= 0 {
+			byShard[k] = append(byShard[k], id)
+		} else {
+			unknown = append(unknown, id)
+		}
+	}
+	shards := make([]int, 0, len(byShard))
+	for k := range byShard {
+		shards = append(shards, k)
+	}
+	sort.Ints(shards)
+	var out []relational.Row
+	for _, k := range shards {
+		rows, err := one(p.probes[k], byShard[k])
+		if err != nil {
+			return nil, fmt.Errorf("sharded: shard %d: %w", k, err)
+		}
+		out = append(out, rows...)
+	}
+	if len(unknown) > 0 {
+		for k, q := range p.probes {
+			rows, err := one(q, unknown)
+			if err != nil {
+				return nil, fmt.Errorf("sharded: shard %d: %w", k, err)
+			}
+			out = append(out, rows...)
+		}
+	}
+	_ = ctx
+	return out, nil
+}

@@ -78,6 +78,17 @@ func NewShredder(s *schema.Schema, store *relational.Store, opts Options) (*Shre
 // NextID returns the next elemid the shredder will assign.
 func (sh *Shredder) NextID() int64 { return sh.nextID }
 
+// SetNextID moves the shredder's id counter, so several shredders over
+// different stores can share one global id sequence. The sharded loader
+// depends on this: each document is shredded into its owning shard's store
+// with the counter continued from wherever the previous document (possibly
+// on another shard) left it, which keeps every elemid identical to what a
+// single-store shredding of the same document sequence would assign — the
+// invariant the sharded-vs-single differential suite checks literally.
+// Moving the counter backwards over already-loaded ids makes the next Shred
+// fail on a duplicate primary key, exactly like any other id collision.
+func (sh *Shredder) SetNextID(id int64) { sh.nextID = id }
+
 // Shred loads one document.
 func (sh *Shredder) Shred(d *xmltree.Document) (*Result, error) {
 	a, err := Align(sh.s, d)

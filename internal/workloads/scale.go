@@ -1,0 +1,60 @@
+package workloads
+
+import "xmlsql/internal/xmltree"
+
+// Scale knob: the paper's pruning results only start to matter at instance
+// sizes well past a single generated document, and the sharded execution
+// layer partitions by document — so scaling multiplies document COUNT, never
+// document size. GenerateXMarkScale(cfg, 100) is one logical instance of 100
+// independent documents, each generated from its own derived seed
+// (cfg.Seed, cfg.Seed+1, ...), so the instance is deterministic, the
+// documents differ, and any prefix of the sequence is a smaller scale of the
+// same instance.
+
+// GenerateXMarkScale generates scale conforming XMark documents, one per
+// derived seed.
+func GenerateXMarkScale(cfg XMarkConfig, scale int) []*xmltree.Document {
+	docs := make([]*xmltree.Document, 0, scale)
+	for i := 0; i < scale; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		docs = append(docs, GenerateXMark(c))
+	}
+	return docs
+}
+
+// GenerateXMarkFullScale generates scale conforming XMarkFull documents.
+func GenerateXMarkFullScale(cfg XMarkConfig, scale int) []*xmltree.Document {
+	docs := make([]*xmltree.Document, 0, scale)
+	for i := 0; i < scale; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		docs = append(docs, GenerateXMarkFull(c))
+	}
+	return docs
+}
+
+// GenerateXMarkAuctionsScale generates scale conforming XMark-auctions
+// documents.
+func GenerateXMarkAuctionsScale(cfg XMarkAuctionsConfig, scale int) []*xmltree.Document {
+	docs := make([]*xmltree.Document, 0, scale)
+	for i := 0; i < scale; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		docs = append(docs, GenerateXMarkAuctions(c))
+	}
+	return docs
+}
+
+// GenerateS3Scale generates scale documents of the recursive S3 mapping —
+// the workload whose translated queries carry recursive CTEs, used to prove
+// the per-shard local fixpoint is the global one.
+func GenerateS3Scale(cfg S3Config, scale int) []*xmltree.Document {
+	docs := make([]*xmltree.Document, 0, scale)
+	for i := 0; i < scale; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		docs = append(docs, GenerateS3(c))
+	}
+	return docs
+}

@@ -148,7 +148,16 @@ func (p *Planner) updateApplier() (*update.Applier, error) {
 			Msg: "backend cannot apply DML atomically"}
 	}
 	var probe integrity.Probe
-	if m, ok := memBackend(b); ok {
+	if rp, ok := probeCapability(b); ok {
+		// A backend that can route keyed fetches itself (the sharded
+		// composite) beats both store probes and scatter queries: the audit
+		// neighborhood loads with point lookups on the owning shard only.
+		pp, err := rp.IntegrityProbe()
+		if err != nil {
+			return nil, err
+		}
+		probe = pp
+	} else if m, ok := memBackend(b); ok {
 		probe = integrity.StoreProbe(m.Store())
 	} else {
 		sp, err := integrity.NewSourceProbe(b, s)
@@ -176,6 +185,24 @@ func dmlCapability(b Backend) (backend.DML, bool) {
 	for b != nil {
 		if d, ok := b.(backend.DML); ok {
 			return d, true
+		}
+		w, ok := b.(interface{ Primary() Backend })
+		if !ok {
+			return nil, false
+		}
+		b = w.Primary()
+	}
+	return nil, false
+}
+
+// probeCapability finds a backend that supplies its own routed
+// integrity.Probe (the sharded composite), unwrapping resilience layers.
+func probeCapability(b Backend) (interface{ IntegrityProbe() (integrity.Probe, error) }, bool) {
+	for b != nil {
+		if p, ok := b.(interface {
+			IntegrityProbe() (integrity.Probe, error)
+		}); ok {
+			return p, true
 		}
 		w, ok := b.(interface{ Primary() Backend })
 		if !ok {

@@ -37,6 +37,7 @@ import (
 	"xmlsql/internal/relational"
 	"xmlsql/internal/resilient"
 	"xmlsql/internal/schema"
+	"xmlsql/internal/sharded"
 	"xmlsql/internal/shred"
 	"xmlsql/internal/sqlast"
 	"xmlsql/internal/stats"
@@ -91,6 +92,15 @@ type (
 	// ResilientStats snapshots a resilient backend's retry/breaker/fallback
 	// counters.
 	ResilientStats = resilient.Stats
+	// ShardedBackend is the scatter-gather composite over document-
+	// partitioned shard stores (see NewShardedBackend).
+	ShardedBackend = sharded.Sharded
+	// ShardedOptions configures a sharded composite: document placement and
+	// scatter parallelism.
+	ShardedOptions = sharded.Options
+	// ShardedMetrics snapshots a composite's scatter/merge counters and
+	// per-shard placement skew.
+	ShardedMetrics = sharded.Metrics
 	// ShredResult reports one document's shredding, including the elemid
 	// assigned to every tuple-producing element.
 	ShredResult = shred.Result
@@ -239,6 +249,21 @@ func GenerateLoadScript(store *Store, d *Dialect) string { return backend.LoadSc
 // cancelling the context (or passing one with a deadline) aborts the
 // execution promptly on both built-in backends.
 func ExecuteOn(ctx context.Context, b Backend, q *SQL) (*Result, error) { return b.Execute(ctx, q) }
+
+// NewShardedBackend builds the scatter-gather composite over shard backends
+// (each a Mem or DB backend): one logical instance document-partitioned
+// across them, loading, querying, updating and auditing through the same
+// Backend surface. See internal/sharded for the partitioning invariant and
+// the merge protocol.
+func NewShardedBackend(shards []Backend, opts ShardedOptions) (*sharded.Sharded, error) {
+	return sharded.New(shards, opts)
+}
+
+// NewShardedMemBackend builds the common all-in-memory topology: n fresh Mem
+// shards behind one composite.
+func NewShardedMemBackend(n int, opts ShardedOptions) (*sharded.Sharded, error) {
+	return sharded.NewMem(n, opts)
+}
 
 // NewResilientBackend wraps a backend with transient-failure retries, a
 // circuit breaker, and optional graceful degradation to a fallback backend
@@ -482,6 +507,7 @@ type Planner struct {
 	cfg         PlannerConfig
 	cache       *plancache.Cache
 	optKey      string
+	topoKey     string
 	backendOnce sync.Once
 
 	// Trust machinery: the latest audit's verdict for the installed
@@ -529,8 +555,31 @@ func NewPlannerWith(s *Schema, cfg PlannerConfig) *Planner {
 		// core.Options is a flat struct of scalars, so %+v is canonical.
 		optKey: fmt.Sprintf("%+v", cfg.Translate),
 	}
+	// A backend with a shard topology contributes it to every cache key, so
+	// plans cached for one topology can never be served to another (nor to an
+	// unsharded backend) across planner rebuilds over a shared cache.
+	if topo := backendTopology(cfg.Backend); topo != "" {
+		p.topoKey = "|topo=" + topo
+		p.optKey += p.topoKey
+	}
 	p.schema.Store(s)
 	return p
+}
+
+// backendTopology reports the backend's shard-layout identity, unwrapping
+// resilience layers; non-sharded backends have none.
+func backendTopology(b Backend) string {
+	for b != nil {
+		if t, ok := b.(interface{ Topology() string }); ok {
+			return t.Topology()
+		}
+		w, ok := b.(interface{ Primary() Backend })
+		if !ok {
+			return ""
+		}
+		b = w.Primary()
+	}
+	return ""
 }
 
 // Schema returns the mapping the planner currently serves.
@@ -566,6 +615,7 @@ func (p *Planner) planMode(query string, safe bool) (*Translation, error) {
 		if p.cfg.Translate.FactorPrefixes {
 			optKey = safeModeKey + "+factored"
 		}
+		optKey += p.topoKey
 	}
 	k := plancache.Key{SchemaFP: s.Fingerprint(), Query: query, Options: optKey}
 	if v, ok := p.cache.Get(k); ok {
